@@ -1,0 +1,215 @@
+// Command madapt runs the Micro Adaptivity reproduction: any of the
+// paper's experiments (tables and figures), the TPC-H workload under a
+// chosen flavor configuration and policy, or a listing of the registered
+// primitive flavors.
+//
+// Usage:
+//
+//	madapt exp all                     # every table and figure
+//	madapt exp fig2 table11            # specific experiments
+//	madapt exp -sf 0.05 -vecsize 256 table7
+//	madapt tpch -q 12 -flavors everything -policy vwgreedy
+//	madapt flavors                     # dump the primitive dictionary
+//	madapt list                        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microadapt/internal/bench"
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/heuristics"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/tpch"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "tpch":
+		err = cmdTPCH(os.Args[2:])
+	case "flavors":
+		err = cmdFlavors(os.Args[2:])
+	case "list":
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madapt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
+  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy vwgreedy|heuristics|fixed]
+  madapt flavors
+  madapt list`)
+}
+
+// benchFlags registers the shared configuration flags; call the returned
+// function after fs.Parse to resolve flag values into the config.
+func benchFlags(fs *flag.FlagSet) (*bench.Config, func() error) {
+	cfg := bench.DefaultConfig()
+	fs.Float64Var(&cfg.SF, "sf", cfg.SF, "TPC-H scale factor")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	fs.IntVar(&cfg.VectorSize, "vecsize", cfg.VectorSize, "tuples per vector")
+	machine := fs.String("machine", cfg.Machine.Name, "machine profile (machine1..machine4)")
+	fs.IntVar(&cfg.VW.ExplorePeriod, "explore-period", cfg.VW.ExplorePeriod, "vw-greedy EXPLORE_PERIOD")
+	fs.IntVar(&cfg.VW.ExploitPeriod, "exploit-period", cfg.VW.ExploitPeriod, "vw-greedy EXPLOIT_PERIOD")
+	fs.IntVar(&cfg.VW.ExploreLength, "explore-length", cfg.VW.ExploreLength, "vw-greedy EXPLORE_LENGTH")
+	return &cfg, func() error {
+		m := hw.MachineByName(*machine)
+		if m == nil {
+			return fmt.Errorf("unknown machine %q", *machine)
+		}
+		cfg.Machine = m
+		return nil
+	}
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	cfg, finish := benchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiment ids (try: madapt list)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		return bench.RunAll(*cfg, os.Stdout)
+	}
+	for _, id := range ids {
+		e, ok := bench.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: madapt list)", id)
+		}
+		rep, err := e.Run(*cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(rep.String())
+	}
+	return nil
+}
+
+func flavorOptions(name string) (primitive.Options, error) {
+	switch name {
+	case "defaults":
+		return primitive.Defaults(), nil
+	case "everything":
+		return primitive.Everything(), nil
+	case "branch":
+		return primitive.BranchSet(), nil
+	case "compiler":
+		return primitive.CompilerSet(), nil
+	case "fission":
+		return primitive.FissionSet(), nil
+	case "compute":
+		return primitive.ComputeSet(), nil
+	case "unroll":
+		return primitive.UnrollSet(), nil
+	default:
+		return primitive.Options{}, fmt.Errorf("unknown flavor set %q", name)
+	}
+}
+
+func cmdTPCH(args []string) error {
+	fs := flag.NewFlagSet("tpch", flag.ExitOnError)
+	cfg, finish := benchFlags(fs)
+	q := fs.Int("q", 0, "query number (0 = all)")
+	flavors := fs.String("flavors", "everything", "flavor configuration")
+	policy := fs.String("policy", "vwgreedy", "selection policy: vwgreedy|heuristics|fixed")
+	arm := fs.Int("arm", 0, "arm for -policy fixed")
+	rows := fs.Int("rows", 10, "result rows to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	opts, err := flavorOptions(*flavors)
+	if err != nil {
+		return err
+	}
+	var chooser core.ChooserFactory
+	switch *policy {
+	case "vwgreedy":
+		chooser = nil
+	case "heuristics":
+		chooser = heuristics.Factory(cfg.Machine, heuristics.Default())
+	case "fixed":
+		chooser = bench.FixedChooser(*arm)
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	db := cfg.DB()
+	var queries []tpch.Spec
+	if *q == 0 {
+		queries = tpch.Queries()
+	} else {
+		queries = []tpch.Spec{tpch.Query(*q)}
+	}
+	for _, spec := range queries {
+		s := cfg.Session(opts, chooser)
+		tab, err := spec.Run(db, s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Printf("-- %s: %d rows, %.0f virtual cycles (%.0f in primitives, %d instances)\n",
+			spec.Name, tab.Rows(), s.Ctx.TotalCycles(), s.Ctx.PrimCycles, len(s.Instances()))
+		if *rows > 0 {
+			fmt.Print(engine.TableString(tab, *rows))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFlavors(args []string) error {
+	fs := flag.NewFlagSet("flavors", flag.ExitOnError)
+	flavors := fs.String("flavors", "everything", "flavor configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := flavorOptions(*flavors)
+	if err != nil {
+		return err
+	}
+	d := primitive.NewDictionary(opts)
+	sigs := d.Sigs()
+	total := 0
+	for _, sig := range sigs {
+		p, _ := d.Lookup(sig)
+		names := make([]string, len(p.Flavors))
+		for i, f := range p.Flavors {
+			names[i] = f.Name
+		}
+		total += len(p.Flavors)
+		fmt.Printf("%-46s %-12s %2d flavors: %s\n", sig, p.Class, len(p.Flavors), strings.Join(names, ", "))
+	}
+	fmt.Printf("\n%d signatures, %d flavors\n", len(sigs), total)
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package aph implements the Approximated Performance History of the paper
+// (§1.1): a bounded histogram of per-call primitive performance.
+//
+// Vectorwise keeps, for each primitive instance, profiling data at every
+// call. A query processing 100M tuples calls its primitives ~100K times;
+// keeping all measurements is too heavyweight, so the APH keeps at most 512
+// buckets. Initially every call appends one bucket; when all 512 are used,
+// neighbouring buckets are merged pairwise down to 256, after which each
+// bucket spans 2 calls; after k merge rounds each bucket spans 2^k calls.
+package aph
+
+// DefaultBuckets is the bucket budget used by Vectorwise.
+const DefaultBuckets = 512
+
+// Bucket aggregates a contiguous run of primitive calls.
+type Bucket struct {
+	Calls  int     // number of calls merged into this bucket
+	Tuples int64   // total tuples processed
+	Cycles float64 // total cycles spent
+}
+
+// CyclesPerTuple returns the bucket's average cost; 0 for an empty bucket.
+func (b Bucket) CyclesPerTuple() float64 {
+	if b.Tuples == 0 {
+		return 0
+	}
+	return b.Cycles / float64(b.Tuples)
+}
+
+// History is an approximated performance history. The zero value is not
+// usable; construct with New or NewSize.
+type History struct {
+	max     int
+	span    int // calls per full bucket (2^k)
+	buckets []Bucket
+}
+
+// New returns a History with the default 512-bucket budget.
+func New() *History { return NewSize(DefaultBuckets) }
+
+// NewSize returns a History holding at most maxBuckets buckets.
+// maxBuckets must be an even number >= 2.
+func NewSize(maxBuckets int) *History {
+	if maxBuckets < 2 || maxBuckets%2 != 0 {
+		panic("aph.NewSize: bucket budget must be an even number >= 2")
+	}
+	return &History{max: maxBuckets, span: 1, buckets: make([]Bucket, 0, maxBuckets)}
+}
+
+// Add records one primitive call.
+func (h *History) Add(tuples int, cycles float64) {
+	n := len(h.buckets)
+	if n > 0 && h.buckets[n-1].Calls < h.span {
+		b := &h.buckets[n-1]
+		b.Calls++
+		b.Tuples += int64(tuples)
+		b.Cycles += cycles
+		return
+	}
+	if n == h.max {
+		h.merge()
+	}
+	h.buckets = append(h.buckets, Bucket{Calls: 1, Tuples: int64(tuples), Cycles: cycles})
+}
+
+// merge combines neighbouring buckets pairwise, halving the bucket count
+// and doubling the span.
+func (h *History) merge() {
+	half := len(h.buckets) / 2
+	for i := 0; i < half; i++ {
+		a, b := h.buckets[2*i], h.buckets[2*i+1]
+		h.buckets[i] = Bucket{
+			Calls:  a.Calls + b.Calls,
+			Tuples: a.Tuples + b.Tuples,
+			Cycles: a.Cycles + b.Cycles,
+		}
+	}
+	h.buckets = h.buckets[:half]
+	h.span *= 2
+}
+
+// Buckets returns the current buckets in call order. The returned slice
+// aliases internal state and must not be modified.
+func (h *History) Buckets() []Bucket { return h.buckets }
+
+// Span returns the number of calls a full bucket currently represents.
+func (h *History) Span() int { return h.span }
+
+// Calls returns the total number of calls recorded.
+func (h *History) Calls() int {
+	total := 0
+	for _, b := range h.buckets {
+		total += b.Calls
+	}
+	return total
+}
+
+// Totals returns the total tuples and cycles recorded.
+func (h *History) Totals() (tuples int64, cycles float64) {
+	for _, b := range h.buckets {
+		tuples += b.Tuples
+		cycles += b.Cycles
+	}
+	return tuples, cycles
+}
+
+// Series returns the per-bucket average cycles/tuple, in call order — the
+// curves plotted in Figures 2, 4, 10 and 11 of the paper.
+func (h *History) Series() []float64 {
+	out := make([]float64, len(h.buckets))
+	for i, b := range h.buckets {
+		out[i] = b.CyclesPerTuple()
+	}
+	return out
+}
+
+// MinWith returns, bucket by bucket, the minimum cycles/tuple across this
+// history and the others — the OPT lower envelope used in §4.1 of the
+// paper. All histories must have the same bucket layout (same call counts),
+// which holds when they were recorded from runs with identical call
+// sequences; trailing length differences are truncated to the shortest.
+func MinWith(hs ...*History) []float64 {
+	if len(hs) == 0 {
+		return nil
+	}
+	n := len(hs[0].buckets)
+	for _, h := range hs[1:] {
+		if len(h.buckets) < n {
+			n = len(h.buckets)
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := hs[0].buckets[i].CyclesPerTuple()
+		for _, h := range hs[1:] {
+			if v := h.buckets[i].CyclesPerTuple(); v < best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// OptCycles computes the OPT cycle total of §4.1: for each bucket index the
+// minimum cycles among the histories (assuming aligned layouts), summed.
+func OptCycles(hs ...*History) float64 {
+	if len(hs) == 0 {
+		return 0
+	}
+	n := len(hs[0].buckets)
+	for _, h := range hs[1:] {
+		if len(h.buckets) < n {
+			n = len(h.buckets)
+		}
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		best := hs[0].buckets[i].Cycles
+		for _, h := range hs[1:] {
+			if v := h.buckets[i].Cycles; v < best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,164 @@
+package aph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddWithinBudget(t *testing.T) {
+	h := NewSize(8)
+	for i := 0; i < 8; i++ {
+		h.Add(100, float64(i))
+	}
+	if len(h.Buckets()) != 8 || h.Span() != 1 {
+		t.Fatalf("buckets/span = %d/%d, want 8/1", len(h.Buckets()), h.Span())
+	}
+	for i, b := range h.Buckets() {
+		if b.Calls != 1 || b.Cycles != float64(i) {
+			t.Errorf("bucket %d = %+v", i, b)
+		}
+	}
+}
+
+func TestMergeHalvesBuckets(t *testing.T) {
+	h := NewSize(8)
+	for i := 0; i < 9; i++ {
+		h.Add(10, 1)
+	}
+	// The 9th call triggers a merge to 4 buckets, then appends one.
+	if len(h.Buckets()) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(h.Buckets()))
+	}
+	if h.Span() != 2 {
+		t.Fatalf("span = %d, want 2", h.Span())
+	}
+	b0 := h.Buckets()[0]
+	if b0.Calls != 2 || b0.Tuples != 20 || b0.Cycles != 2 {
+		t.Errorf("merged bucket = %+v", b0)
+	}
+}
+
+func TestRepeatedMergesKeepSpanPowerOfTwo(t *testing.T) {
+	h := NewSize(4)
+	for i := 0; i < 100; i++ {
+		h.Add(1, 1)
+	}
+	if h.Span() != 32 {
+		t.Errorf("span = %d, want 32", h.Span())
+	}
+	if h.Calls() != 100 {
+		t.Errorf("calls = %d, want 100", h.Calls())
+	}
+}
+
+// TestNeverExceedsBudget is the paper's APH invariant: at most 512 buckets
+// regardless of call count, each spanning 2^k calls.
+func TestNeverExceedsBudget(t *testing.T) {
+	f := func(calls uint16) bool {
+		h := NewSize(16)
+		for i := 0; i < int(calls); i++ {
+			h.Add(1, 1)
+		}
+		if len(h.Buckets()) > 16 {
+			return false
+		}
+		return h.Calls() == int(calls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTotalsPreserved: merging never loses tuples or cycles.
+func TestTotalsPreserved(t *testing.T) {
+	f := func(entries []uint8) bool {
+		h := NewSize(8)
+		var wantT int64
+		var wantC float64
+		for _, e := range entries {
+			h.Add(int(e), float64(e)*2)
+			wantT += int64(e)
+			wantC += float64(e) * 2
+		}
+		gotT, gotC := h.Totals()
+		return gotT == wantT && gotC == wantC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultBudgetIs512(t *testing.T) {
+	h := New()
+	for i := 0; i < 100000; i++ {
+		h.Add(1, 1)
+	}
+	if len(h.Buckets()) > DefaultBuckets {
+		t.Errorf("buckets = %d, want <= 512", len(h.Buckets()))
+	}
+	// After 100K calls: span must be 256 (512*256 = 131072 >= 100000).
+	if h.Span() != 256 {
+		t.Errorf("span = %d, want 256", h.Span())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	h := NewSize(4)
+	h.Add(10, 50) // 5 cycles/tuple
+	h.Add(10, 30) // 3 cycles/tuple
+	s := h.Series()
+	if len(s) != 2 || s[0] != 5 || s[1] != 3 {
+		t.Errorf("series = %v", s)
+	}
+	if (Bucket{}).CyclesPerTuple() != 0 {
+		t.Error("empty bucket cost should be 0")
+	}
+}
+
+func TestMinWithAndOptCycles(t *testing.T) {
+	a, b := NewSize(4), NewSize(4)
+	// Flavor a: cheap then expensive; flavor b: the reverse.
+	a.Add(10, 10)
+	a.Add(10, 100)
+	b.Add(10, 80)
+	b.Add(10, 20)
+	env := MinWith(a, b)
+	if len(env) != 2 || env[0] != 1 || env[1] != 2 {
+		t.Errorf("envelope = %v, want [1 2]", env)
+	}
+	if got := OptCycles(a, b); got != 30 {
+		t.Errorf("OPT cycles = %v, want 30", got)
+	}
+	if MinWith() != nil {
+		t.Error("MinWith() should be nil")
+	}
+	if OptCycles() != 0 {
+		t.Error("OptCycles() should be 0")
+	}
+}
+
+func TestMinWithTruncatesToShortest(t *testing.T) {
+	a, b := NewSize(8), NewSize(8)
+	for i := 0; i < 5; i++ {
+		a.Add(1, 1)
+	}
+	for i := 0; i < 3; i++ {
+		b.Add(1, 2)
+	}
+	if got := len(MinWith(a, b)); got != 3 {
+		t.Errorf("envelope length = %d, want 3", got)
+	}
+}
+
+func TestNewSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSize(%d) should panic", n)
+				}
+			}()
+			NewSize(n)
+		}()
+	}
+}

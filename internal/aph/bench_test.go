@@ -1,0 +1,48 @@
+package aph
+
+import "testing"
+
+// BenchmarkAdd measures the per-call cost of APH maintenance, the
+// instrumentation overhead the paper's §4.2 results already include.
+func BenchmarkAdd(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(1000, 4000)
+	}
+}
+
+// BenchmarkAddSmallBudget stresses the merge path (span doubling happens
+// every 4 calls at budget 8).
+func BenchmarkAddSmallBudget(b *testing.B) {
+	h := NewSize(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(1000, 4000)
+	}
+}
+
+func BenchmarkSeries(b *testing.B) {
+	h := New()
+	for i := 0; i < 100_000; i++ {
+		h.Add(1000, float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Series()
+	}
+}
+
+func BenchmarkOptCycles(b *testing.B) {
+	hs := make([]*History, 3)
+	for fi := range hs {
+		hs[fi] = New()
+		for i := 0; i < 50_000; i++ {
+			hs[fi].Add(1000, float64((i+fi*7)%100))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = OptCycles(hs...)
+	}
+}

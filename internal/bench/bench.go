@@ -1,0 +1,182 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: micro-benchmarks (Figures 1, 5, 6, 8, Table 4), the
+// vw-greedy demonstration (Figure 10), trace simulation (Table 5), the
+// per-flavor-set TPC-H studies (Tables 6-10, Figures 2, 4, 11) and the
+// end-to-end comparison against heuristics (Table 11).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/stats"
+	"microadapt/internal/tpch"
+)
+
+// Config parameterizes an experiment run. The defaults trade the paper's
+// SF-100 for a laptop-scale workload with proportionally scaled vector
+// size and vw-greedy parameters (see DESIGN.md §4).
+type Config struct {
+	SF         float64
+	Seed       int64
+	VectorSize int
+	Machine    *hw.Machine
+	VW         core.VWParams
+	// ChartWidth/Height controls ASCII figure rendering.
+	ChartWidth, ChartHeight int
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		SF:         0.05,
+		Seed:       42,
+		VectorSize: 128,
+		Machine:    hw.Machine1(),
+		VW:         core.VWParams{ExplorePeriod: 512, ExploitPeriod: 8, ExploreLength: 1, WarmupSkip: 2, InitialSweep: true},
+		ChartWidth: 72, ChartHeight: 14,
+	}
+}
+
+// cacheScale is the factor applied to cache capacities for TPC-H runs so
+// working-set-to-cache ratios match the paper's SF-100 regime (DESIGN §4).
+func (cfg Config) cacheScale() float64 {
+	s := cfg.SF / 2
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// TPCHSession is Session with the machine's caches scaled for the TPC-H
+// data volume; all whole-workload experiments use it.
+func (cfg Config) TPCHSession(o primitive.Options, chooser core.ChooserFactory) *core.Session {
+	scaled := cfg
+	scaled.Machine = cfg.Machine.ScaledCaches(cfg.cacheScale())
+	return scaled.Session(o, chooser)
+}
+
+// Report is the rendered output of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	Body  string
+}
+
+func (r *Report) String() string {
+	line := strings.Repeat("=", len(r.Title))
+	return fmt.Sprintf("%s\n%s\n%s\n", r.Title, line, r.Body)
+}
+
+// dbCache memoizes generated databases per (sf, seed).
+var dbCache = map[[2]int64]*tpch.DB{}
+
+// DB returns the (cached) database for the configuration.
+func (cfg Config) DB() *tpch.DB {
+	key := [2]int64{int64(cfg.SF * 1e6), cfg.Seed}
+	if db, ok := dbCache[key]; ok {
+		return db
+	}
+	db := tpch.Generate(cfg.SF, cfg.Seed)
+	dbCache[key] = db
+	return db
+}
+
+// Session builds a session over a fresh dictionary with the given flavor
+// options and chooser (nil = vw-greedy with cfg.VW).
+func (cfg Config) Session(o primitive.Options, chooser core.ChooserFactory) *core.Session {
+	dict := primitive.NewDictionary(o)
+	opts := []core.SessionOption{core.WithVectorSize(cfg.VectorSize), core.WithSeed(cfg.Seed)}
+	if chooser == nil {
+		vw := cfg.VW
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		chooser = func(n int) core.Chooser { return core.NewVWGreedy(n, vw, rng) }
+	}
+	opts = append(opts, core.WithChooser(chooser))
+	return core.NewSession(dict, cfg.Machine, opts...)
+}
+
+// FixedChooser pins every instance to min(arm, flavors-1).
+func FixedChooser(arm int) core.ChooserFactory {
+	return func(n int) core.Chooser {
+		a := arm
+		if a >= n {
+			a = n - 1
+		}
+		return core.NewFixed(a)
+	}
+}
+
+// RunTPCH executes all 22 queries in one session.
+func RunTPCH(db *tpch.DB, s *core.Session) error {
+	for _, q := range tpch.Queries() {
+		if _, err := q.Run(db, s); err != nil {
+			return fmt.Errorf("%s: %v", q.Name, err)
+		}
+	}
+	return nil
+}
+
+// affectedCycles sums the cycles of instances with more than one flavor
+// (the primitives the active flavor set actually targets) and the total
+// primitive cycles of the session.
+func affectedCycles(s *core.Session) (affected, total float64) {
+	for _, inst := range s.Instances() {
+		total += inst.Cycles
+		if len(inst.Prim.Flavors) > 1 {
+			affected += inst.Cycles
+		}
+	}
+	return affected, total
+}
+
+// chartAPH renders overlaid APH cycles/tuple series.
+func (cfg Config) chartAPH(title string, series []stats.Series) string {
+	return stats.ASCIIChart(title, series, cfg.ChartWidth, cfg.ChartHeight)
+}
+
+// instancesByLabel collects one labelled instance from several sessions,
+// erroring out loudly if absent (an experiment wiring bug).
+func mustInstance(s *core.Session, label string) *core.Instance {
+	if inst := s.InstanceByLabel(label); inst != nil {
+		return inst
+	}
+	var near []string
+	for _, inst := range s.Instances() {
+		if strings.Contains(inst.Label, label[:min(len(label), 6)]) {
+			near = append(near, inst.Label)
+		}
+	}
+	sort.Strings(near)
+	panic(fmt.Sprintf("bench: no instance %q; near matches: %v", label, near))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fmtFactor(base, other float64) string {
+	if other == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", base/other)
+}
+
+func fmtBillions(c float64) string {
+	switch {
+	case c >= 1e9:
+		return fmt.Sprintf("%.1f bn.", c/1e9)
+	case c >= 1e6:
+		return fmt.Sprintf("%.1f mn.", c/1e6)
+	default:
+		return fmt.Sprintf("%.0f", c)
+	}
+}

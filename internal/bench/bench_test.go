@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SF = 0.002
+	cfg.VW.ExplorePeriod = 64
+	return cfg
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Errorf("experiments = %d, want 17 (every table and figure)", len(exps))
+	}
+	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4",
+		"fig8", "fig10", "table5", "table6", "table7", "table8", "table9",
+		"table10", "fig11", "table11"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	if len(IDs()) != len(exps) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+// TestMicroExperimentsRun smoke-tests the non-TPC-H experiments.
+func TestMicroExperimentsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range []string{"fig1", "fig5", "fig6", "table4", "fig8"} {
+		e, _ := ByID(id)
+		rep, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id || len(rep.Body) < 100 {
+			t.Errorf("%s: malformed report", id)
+		}
+		if !strings.Contains(rep.String(), rep.Title) {
+			t.Errorf("%s: rendering misses title", id)
+		}
+	}
+}
+
+// TestTPCHExperimentsRun smoke-tests the workload-based experiments at a
+// tiny scale factor (shape assertions live in the packages below; this
+// guards against instance-label drift between plans and the harness).
+func TestTPCHExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H experiments skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	for _, id := range []string{"table1", "fig2", "fig4", "fig10", "table6", "table9", "fig11", "table11"} {
+		e, _ := ByID(id)
+		rep, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Body) < 50 {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+}
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "cross-over points") {
+		t.Error("fig1 should report cross-over points")
+	}
+}
+
+func TestFig6CrossoverOrdering(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: machine 1 crosses over at a smaller filter
+	// size than machine 4.
+	lines := strings.Split(rep.Body, "\n")
+	sizeLike := func(s string) bool {
+		return strings.HasSuffix(s, "M") || strings.HasSuffix(s, "K")
+	}
+	var m1Cross, m4Cross string
+	for _, l := range lines {
+		f := strings.Fields(l)
+		// The cross-over table rows look like: "machine1  1M  1.53".
+		if len(f) == 3 && sizeLike(f[1]) {
+			switch f[0] {
+			case "machine1":
+				m1Cross = f[1]
+			case "machine4":
+				m4Cross = f[1]
+			}
+		}
+	}
+	if m1Cross != "1M" {
+		t.Errorf("machine1 cross-over = %q, want 1M", m1Cross)
+	}
+	if m4Cross != "4M" {
+		t.Errorf("machine4 cross-over = %q, want 4M", m4Cross)
+	}
+}
+
+func TestDBCaching(t *testing.T) {
+	cfg := tinyConfig()
+	if cfg.DB() != cfg.DB() {
+		t.Error("DB should be cached per configuration")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	if cfg.DB() == cfg2.DB() {
+		t.Error("different seeds should generate different databases")
+	}
+}
+
+func TestFixedChooserClamps(t *testing.T) {
+	f := FixedChooser(5)
+	if f(2).Choose() != 1 {
+		t.Error("fixed chooser should clamp to the last arm")
+	}
+	if f(8).Choose() != 5 {
+		t.Error("fixed chooser should use the requested arm when available")
+	}
+}

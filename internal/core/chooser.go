@@ -1,0 +1,223 @@
+package core
+
+import "math/rand"
+
+// Chooser is a flavor-selection policy for one primitive instance: a
+// multi-armed bandit over the instance's flavors. Choose returns the arm to
+// use for the next call; Observe reports the measured cost of a call that
+// used the arm. Implementations are not safe for concurrent use; each
+// primitive instance owns its chooser.
+type Chooser interface {
+	// Name identifies the policy (for reports).
+	Name() string
+	// Choose returns the flavor index to use for the next call.
+	Choose() int
+	// Observe records that a call using flavor arm processed the given
+	// number of tuples in the given number of cycles.
+	Observe(arm int, tuples int, cycles float64)
+}
+
+// ContextChooser is a Chooser that may inspect the live call (selectivity,
+// auxiliary state) before deciding — the interface used by the hard-coded
+// heuristics baseline of §4.2, which e.g. picks no-branching selection
+// between 10% and 90% observed selectivity.
+type ContextChooser interface {
+	Chooser
+	// ChooseCtx returns the flavor index given the instance and call.
+	ChooseCtx(inst *Instance, c *Call) int
+}
+
+// Fixed always picks the same arm; it is how "always flavor X" baseline
+// runs and trace recording are expressed.
+type Fixed struct {
+	Arm int
+}
+
+// NewFixed returns a Chooser pinned to arm.
+func NewFixed(arm int) *Fixed { return &Fixed{Arm: arm} }
+
+// Name implements Chooser.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Choose implements Chooser.
+func (f *Fixed) Choose() int { return f.Arm }
+
+// Observe implements Chooser.
+func (f *Fixed) Observe(int, int, float64) {}
+
+// RoundRobin cycles deterministically through the arms; it is used by tests
+// and as a worst-case reference policy.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin policy over n arms.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// Name implements Chooser.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Choose implements Chooser.
+func (r *RoundRobin) Choose() int {
+	arm := r.next
+	r.next = (r.next + 1) % r.n
+	return arm
+}
+
+// Observe implements Chooser.
+func (r *RoundRobin) Observe(int, int, float64) {}
+
+// armMeans tracks the all-history mean cycles/tuple per arm, the knowledge
+// state of the classic ε-strategies.
+type armMeans struct {
+	tuples []float64
+	cycles []float64
+}
+
+func newArmMeans(n int) armMeans {
+	return armMeans{tuples: make([]float64, n), cycles: make([]float64, n)}
+}
+
+func (a *armMeans) observe(arm, tuples int, cycles float64) {
+	a.tuples[arm] += float64(tuples)
+	a.cycles[arm] += cycles
+}
+
+// best returns the arm with the lowest mean cost; unobserved arms are
+// preferred (cost -1) so every arm gets tried once.
+func (a *armMeans) best() int {
+	best, bestCost := 0, 0.0
+	first := true
+	for i := range a.tuples {
+		var cost float64
+		if a.tuples[i] == 0 {
+			cost = -1 // never tried: try it now
+		} else {
+			cost = a.cycles[i] / a.tuples[i]
+		}
+		if first || cost < bestCost {
+			best, bestCost, first = i, cost, false
+		}
+		if cost < 0 {
+			return i
+		}
+	}
+	return best
+}
+
+// EpsGreedy is the classic ε-greedy strategy: with probability eps explore
+// a uniformly random arm, otherwise exploit the arm with the best
+// all-history mean. Its regret grows linearly (§3.2).
+type EpsGreedy struct {
+	eps  float64
+	n    int
+	rng  *rand.Rand
+	mean armMeans
+}
+
+// NewEpsGreedy returns an ε-greedy policy over n arms.
+func NewEpsGreedy(n int, eps float64, rng *rand.Rand) *EpsGreedy {
+	return &EpsGreedy{eps: eps, n: n, rng: rng, mean: newArmMeans(n)}
+}
+
+// Name implements Chooser.
+func (e *EpsGreedy) Name() string { return "eps-greedy" }
+
+// Choose implements Chooser.
+func (e *EpsGreedy) Choose() int {
+	if e.rng.Float64() < e.eps {
+		return e.rng.Intn(e.n)
+	}
+	return e.mean.best()
+}
+
+// Observe implements Chooser.
+func (e *EpsGreedy) Observe(arm, tuples int, cycles float64) {
+	e.mean.observe(arm, tuples, cycles)
+}
+
+// EpsFirst explores uniformly for the first eps*horizon calls and then
+// commits to the best mean for the rest of the query ("it only tests all
+// flavors at the beginning and then sticks to its choice", §3.2).
+type EpsFirst struct {
+	n            int
+	exploreCalls int
+	calls        int
+	rng          *rand.Rand
+	mean         armMeans
+	committed    int
+}
+
+// NewEpsFirst returns an ε-first policy over n arms. horizon is the
+// expected number of calls in a query (the paper's traces have 16K-32K).
+func NewEpsFirst(n int, eps float64, horizon int, rng *rand.Rand) *EpsFirst {
+	ex := int(eps * float64(horizon))
+	if ex < n {
+		ex = n // at least one look at each arm
+	}
+	return &EpsFirst{n: n, exploreCalls: ex, rng: rng, mean: newArmMeans(n), committed: -1}
+}
+
+// Name implements Chooser.
+func (e *EpsFirst) Name() string { return "eps-first" }
+
+// Choose implements Chooser.
+func (e *EpsFirst) Choose() int {
+	if e.calls < e.exploreCalls {
+		// Deterministic sweep guarantees coverage of all arms even for
+		// short exploration budgets; ties with the paper's description
+		// of "testing all flavors at the beginning".
+		return e.calls % e.n
+	}
+	if e.committed < 0 {
+		e.committed = e.mean.best()
+	}
+	return e.committed
+}
+
+// Observe implements Chooser.
+func (e *EpsFirst) Observe(arm, tuples int, cycles float64) {
+	e.calls++
+	e.mean.observe(arm, tuples, cycles)
+}
+
+// EpsDecreasing is ε-greedy with ε_t = min(1, c/t): exploration decays at
+// rate 1/n, which achieves logarithmic regret for stationary rewards
+// (Auer et al., cited as [2] in the paper).
+type EpsDecreasing struct {
+	c     float64
+	n     int
+	calls int
+	rng   *rand.Rand
+	mean  armMeans
+}
+
+// NewEpsDecreasing returns an ε-decreasing policy over n arms with scale c.
+func NewEpsDecreasing(n int, c float64, rng *rand.Rand) *EpsDecreasing {
+	return &EpsDecreasing{c: c, n: n, rng: rng, mean: newArmMeans(n)}
+}
+
+// Name implements Chooser.
+func (e *EpsDecreasing) Name() string { return "eps-decreasing" }
+
+// Choose implements Chooser.
+func (e *EpsDecreasing) Choose() int {
+	eps := 1.0
+	if e.calls > 0 {
+		eps = e.c / float64(e.calls)
+		if eps > 1 {
+			eps = 1
+		}
+	}
+	if e.rng.Float64() < eps {
+		return e.rng.Intn(e.n)
+	}
+	return e.mean.best()
+}
+
+// Observe implements Chooser.
+func (e *EpsDecreasing) Observe(arm, tuples int, cycles float64) {
+	e.calls++
+	e.mean.observe(arm, tuples, cycles)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFixedChooser(t *testing.T) {
+	f := NewFixed(2)
+	for i := 0; i < 10; i++ {
+		if f.Choose() != 2 {
+			t.Fatal("fixed chooser moved")
+		}
+		f.Observe(2, 10, 100)
+	}
+	if f.Name() != "fixed" {
+		t.Error("name wrong")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin(3)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := r.Choose(); got != w {
+			t.Fatalf("call %d = %d, want %d", i, got, w)
+		}
+		r.Observe(w, 1, 1)
+	}
+	if r.Name() != "round-robin" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEpsGreedyExploitsBestArm(t *testing.T) {
+	ch := NewEpsGreedy(3, 0.05, rand.New(rand.NewSource(1)))
+	use := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		a := ch.Choose()
+		use[a]++
+		cost := []float64{9, 2, 7}[a]
+		ch.Observe(a, 100, cost*100)
+	}
+	if use[1] < 2500 {
+		t.Errorf("best arm used %d/3000, want dominant", use[1])
+	}
+	if use[0] == 0 || use[2] == 0 {
+		t.Error("eps-greedy should still explore occasionally")
+	}
+	if ch.Name() != "eps-greedy" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEpsGreedyTriesUnseenArmsFirst(t *testing.T) {
+	ch := NewEpsGreedy(4, 0.0, rand.New(rand.NewSource(2)))
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		a := ch.Choose()
+		seen[a] = true
+		ch.Observe(a, 10, 10)
+	}
+	if len(seen) != 4 {
+		t.Errorf("first four choices covered %d arms, want 4", len(seen))
+	}
+}
+
+func TestEpsFirstCommits(t *testing.T) {
+	ch := NewEpsFirst(2, 0.01, 1000, rand.New(rand.NewSource(3)))
+	// Exploration phase: eps*horizon = 10 calls.
+	for i := 0; i < 10; i++ {
+		a := ch.Choose()
+		cost := []float64{8, 3}[a]
+		ch.Observe(a, 100, cost*100)
+	}
+	// Committed phase: always the best arm.
+	for i := 0; i < 100; i++ {
+		if got := ch.Choose(); got != 1 {
+			t.Fatalf("eps-first did not commit to the best arm (got %d)", got)
+		}
+		ch.Observe(1, 100, 300)
+	}
+	if ch.Name() != "eps-first" {
+		t.Error("name wrong")
+	}
+}
+
+// TestEpsFirstCannotAdapt documents the weakness the paper exploits:
+// ε-first sticks to its early choice even when the world changes.
+func TestEpsFirstCannotAdapt(t *testing.T) {
+	ch := NewEpsFirst(2, 0.01, 1000, rand.New(rand.NewSource(4)))
+	for call := 0; call < 2000; call++ {
+		a := ch.Choose()
+		var cost float64
+		if call < 500 {
+			cost = []float64{2, 6}[a]
+		} else {
+			cost = []float64{6, 2}[a]
+		}
+		ch.Observe(a, 100, cost*100)
+	}
+	if ch.Choose() != 0 {
+		t.Error("eps-first should still be stuck on the early winner")
+	}
+}
+
+func TestEpsFirstMinimumExploration(t *testing.T) {
+	ch := NewEpsFirst(8, 0.0, 100, rand.New(rand.NewSource(5)))
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		a := ch.Choose()
+		seen[a] = true
+		ch.Observe(a, 1, float64(a))
+	}
+	if len(seen) != 8 {
+		t.Errorf("exploration must cover all arms at least once, got %d", len(seen))
+	}
+}
+
+func TestEpsDecreasingExploresLessOverTime(t *testing.T) {
+	ch := NewEpsDecreasing(2, 5.0, rand.New(rand.NewSource(6)))
+	early, late := 0, 0
+	for call := 0; call < 4000; call++ {
+		a := ch.Choose()
+		cost := []float64{2, 8}[a]
+		ch.Observe(a, 100, cost*100)
+		if a == 1 { // suboptimal choice = exploration
+			if call < 200 {
+				early++
+			}
+			if call >= 3800 {
+				late++
+			}
+		}
+	}
+	if late >= early {
+		t.Errorf("exploration should decay: early=%d late=%d", early, late)
+	}
+	if ch.Name() != "eps-decreasing" {
+		t.Error("name wrong")
+	}
+}
+
+func TestArmMeansBest(t *testing.T) {
+	m := newArmMeans(3)
+	m.observe(0, 100, 500) // 5/tuple
+	m.observe(1, 100, 200) // 2/tuple
+	m.observe(2, 100, 900) // 9/tuple
+	if m.best() != 1 {
+		t.Errorf("best = %d, want 1", m.best())
+	}
+	// Unobserved arms take priority.
+	m2 := newArmMeans(2)
+	m2.observe(0, 100, 1)
+	if m2.best() != 1 {
+		t.Error("unobserved arm should be tried first")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"microadapt/internal/aph"
+	"microadapt/internal/hw"
+)
+
+// FlavorStats aggregates the profiling of one flavor within one instance.
+type FlavorStats struct {
+	Calls  int
+	Tuples int64
+	Cycles float64
+}
+
+// CyclesPerTuple returns the flavor's mean cost within the instance.
+func (s FlavorStats) CyclesPerTuple() float64 {
+	if s.Tuples == 0 {
+		return 0
+	}
+	return s.Cycles / float64(s.Tuples)
+}
+
+// Instance is a primitive instance: one occurrence of a primitive function
+// in a query plan (§1.1 "Primitive Instances"). Different instances of the
+// same primitive process different data streams, so each carries its own
+// profiling state, Approximated Performance History, flavor chooser, and
+// virtual-hardware state (its branch predictor site).
+type Instance struct {
+	Prim  *Primitive
+	Label string // plan-unique name, e.g. "Q12/select_>=_sint_col_sint_val#1"
+
+	chooser Chooser
+	hist    *aph.History
+
+	// Classical profiling (totals).
+	Calls    int
+	Tuples   int64
+	Cycles   float64
+	Produced int64 // output tuples (selection primitives: qualifying tuples)
+
+	// Per-flavor profiling.
+	PerFlavor []FlavorStats
+
+	// Pred is the branch predictor state of this instance's data-
+	// dependent branch site, shared across flavors (it is the same
+	// branch in all builds).
+	Pred hw.BranchPredictor
+
+	// LastArm is the flavor used by the most recent call.
+	LastArm int
+}
+
+// NewInstance builds an instance of prim using the given chooser. The
+// chooser must have been constructed for len(prim.Flavors) arms.
+func NewInstance(prim *Primitive, label string, chooser Chooser) *Instance {
+	return &Instance{
+		Prim:      prim,
+		Label:     label,
+		chooser:   chooser,
+		hist:      aph.New(),
+		PerFlavor: make([]FlavorStats, len(prim.Flavors)),
+	}
+}
+
+// Chooser exposes the instance's policy.
+func (inst *Instance) Chooser() Chooser { return inst.chooser }
+
+// History returns the instance's Approximated Performance History.
+func (inst *Instance) History() *aph.History { return inst.hist }
+
+// CyclesPerTuple returns the instance's overall mean cost.
+func (inst *Instance) CyclesPerTuple() float64 {
+	if inst.Tuples == 0 {
+		return 0
+	}
+	return inst.Cycles / float64(inst.Tuples)
+}
+
+// Run executes one call of the instance: it asks the chooser for a flavor,
+// invokes it, and feeds the observed (tuples, cycles) back into the
+// chooser, the APH and the profiling counters. It returns the number of
+// produced tuples.
+func (inst *Instance) Run(ctx *ExecCtx, c *Call) int {
+	c.Inst = inst
+	arm := 0
+	if len(inst.Prim.Flavors) > 1 {
+		if cc, ok := inst.chooser.(ContextChooser); ok {
+			arm = cc.ChooseCtx(inst, c)
+		} else {
+			arm = inst.chooser.Choose()
+		}
+	}
+	fl := inst.Prim.Flavors[arm]
+	produced, cycles := fl.Fn(ctx, c)
+
+	tuples := c.Live()
+	inst.LastArm = arm
+	inst.Calls++
+	inst.Tuples += int64(tuples)
+	inst.Cycles += cycles
+	inst.Produced += int64(produced)
+	fs := &inst.PerFlavor[arm]
+	fs.Calls++
+	fs.Tuples += int64(tuples)
+	fs.Cycles += cycles
+	inst.hist.Add(tuples, cycles)
+	inst.chooser.Observe(arm, tuples, cycles)
+	ctx.PrimCycles += cycles
+	return produced
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"microadapt/internal/hw"
+)
+
+// ChooserFactory builds a fresh Chooser for an instance with n flavors.
+type ChooserFactory func(n int) Chooser
+
+// Session ties together everything a query execution needs: the primitive
+// dictionary, the machine profile (virtual hardware), the flavor-selection
+// policy, and the registry of primitive instances created by plans, from
+// which the experiment harness reads profiling and histories after a run.
+type Session struct {
+	Dict       *Dictionary
+	Machine    *hw.Machine
+	VectorSize int
+	Ctx        *ExecCtx
+	Rand       *rand.Rand
+
+	newChooser ChooserFactory
+	instances  []*Instance
+	byLabel    map[string]*Instance
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// WithVectorSize sets the tuples-per-vector of the session (default 1024).
+func WithVectorSize(n int) SessionOption {
+	return func(s *Session) { s.VectorSize = n }
+}
+
+// WithChooser sets the flavor-selection policy factory. The default is
+// vw-greedy with the paper's best parameters (1024, 8, 2).
+func WithChooser(f ChooserFactory) SessionOption {
+	return func(s *Session) { s.newChooser = f }
+}
+
+// WithSeed sets the session's deterministic random seed (default 1).
+func WithSeed(seed int64) SessionOption {
+	return func(s *Session) { s.Rand = rand.New(rand.NewSource(seed)) }
+}
+
+// NewSession builds a session on the given machine profile.
+func NewSession(dict *Dictionary, m *hw.Machine, opts ...SessionOption) *Session {
+	s := &Session{
+		Dict:       dict,
+		Machine:    m,
+		VectorSize: 1024,
+		Ctx:        NewExecCtx(m),
+		Rand:       rand.New(rand.NewSource(1)),
+		byLabel:    make(map[string]*Instance),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.newChooser == nil {
+		p := DefaultVWParams()
+		s.newChooser = func(n int) Chooser { return NewVWGreedy(n, p, s.Rand) }
+	}
+	return s
+}
+
+// Instance returns the instance registered under label, creating it (bound
+// to the signature's flavors and a fresh chooser) on first use. Each plan
+// node uses a distinct label, so two uses of the same primitive in a plan
+// learn independently, as in the paper.
+func (s *Session) Instance(sig, label string) *Instance {
+	if inst, ok := s.byLabel[label]; ok {
+		return inst
+	}
+	prim := s.Dict.MustLookup(sig)
+	if len(prim.Flavors) == 0 {
+		panic("core: primitive has no flavors: " + sig)
+	}
+	inst := NewInstance(prim, label, s.newChooser(len(prim.Flavors)))
+	s.instances = append(s.instances, inst)
+	s.byLabel[label] = inst
+	return inst
+}
+
+// Instances returns all instances created so far, in creation order.
+func (s *Session) Instances() []*Instance { return s.instances }
+
+// InstanceByLabel returns a registered instance or nil.
+func (s *Session) InstanceByLabel(label string) *Instance { return s.byLabel[label] }
+
+// FindInstances returns the labels of instances whose label contains
+// substr, sorted — a convenience for the experiment harness.
+func (s *Session) FindInstances(substr string) []*Instance {
+	var out []*Instance
+	for _, inst := range s.instances {
+		if substr == "" || strings.Contains(inst.Label, substr) {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// ResetInstances drops all instances and their profiling but keeps the
+// dictionary and machine; used between benchmark repetitions.
+func (s *Session) ResetInstances() {
+	s.instances = nil
+	s.byLabel = make(map[string]*Instance)
+	s.Ctx.ResetCycles()
+}

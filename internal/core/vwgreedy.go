@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VWParams are the three tuning knobs of vw-greedy (§3.2). The algorithm
+// assumes ExplorePeriod > ExploitPeriod and both are multiples of
+// ExploreLength. In Vectorwise all three are powers of two so the phase
+// tests compile to mask operations.
+type VWParams struct {
+	// ExplorePeriod: an exploration phase starts every this many calls.
+	ExplorePeriod int
+	// ExploitPeriod: between explorations, the best flavor is re-chosen
+	// every this many calls (this is also how quickly deterioration of
+	// the current best flavor is detected).
+	ExploitPeriod int
+	// ExploreLength: how many calls a randomly chosen exploration flavor
+	// is kept.
+	ExploreLength int
+	// WarmupSkip: measurement windows ignore this many leading calls to
+	// avoid charging instruction-cache misses to the flavor (the paper
+	// uses 2).
+	WarmupSkip int
+	// InitialSweep: test every flavor once for ExploreLength calls at
+	// query start — the extension the trace simulation of Table 5
+	// prompted the authors to add.
+	InitialSweep bool
+}
+
+// DefaultVWParams returns the parameters the trace study of Table 5 found
+// best: (EXPLORE_PERIOD, EXPLOIT_PERIOD, EXPLORE_LENGTH) = (1024, 8, 2).
+func DefaultVWParams() VWParams {
+	return VWParams{ExplorePeriod: 1024, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 2, InitialSweep: true}
+}
+
+// DemoVWParams returns the parameters of the Figure 10 demonstration:
+// (1024, 256, 32).
+func DemoVWParams() VWParams {
+	return VWParams{ExplorePeriod: 1024, ExploitPeriod: 256, ExploreLength: 32, WarmupSkip: 2, InitialSweep: true}
+}
+
+// Scaled returns the parameters divided by f (minimum 1 each), used when a
+// workload has far fewer primitive calls than the paper's SF-100 runs.
+func (p VWParams) Scaled(f int) VWParams {
+	div := func(v int) int {
+		v /= f
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p.ExplorePeriod = div(p.ExplorePeriod)
+	p.ExploitPeriod = div(p.ExploitPeriod)
+	if p.ExploitPeriod > p.ExplorePeriod {
+		p.ExploitPeriod = p.ExplorePeriod
+	}
+	if p.ExploreLength > p.ExploitPeriod {
+		p.ExploreLength = p.ExploitPeriod
+	}
+	if p.ExploreLength < 1 {
+		p.ExploreLength = 1
+	}
+	return p
+}
+
+// VWGreedy is the vw-greedy algorithm of Listing 8: ε-greedy restructured
+// for non-stationary rewards by (1) alternating exploration and
+// exploitation in a deterministic pattern and (2) ranking flavors by the
+// mean cost of their most recent measurement window only, instead of an
+// all-history mean.
+type VWGreedy struct {
+	p   VWParams
+	n   int
+	rng *rand.Rand
+
+	cur   int // flavor in use
+	calls int // total calls observed
+
+	// Cumulative profiling counters (classical Vectorwise profiling).
+	totTuples int64
+	totCycles float64
+
+	// Measurement window state, mirroring Listing 8.
+	calcStart   int
+	calcEnd     int
+	nextExplore int
+	prevTuples  int64
+	prevCycles  float64
+
+	// Knowledge: last measured average cost per flavor.
+	avgCost  []float64
+	measured []bool
+
+	sweepNext int // next arm of the initial sweep; >= n when done
+}
+
+// NewVWGreedy builds a vw-greedy chooser over n flavors.
+func NewVWGreedy(n int, p VWParams, rng *rand.Rand) *VWGreedy {
+	if p.ExplorePeriod < 1 {
+		p = DefaultVWParams()
+	}
+	if p.ExploitPeriod < 1 {
+		p.ExploitPeriod = 1
+	}
+	if p.ExploreLength < 1 {
+		p.ExploreLength = 1
+	}
+	if p.WarmupSkip < 0 {
+		p.WarmupSkip = 0
+	}
+	v := &VWGreedy{
+		p:        p,
+		n:        n,
+		rng:      rng,
+		avgCost:  make([]float64, n),
+		measured: make([]bool, n),
+	}
+	for i := range v.avgCost {
+		v.avgCost[i] = math.Inf(1)
+	}
+	v.cur = 0
+	v.sweepNext = 1
+	if !p.InitialSweep {
+		v.sweepNext = n
+	}
+	v.nextExplore = p.ExplorePeriod
+	v.calcStart = v.warmup()
+	v.calcEnd = v.calcStart + p.ExploreLength
+	return v
+}
+
+func (v *VWGreedy) warmup() int {
+	w := v.p.WarmupSkip
+	if w >= v.p.ExploreLength {
+		w = v.p.ExploreLength - 1
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// Name implements Chooser.
+func (v *VWGreedy) Name() string { return "vw-greedy" }
+
+// Params returns the active parameters.
+func (v *VWGreedy) Params() VWParams { return v.p }
+
+// Current returns the flavor currently in use (for tests/telemetry).
+func (v *VWGreedy) Current() int { return v.cur }
+
+// AvgCost returns the last windowed average cost of an arm (+Inf when the
+// arm has not been measured yet).
+func (v *VWGreedy) AvgCost(arm int) float64 { return v.avgCost[arm] }
+
+// Choose implements Chooser: vw-greedy switches flavors only at phase
+// boundaries, handled in Observe, so Choose just returns the current one.
+func (v *VWGreedy) Choose() int { return v.cur }
+
+// Observe implements Chooser. It is a faithful port of the vw-greedy
+// function of Listing 8, extended with the initial sweep.
+func (v *VWGreedy) Observe(arm, tuples int, cycles float64) {
+	// Classical primitive profiling.
+	v.totCycles += cycles
+	v.totTuples += int64(tuples)
+	v.calls++
+
+	if v.calls == v.calcEnd {
+		// Average cost of the flavor over the window just completed.
+		dt := v.totTuples - v.prevTuples
+		if dt > 0 {
+			v.avgCost[v.cur] = (v.totCycles - v.prevCycles) / float64(dt)
+			v.measured[v.cur] = true
+		}
+
+		var phaseLen int
+		switch {
+		case v.sweepNext < v.n:
+			// Initial exploration: test every available flavor once.
+			v.cur = v.sweepNext
+			v.sweepNext++
+			phaseLen = v.p.ExploreLength
+		case v.calls > v.nextExplore:
+			// Perform exploration.
+			v.nextExplore += v.p.ExplorePeriod
+			v.cur = v.rng.Intn(v.n)
+			phaseLen = v.p.ExploreLength
+		default:
+			// Perform exploitation.
+			v.cur = v.best()
+			phaseLen = v.p.ExploitPeriod
+		}
+
+		// Ignore the first WarmupSkip calls of the new phase to avoid
+		// measuring instruction-cache misses.
+		v.calcStart = v.calls + v.warmup()
+		v.calcEnd = v.calcStart + phaseLen
+	}
+	if v.calls == v.calcStart {
+		v.prevTuples = v.totTuples
+		v.prevCycles = v.totCycles
+	}
+}
+
+// best returns the flavor with the lowest windowed average cost; arms that
+// were never measured lose to any measured arm, and the current arm wins
+// ties so the algorithm does not churn.
+func (v *VWGreedy) best() int {
+	best := v.cur
+	bestCost := v.avgCost[v.cur]
+	for i := 0; i < v.n; i++ {
+		if v.avgCost[i] < bestCost {
+			best, bestCost = i, v.avgCost[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simulate feeds a cost function through a chooser and returns the arm
+// sequence and mean achieved cost; costs[arm](call) gives cycles/tuple.
+func simulate(ch Chooser, calls int, cost func(arm, call int) float64) (armUse []int, total float64) {
+	nArms := 0
+	switch c := ch.(type) {
+	case *VWGreedy:
+		nArms = c.n
+	}
+	_ = nArms
+	armUse = make([]int, 16)
+	for t := 0; t < calls; t++ {
+		arm := ch.Choose()
+		c := cost(arm, t)
+		ch.Observe(arm, 100, c*100)
+		armUse[arm]++
+		total += c
+	}
+	return armUse, total
+}
+
+func TestVWGreedyConvergesToBestArm(t *testing.T) {
+	p := VWParams{ExplorePeriod: 64, ExploitPeriod: 8, ExploreLength: 4, WarmupSkip: 2, InitialSweep: true}
+	ch := NewVWGreedy(3, p, rand.New(rand.NewSource(1)))
+	use, _ := simulate(ch, 4096, func(arm, call int) float64 {
+		return []float64{5, 3, 9}[arm] // arm 1 is always best
+	})
+	if use[1] < 3500 {
+		t.Errorf("best arm used %d/4096 times, want dominant", use[1])
+	}
+}
+
+// TestVWGreedyAdaptsToChange is the non-stationary scenario of Figure 10:
+// the best arm changes mid-query and vw-greedy must switch.
+func TestVWGreedyAdaptsToChange(t *testing.T) {
+	p := VWParams{ExplorePeriod: 128, ExploitPeriod: 8, ExploreLength: 4, WarmupSkip: 2, InitialSweep: true}
+	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(2)))
+	half := 4096
+	costFn := func(arm, call int) float64 {
+		if call < half {
+			return []float64{3, 6}[arm]
+		}
+		return []float64{6, 3}[arm]
+	}
+	lateUse := make([]int, 2)
+	for call := 0; call < 2*half; call++ {
+		arm := ch.Choose()
+		c := costFn(arm, call)
+		ch.Observe(arm, 100, c*100)
+		if call >= half+512 { // allow switching time
+			lateUse[arm]++
+		}
+	}
+	if lateUse[1] < lateUse[0]*3 {
+		t.Errorf("after the change arm1 should dominate: use = %v", lateUse)
+	}
+}
+
+// TestVWGreedyDetectsDeteriorationFast mirrors the paper's observation on
+// Figure 11(a): deterioration of the current best flavor is noticed within
+// EXPLOIT_PERIOD calls, while discovering an improved alternative takes
+// EXPLORE_PERIOD calls.
+func TestVWGreedyDetectsDeteriorationFast(t *testing.T) {
+	p := VWParams{ExplorePeriod: 1024, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 2, InitialSweep: true}
+	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(3)))
+	// Warm up on arm 0 best.
+	for call := 0; call < 512; call++ {
+		arm := ch.Choose()
+		c := []float64{2, 4}[arm]
+		ch.Observe(arm, 100, c*100)
+	}
+	if ch.Current() != 0 {
+		t.Fatalf("expected arm 0 before the change, got %d", ch.Current())
+	}
+	// Arm 0 deteriorates hard (the Figure 2 branching collapse).
+	switched := -1
+	for call := 0; call < 256; call++ {
+		arm := ch.Choose()
+		c := []float64{40, 4}[arm]
+		ch.Observe(arm, 100, c*100)
+		if arm == 1 && switched < 0 {
+			switched = call
+		}
+	}
+	if switched < 0 {
+		t.Fatal("never switched away from deteriorated flavor")
+	}
+	if switched > 4*p.ExploitPeriod+8 {
+		t.Errorf("switch took %d calls, want within a few exploit periods", switched)
+	}
+}
+
+func TestVWGreedyInitialSweepTriesAllArms(t *testing.T) {
+	p := VWParams{ExplorePeriod: 1024, ExploitPeriod: 8, ExploreLength: 4, WarmupSkip: 2, InitialSweep: true}
+	ch := NewVWGreedy(5, p, rand.New(rand.NewSource(4)))
+	seen := make(map[int]bool)
+	for call := 0; call < 5*(4+2)+8; call++ {
+		arm := ch.Choose()
+		seen[arm] = true
+		ch.Observe(arm, 10, 10)
+	}
+	for a := 0; a < 5; a++ {
+		if !seen[a] {
+			t.Errorf("initial sweep never tried arm %d", a)
+		}
+	}
+}
+
+func TestVWGreedyNoSweepStartsExploiting(t *testing.T) {
+	p := VWParams{ExplorePeriod: 64, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: false}
+	ch := NewVWGreedy(3, p, rand.New(rand.NewSource(5)))
+	if ch.Current() != 0 {
+		t.Error("without a sweep the first arm should be 0")
+	}
+	use, _ := simulate(ch, 1024, func(arm, call int) float64 { return float64(arm + 1) })
+	if use[0] < 700 {
+		t.Errorf("arm 0 (best) used %d times, want dominant", use[0])
+	}
+}
+
+func TestVWGreedyWindowedMeanIgnoresAncientHistory(t *testing.T) {
+	// An arm that was terrible long ago but is good now must be picked:
+	// vw-greedy ranks by the most recent window only.
+	p := VWParams{ExplorePeriod: 32, ExploitPeriod: 8, ExploreLength: 4, WarmupSkip: 0, InitialSweep: true}
+	vw := NewVWGreedy(2, p, rand.New(rand.NewSource(6)))
+	eps := NewEpsGreedy(2, 0.05, rand.New(rand.NewSource(6)))
+	cost := func(arm, call int) float64 {
+		if call < 2000 {
+			return []float64{2, 50}[arm] // arm 1 catastrophic early
+		}
+		return []float64{10, 1}[arm] // arm 1 great late
+	}
+	lateVW, lateEps := 0, 0
+	for call := 0; call < 8000; call++ {
+		a := vw.Choose()
+		c := cost(a, call)
+		vw.Observe(a, 100, c*100)
+		if call > 4000 && a == 1 {
+			lateVW++
+		}
+		a = eps.Choose()
+		c = cost(a, call)
+		eps.Observe(a, 100, c*100)
+		if call > 4000 && a == 1 {
+			lateEps++
+		}
+	}
+	if lateVW < 3000 {
+		t.Errorf("vw-greedy late arm1 use = %d/4000, want dominant", lateVW)
+	}
+	// The all-history mean of ε-greedy needs far longer to forgive arm 1;
+	// this is the ablation argument for the windowed mean.
+	if lateEps > lateVW {
+		t.Errorf("eps-greedy (%d) should adapt slower than vw-greedy (%d)", lateEps, lateVW)
+	}
+}
+
+func TestVWGreedyDefaultParams(t *testing.T) {
+	p := DefaultVWParams()
+	if p.ExplorePeriod != 1024 || p.ExploitPeriod != 8 || p.ExploreLength != 2 {
+		t.Errorf("default params = %+v, want (1024,8,2)", p)
+	}
+	d := DemoVWParams()
+	if d.ExplorePeriod != 1024 || d.ExploitPeriod != 256 || d.ExploreLength != 32 {
+		t.Errorf("demo params = %+v, want (1024,256,32)", d)
+	}
+}
+
+func TestVWParamsScaled(t *testing.T) {
+	p := DefaultVWParams().Scaled(8)
+	if p.ExplorePeriod != 128 || p.ExploitPeriod != 1 || p.ExploreLength != 1 {
+		t.Errorf("scaled params = %+v", p)
+	}
+	// Scaling preserves the ordering invariants.
+	if p.ExploitPeriod > p.ExplorePeriod || p.ExploreLength > p.ExploitPeriod {
+		t.Errorf("scaled params violate invariants: %+v", p)
+	}
+}
+
+func TestVWGreedyAvgCostExposed(t *testing.T) {
+	p := VWParams{ExplorePeriod: 16, ExploitPeriod: 4, ExploreLength: 4, WarmupSkip: 0, InitialSweep: true}
+	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(7)))
+	if !math.IsInf(ch.AvgCost(0), 1) {
+		t.Error("unmeasured arm cost should be +Inf")
+	}
+	simulate(ch, 64, func(arm, call int) float64 { return float64(arm*2 + 3) })
+	if ch.AvgCost(0) <= 0 || math.IsInf(ch.AvgCost(0), 1) {
+		t.Error("arm 0 should have a measured cost")
+	}
+	if ch.Name() != "vw-greedy" {
+		t.Error("name wrong")
+	}
+	if ch.Params().ExplorePeriod != 16 {
+		t.Error("params accessor wrong")
+	}
+}
+
+func TestVWGreedyZeroTupleWindows(t *testing.T) {
+	// Windows with zero tuples (empty selections) must not poison the
+	// averages with NaN.
+	p := VWParams{ExplorePeriod: 16, ExploitPeriod: 4, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
+	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(8)))
+	for call := 0; call < 256; call++ {
+		arm := ch.Choose()
+		ch.Observe(arm, 0, 50) // only call overhead, no tuples
+	}
+	for a := 0; a < 2; a++ {
+		if math.IsNaN(ch.AvgCost(a)) {
+			t.Errorf("arm %d cost is NaN", a)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/expr"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/vector"
+)
+
+// benchTable builds a 64K-row two-column table.
+func benchTable() *Table {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(3))
+	a := make([]int32, n)
+	v := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(rng.Intn(1000))
+		v[i] = int64(rng.Intn(100_000))
+	}
+	return NewTable("bench",
+		vector.Schema{{Name: "a", Type: vector.I32}, {Name: "v", Type: vector.I64}},
+		[]*vector.Vector{vector.FromI32(a), vector.FromI64(v)})
+}
+
+func benchEngSession() *core.Session {
+	return core.NewSession(primitive.NewDictionary(primitive.Everything()),
+		hw.Machine1(), core.WithVectorSize(1024), core.WithSeed(4))
+}
+
+// BenchmarkPipelineScanSelectAggAdaptive measures end-to-end operator
+// throughput with vw-greedy flavor selection active on every primitive.
+func BenchmarkPipelineScanSelectAggAdaptive(b *testing.B) {
+	tab := benchTable()
+	b.SetBytes(int64(tab.Rows() * 12))
+	for i := 0; i < b.N; i++ {
+		s := benchEngSession()
+		sel := NewSelect(s, NewScan(s, tab), "b", CmpVal(0, "<", 500))
+		proj := NewProject(s, sel, "p",
+			ProjExpr{Name: "x", Expr: expr.Mul(&expr.Col{Idx: 1}, &expr.ConstI64{V: 3})})
+		agg := NewHashAgg(s, proj, "a", nil, Agg(AggSum, 0, "s"))
+		if _, err := Materialize(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineHashJoin(b *testing.B) {
+	tab := benchTable()
+	build := NewTable("b",
+		vector.Schema{{Name: "k", Type: vector.I32}, {Name: "p", Type: vector.I64}},
+		[]*vector.Vector{
+			vector.FromI32(seq(1000)),
+			vector.FromI64(seq64(1000)),
+		})
+	b.SetBytes(int64(tab.Rows() * 12))
+	for i := 0; i < b.N; i++ {
+		s := benchEngSession()
+		j := NewHashJoin(s, NewScan(s, build), NewScan(s, tab), "j", "k", "a",
+			[]string{"p"}, WithBloom(8))
+		if _, err := Materialize(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seq(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func seq64(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i * 7)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"microadapt/internal/bloom"
+	"microadapt/internal/core"
+	"microadapt/internal/primitive"
+	"microadapt/internal/vector"
+)
+
+// JoinKind selects hash-join semantics.
+type JoinKind int
+
+const (
+	// InnerJoin emits probe tuples with matching build payload columns.
+	InnerJoin JoinKind = iota
+	// SemiJoin emits probe tuples that have a match (no build columns).
+	SemiJoin
+	// AntiJoin emits probe tuples without a match (no build columns).
+	AntiJoin
+)
+
+// HashJoin joins a probe stream against a materialized build side on
+// single integer key columns with unique build keys (the PK side of a
+// PK-FK join, which is every hash join in our TPC-H plans). Probing is
+// fully vectorized: an optional bloom-filter pre-filter (the loop-fission
+// primitive of Table 8 / Figure 11d), a hash-table lookup primitive, and
+// one fetch primitive per payload column.
+type HashJoin struct {
+	sess     *core.Session
+	build    Operator
+	probe    Operator
+	label    string
+	kind     JoinKind
+	buildKey string // key column name on build side
+	probeKey string // key column name on probe side
+	payload  []string
+	useBloom bool
+	bitsPer  int
+
+	sch        vector.Schema
+	buildTab   *Table
+	joinTab    *primitive.JoinTable
+	filter     *bloom.Filter
+	bloomInst  *core.Instance
+	lookupInst *core.Instance
+	fetchInsts []*core.Instance
+	payloadIdx []int
+
+	keyScratch *vector.Vector
+	rowScratch *vector.Vector
+	selA, selB []int32
+}
+
+// HashJoinOption configures a HashJoin.
+type HashJoinOption func(*HashJoin)
+
+// WithBloom enables the bloom-filter pre-filter with the given bits per
+// build key (8 is typical).
+func WithBloom(bitsPerKey int) HashJoinOption {
+	return func(h *HashJoin) {
+		h.useBloom = true
+		h.bitsPer = bitsPerKey
+	}
+}
+
+// WithKind sets the join semantics (default InnerJoin).
+func WithKind(k JoinKind) HashJoinOption {
+	return func(h *HashJoin) { h.kind = k }
+}
+
+// NewHashJoin builds a hash join. payload names build-side columns to
+// append to the probe schema (inner joins only).
+func NewHashJoin(sess *core.Session, build, probe Operator, label, buildKey, probeKey string, payload []string, opts ...HashJoinOption) *HashJoin {
+	h := &HashJoin{
+		sess: sess, build: build, probe: probe, label: label,
+		buildKey: buildKey, probeKey: probeKey, payload: payload,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Schema implements Operator: probe columns, then payload columns.
+func (h *HashJoin) Schema() vector.Schema {
+	if h.sch != nil {
+		return h.sch
+	}
+	h.sch = append(h.sch, h.probe.Schema()...)
+	if h.kind == InnerJoin {
+		bs := h.build.Schema()
+		for _, name := range h.payload {
+			h.sch = append(h.sch, bs[bs.MustIndexOf(name)])
+		}
+	}
+	return h.sch
+}
+
+// Open implements Operator: drains and indexes the build side.
+// (Materialize opens and closes the build child.)
+func (h *HashJoin) Open() error {
+	tab, err := Materialize(h.build)
+	if err != nil {
+		return err
+	}
+	h.buildTab = tab
+
+	keyCol := tab.Col(h.buildKey)
+	keys := make([]int64, tab.Rows())
+	kv := vector.FromI64(keys)
+	primitive.WidenToI64(keyCol, nil, tab.Rows(), kv)
+	h.joinTab = primitive.NewJoinTable(keys)
+	// Build-side indexing is operator work, not a studied primitive.
+	chargeOp(h.sess, 8*float64(tab.Rows()))
+
+	if h.useBloom {
+		bits := h.bitsPer
+		if bits <= 0 {
+			bits = 8
+		}
+		h.filter = bloom.New(tab.Rows()*bits/8, 2)
+		for _, k := range keys {
+			h.filter.Add(k)
+		}
+		chargeOp(h.sess, 6*float64(tab.Rows()))
+		h.bloomInst = h.sess.Instance("sel_bloomfilter_slng_col", h.label+"/sel_bloomfilter_slng_col#0")
+	}
+	sig := "sel_htlookup_slng_col"
+	if h.kind == AntiJoin {
+		sig = "sel_htmiss_slng_col"
+	}
+	h.lookupInst = h.sess.Instance(sig, h.label+"/"+sig+"#0")
+
+	if h.kind == InnerJoin {
+		h.fetchInsts = make([]*core.Instance, len(h.payload))
+		h.payloadIdx = make([]int, len(h.payload))
+		for i, name := range h.payload {
+			idx := tab.Sch.MustIndexOf(name)
+			h.payloadIdx[i] = idx
+			fsig := primitive.FetchSig(tab.Sch[idx].Type)
+			h.fetchInsts[i] = h.sess.Instance(fsig, labelf("%s/%s#%d", h.label, fsig, i))
+		}
+	}
+
+	vs := h.sess.VectorSize
+	h.keyScratch = vector.New(vector.I64, vs)
+	h.rowScratch = vector.New(vector.I32, vs)
+	h.selA = make([]int32, vs)
+	h.selB = make([]int32, vs)
+	return h.probe.Open()
+}
+
+// Next implements Operator. Empty probe batches pass through without any
+// primitive calls.
+func (h *HashJoin) Next() (*vector.Batch, error) {
+	b, err := h.probe.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if b.Live() == 0 {
+		cols := make([]*vector.Vector, 0, len(h.Schema()))
+		cols = append(cols, b.Cols...)
+		if h.kind == InnerJoin {
+			for _, idx := range h.payloadIdx {
+				cols = append(cols, vector.New(h.buildTab.Sch[idx].Type, 0))
+			}
+		}
+		chargeOp(h.sess, perBatchOverhead)
+		return &vector.Batch{N: b.N, Sel: []int32{}, Cols: cols}, nil
+	}
+	probeSch := h.probe.Schema()
+	keyIdx := probeSch.MustIndexOf(h.probeKey)
+	primitive.WidenToI64(b.Cols[keyIdx], b.Sel, b.N, h.keyScratch)
+
+	sel := b.Sel
+	if h.filter != nil {
+		call := &core.Call{N: b.N, Sel: sel, In: []*vector.Vector{h.keyScratch}, SelOut: h.selA, Aux: h.filter}
+		k := h.bloomInst.Run(h.sess.Ctx, call)
+		sel = h.selA[:k]
+	}
+	call := &core.Call{N: b.N, Sel: sel, In: []*vector.Vector{h.keyScratch}, SelOut: h.selB, Res: h.rowScratch, Aux: h.joinTab}
+	k := h.lookupInst.Run(h.sess.Ctx, call)
+	outSel := make([]int32, k)
+	copy(outSel, h.selB[:k])
+
+	cols := make([]*vector.Vector, 0, len(h.Schema()))
+	cols = append(cols, b.Cols...)
+	if h.kind == InnerJoin {
+		for i, idx := range h.payloadIdx {
+			src := h.buildTab.Cols[idx]
+			res := vector.New(src.Type(), b.N)
+			res.SetLen(b.N)
+			fc := &core.Call{N: b.N, Sel: outSel, In: []*vector.Vector{h.rowScratch, src}, Res: res}
+			h.fetchInsts[i].Run(h.sess.Ctx, fc)
+			cols = append(cols, res)
+		}
+	}
+	chargeOp(h.sess, perBatchOverhead)
+	return &vector.Batch{N: b.N, Sel: outSel, Cols: cols}, nil
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() { h.probe.Close() }

@@ -1,0 +1,72 @@
+// Package engine is the vectorized query executor: pull-based relational
+// operators (Scan, Select, Project, HashAgg, HashJoin, MergeJoin, Sort,
+// TopN, Limit) that move vector.Batch slices of ~1000 tuples and do all
+// data-path work through the adaptive primitive instances of a
+// core.Session, exactly separating control logic (operators) from data
+// processing logic (primitives) as described in §1 of the paper.
+package engine
+
+import (
+	"fmt"
+
+	"microadapt/internal/core"
+	"microadapt/internal/vector"
+)
+
+// Operator is a vectorized physical operator. Usage: Open, then Next until
+// it returns nil, then Close.
+type Operator interface {
+	// Schema describes the batches this operator produces.
+	Schema() vector.Schema
+	// Open prepares the operator (and its children) for execution.
+	Open() error
+	// Next returns the next batch or nil at end of stream. Returned
+	// batches may carry a selection vector.
+	Next() (*vector.Batch, error)
+	// Close releases resources; it must be called exactly once.
+	Close()
+}
+
+// perBatchOverhead is the control-logic cost an operator adds per batch —
+// the "execute stage outside primitives" sliver of Table 1.
+const perBatchOverhead = 24.0
+
+// chargeOp adds operator (non-primitive) execute-stage cycles.
+func chargeOp(s *core.Session, cycles float64) {
+	s.Ctx.OperatorCycles += cycles
+}
+
+// Run drains an operator, returning its batches compacted (selection
+// applied). It is the "postprocess" boundary of Table 1.
+func Run(op Operator) ([]*vector.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []*vector.Batch
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if b.Live() == 0 {
+			continue
+		}
+		out = append(out, b.Compact())
+	}
+}
+
+// RowCount sums the live tuples of batches.
+func RowCount(batches []*vector.Batch) int {
+	n := 0
+	for _, b := range batches {
+		n += b.Live()
+	}
+	return n
+}
+
+// labelf builds instance labels.
+func labelf(format string, args ...any) string { return fmt.Sprintf(format, args...) }

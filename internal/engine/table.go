@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+
+	"microadapt/internal/core"
+	"microadapt/internal/vector"
+)
+
+// Table is an in-memory column store relation: full-length column vectors
+// plus a schema. It is both the scan source and the materialization target.
+type Table struct {
+	Name   string
+	Sch    vector.Schema
+	Cols   []*vector.Vector
+	RowCnt int
+}
+
+// NewTable builds a table; all columns must have equal lengths.
+func NewTable(name string, sch vector.Schema, cols []*vector.Vector) *Table {
+	if len(sch) != len(cols) {
+		panic("engine.NewTable: schema/column count mismatch")
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+		for _, c := range cols[1:] {
+			if c.Len() != rows {
+				panic("engine.NewTable: column length mismatch in " + name)
+			}
+		}
+	}
+	return &Table{Name: name, Sch: sch, Cols: cols, RowCnt: rows}
+}
+
+// Rows returns the number of tuples.
+func (t *Table) Rows() int { return t.RowCnt }
+
+// Col returns the named column vector.
+func (t *Table) Col(name string) *vector.Vector { return t.Cols[t.Sch.MustIndexOf(name)] }
+
+// Project returns a table view with only the named columns (zero copy).
+func (t *Table) Project(names ...string) *Table {
+	sch := make(vector.Schema, len(names))
+	cols := make([]*vector.Vector, len(names))
+	for i, n := range names {
+		idx := t.Sch.MustIndexOf(n)
+		sch[i] = t.Sch[idx]
+		cols[i] = t.Cols[idx]
+	}
+	return NewTable(t.Name, sch, cols)
+}
+
+// Rename returns a view of the table with columns renamed per the map
+// (zero copy); names absent from the map are kept.
+func Rename(t *Table, names map[string]string) *Table {
+	sch := make(vector.Schema, len(t.Sch))
+	copy(sch, t.Sch)
+	for i := range sch {
+		if nn, ok := names[sch[i].Name]; ok {
+			sch[i].Name = nn
+		}
+	}
+	return NewTable(t.Name, sch, t.Cols)
+}
+
+// Scan streams a table in vector-size batches (zero-copy column slices).
+type Scan struct {
+	sess  *core.Session
+	table *Table
+	cols  []int // column indexes to produce; nil = all
+	sch   vector.Schema
+	pos   int
+}
+
+// NewScan builds a scan of the named columns (all columns when empty).
+func NewScan(sess *core.Session, t *Table, cols ...string) *Scan {
+	s := &Scan{sess: sess, table: t}
+	if len(cols) == 0 {
+		s.sch = t.Sch
+		for i := range t.Sch {
+			s.cols = append(s.cols, i)
+		}
+		return s
+	}
+	for _, name := range cols {
+		idx := t.Sch.MustIndexOf(name)
+		s.cols = append(s.cols, idx)
+		s.sch = append(s.sch, t.Sch[idx])
+	}
+	return s
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() vector.Schema { return s.sch }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*vector.Batch, error) {
+	if s.pos >= s.table.Rows() {
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + s.sess.VectorSize
+	if hi > s.table.Rows() {
+		hi = s.table.Rows()
+	}
+	s.pos = hi
+	cols := make([]*vector.Vector, len(s.cols))
+	for i, ci := range s.cols {
+		cols[i] = s.table.Cols[ci].Slice(lo, hi)
+	}
+	chargeOp(s.sess, perBatchOverhead)
+	return &vector.Batch{N: hi - lo, Cols: cols}, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() {}
+
+// Materialize drains an operator into a Table (selection applied).
+func Materialize(op Operator) (*Table, error) {
+	batches, err := Run(op)
+	if err != nil {
+		return nil, err
+	}
+	sch := op.Schema()
+	cols := make([]*vector.Vector, len(sch))
+	total := RowCount(batches)
+	for i, c := range sch {
+		cols[i] = vector.New(c.Type, total)
+		cols[i].SetLen(total)
+	}
+	row := 0
+	for _, b := range batches {
+		for ci := range sch {
+			src := b.Cols[ci]
+			dst := cols[ci]
+			n := b.Live()
+			switch sch[ci].Type {
+			case vector.I16:
+				copy(dst.I16()[row:row+n], src.I16()[:n])
+			case vector.I32:
+				copy(dst.I32()[row:row+n], src.I32()[:n])
+			case vector.I64:
+				copy(dst.I64()[row:row+n], src.I64()[:n])
+			case vector.F64:
+				copy(dst.F64()[row:row+n], src.F64()[:n])
+			case vector.Str:
+				copy(dst.Str()[row:row+n], src.Str()[:n])
+			}
+		}
+		row += b.Live()
+	}
+	return NewTable("materialized", sch, cols), nil
+}
+
+// TableString renders up to maxRows rows of a table for debugging and the
+// example programs.
+func TableString(t *Table, maxRows int) string {
+	out := ""
+	for i := range t.Sch {
+		if i > 0 {
+			out += "\t"
+		}
+		out += t.Sch[i].Name
+	}
+	out += "\n"
+	n := t.Rows()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for r := 0; r < n; r++ {
+		for i, c := range t.Cols {
+			if i > 0 {
+				out += "\t"
+			}
+			switch c.Type() {
+			case vector.I16, vector.I32, vector.I64:
+				out += fmt.Sprintf("%d", c.GetI64(r))
+			case vector.F64:
+				out += fmt.Sprintf("%.4f", c.GetF64(r))
+			case vector.Str:
+				out += c.GetStr(r)
+			}
+		}
+		out += "\n"
+	}
+	if t.Rows() > n {
+		out += fmt.Sprintf("... (%d rows total)\n", t.Rows())
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package expr is the vectorized expression evaluator: it recursively
+// evaluates expression trees over batches, calling map primitives through
+// per-node primitive instances. This is the component the paper modified to
+// host the learning algorithm — every Call node resolves its primitive in
+// the dictionary and lets the instance's chooser pick a flavor per call.
+package expr
+
+import (
+	"fmt"
+
+	"microadapt/internal/core"
+	"microadapt/internal/primitive"
+	"microadapt/internal/vector"
+)
+
+// Node is a typed expression over a batch's columns. Eval returns a vector
+// of length batch.N whose live positions (batch.Sel) hold the results;
+// positions outside the selection are undefined (Figure 7 left).
+type Node interface {
+	// Type returns the result type under the given input schema.
+	Type(s vector.Schema) vector.Type
+	// Eval computes the expression for the batch.
+	Eval(ev *Evaluator, b *vector.Batch) *vector.Vector
+}
+
+// Col references an input column by index.
+type Col struct{ Idx int }
+
+// Type implements Node.
+func (c *Col) Type(s vector.Schema) vector.Type { return s[c.Idx].Type }
+
+// Eval implements Node.
+func (c *Col) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector { return b.Cols[c.Idx] }
+
+// ConstI64 is an int64 literal.
+type ConstI64 struct{ V int64 }
+
+// Type implements Node.
+func (c *ConstI64) Type(vector.Schema) vector.Type { return vector.I64 }
+
+// Eval implements Node.
+func (c *ConstI64) Eval(*Evaluator, *vector.Batch) *vector.Vector { return vector.ConstI64(c.V) }
+
+// ConstI32 is an int32 literal.
+type ConstI32 struct{ V int32 }
+
+// Type implements Node.
+func (c *ConstI32) Type(vector.Schema) vector.Type { return vector.I32 }
+
+// Eval implements Node.
+func (c *ConstI32) Eval(*Evaluator, *vector.Batch) *vector.Vector { return vector.ConstI32(c.V) }
+
+// ConstF64 is a float64 literal.
+type ConstF64 struct{ V float64 }
+
+// Type implements Node.
+func (c *ConstF64) Type(vector.Schema) vector.Type { return vector.F64 }
+
+// Eval implements Node.
+func (c *ConstF64) Eval(*Evaluator, *vector.Batch) *vector.Vector { return vector.ConstF64(c.V) }
+
+// isConst reports whether a node is a literal (evaluates to a 1-tuple
+// vector used as a _val parameter).
+func isConst(n Node) bool {
+	switch n.(type) {
+	case *ConstI64, *ConstI32, *ConstF64:
+		return true
+	}
+	return false
+}
+
+// BinOp is an arithmetic expression (+, -, *, /) over operands of the same
+// numeric type; it maps to one primitive instance.
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+// Add returns l + r.
+func Add(l, r Node) *BinOp { return &BinOp{Op: "+", L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Node) *BinOp { return &BinOp{Op: "-", L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Node) *BinOp { return &BinOp{Op: "*", L: l, R: r} }
+
+// Div returns l / r.
+func Div(l, r Node) *BinOp { return &BinOp{Op: "/", L: l, R: r} }
+
+// Type implements Node.
+func (n *BinOp) Type(s vector.Schema) vector.Type { return n.L.Type(s) }
+
+// Eval implements Node.
+func (n *BinOp) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector {
+	t := n.Type(ev.Schema)
+	lv := n.L.Eval(ev, b)
+	rv := n.R.Eval(ev, b)
+	shape := "col_col"
+	switch {
+	case isConst(n.R):
+		shape = "col_val"
+	case isConst(n.L):
+		shape = "val_col"
+	}
+	sig := primitive.MapSig(n.Op, t, shape)
+	inst := ev.instance(n, sig)
+	res := ev.scratch(t, b.N)
+	call := &core.Call{N: b.N, Sel: b.Sel, In: []*vector.Vector{lv, rv}, Res: res}
+	inst.Run(ev.Sess.Ctx, call)
+	return res
+}
+
+// Widen converts an integer column to I64 (a cast map primitive in
+// Vectorwise; here a fixed-cost conversion outside the flavor sets).
+type Widen struct{ Child Node }
+
+// ToI64 widens an integer expression to 64 bits.
+func ToI64(n Node) Node { return &Widen{Child: n} }
+
+// Type implements Node.
+func (w *Widen) Type(vector.Schema) vector.Type { return vector.I64 }
+
+// Eval implements Node.
+func (w *Widen) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector {
+	in := w.Child.Eval(ev, b)
+	if in.Type() == vector.I64 {
+		return in
+	}
+	res := ev.scratch(vector.I64, b.N)
+	primitive.WidenToI64(in, b.Sel, b.N, res)
+	ev.Sess.Ctx.OperatorCycles += 0.5 * float64(b.Live())
+	return res
+}
+
+// CaseInStr evaluates to Then where the string column's value is in Values,
+// Else otherwise (the CASE expressions of TPC-H Q12/Q14). It is evaluated
+// in plain Go: CASE maps are not part of the paper's flavor sets.
+type CaseInStr struct {
+	Col        Node
+	Values     []string
+	Then, Else int64
+}
+
+// Type implements Node.
+func (n *CaseInStr) Type(vector.Schema) vector.Type { return vector.I64 }
+
+// Eval implements Node.
+func (n *CaseInStr) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector {
+	in := n.Col.Eval(ev, b).Str()
+	res := ev.scratch(vector.I64, b.N)
+	out := res.I64()
+	set := make(map[string]bool, len(n.Values))
+	for _, v := range n.Values {
+		set[v] = true
+	}
+	eval1 := func(i int32) {
+		if set[in[i]] {
+			out[i] = n.Then
+		} else {
+			out[i] = n.Else
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			eval1(i)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			eval1(int32(i))
+		}
+	}
+	res.SetLen(b.N)
+	ev.Sess.Ctx.OperatorCycles += 4 * float64(b.Live())
+	return res
+}
+
+// Evaluator evaluates expressions for one operator. It owns the primitive
+// instances of its expression nodes (one instance per node, labelled
+// uniquely within the query) and a small scratch-vector arena.
+type Evaluator struct {
+	Sess   *core.Session
+	Schema vector.Schema
+	Prefix string // label prefix, e.g. "Q1/project0"
+
+	insts  map[Node]*core.Instance
+	nextID int
+}
+
+// NewEvaluator builds an evaluator for the operator named by prefix.
+func NewEvaluator(sess *core.Session, schema vector.Schema, prefix string) *Evaluator {
+	return &Evaluator{Sess: sess, Schema: schema, Prefix: prefix, insts: make(map[Node]*core.Instance)}
+}
+
+// instance memoizes the primitive instance of an expression node.
+func (ev *Evaluator) instance(n Node, sig string) *core.Instance {
+	if inst, ok := ev.insts[n]; ok {
+		return inst
+	}
+	label := fmt.Sprintf("%s/%s#%d", ev.Prefix, sig, ev.nextID)
+	ev.nextID++
+	inst := ev.Sess.Instance(sig, label)
+	ev.insts[n] = inst
+	return inst
+}
+
+// scratch allocates a result vector. Vectors are small (vector-size), so a
+// fresh allocation per call keeps aliasing rules trivial; the virtual cost
+// model is unaffected.
+func (ev *Evaluator) scratch(t vector.Type, n int) *vector.Vector {
+	v := vector.New(t, n)
+	v.SetLen(n)
+	return v
+}

@@ -1,0 +1,156 @@
+// Package heuristics is the competing approach of §4.2: hard-coded
+// threshold rules that pick a flavor from call context, tuned to machine 1
+// (the paper's best case for heuristics). It selects
+//
+//   - no-branching selection between 10% and 90% observed selectivity,
+//   - full computation above 30% input selectivity,
+//   - loop fission when the bloom filter exceeds the machine's effective
+//     probe cache,
+//
+// and the default flavor everywhere else — notably for compiler and
+// hand-unrolling variation, where (as the paper notes) no sensible
+// heuristic exists.
+package heuristics
+
+import (
+	"microadapt/internal/bloom"
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// Thresholds are the tuning constants; Default() matches the paper's
+// prose, calibrated for machine 1.
+type Thresholds struct {
+	NoBranchLo  float64 // use no-branching above this observed selectivity...
+	NoBranchHi  float64 // ...and below this one
+	FullCompSel float64 // use full computation above this input density
+}
+
+// Default returns the §4.2 thresholds.
+func Default() Thresholds {
+	return Thresholds{NoBranchLo: 0.10, NoBranchHi: 0.90, FullCompSel: 0.30}
+}
+
+// Selector is a core.ContextChooser implementing the rules. One Selector
+// serves one primitive instance.
+type Selector struct {
+	machine *hw.Machine
+	th      Thresholds
+
+	// Cached arm indexes, resolved lazily from flavor tags.
+	resolved   bool
+	defaultArm int
+	branchArm  int
+	noBranch   int
+	selective  int
+	full       int
+	noFission  int
+	fission    int
+}
+
+// Factory returns a ChooserFactory building Selectors for the machine.
+func Factory(m *hw.Machine, th Thresholds) core.ChooserFactory {
+	return func(n int) core.Chooser { return &Selector{machine: m, th: th} }
+}
+
+// Name implements core.Chooser.
+func (h *Selector) Name() string { return "heuristics" }
+
+// Choose implements core.Chooser (context-free fallback).
+func (h *Selector) Choose() int { return 0 }
+
+// Observe implements core.Chooser; heuristics do not learn.
+func (h *Selector) Observe(int, int, float64) {}
+
+// resolve finds the arm of each variant among the instance's flavors. The
+// default arm prefers the shipped build: branching, selective, no fission,
+// unroll 8, gcc.
+func (h *Selector) resolve(inst *core.Instance) {
+	h.resolved = true
+	h.branchArm, h.noBranch = -1, -1
+	h.selective, h.full = -1, -1
+	h.noFission, h.fission = -1, -1
+	h.defaultArm = 0
+	bestScore := -1
+	for i, f := range inst.Prim.Flavors {
+		score := 0
+		if f.Tag("compiler") == "gcc" {
+			score += 4
+		}
+		if f.Tag("unroll") != "u1" {
+			score += 2
+		}
+		if f.Tag("branch") != "n" && f.Tag("full") != "y" && f.Tag("fission") != "y" {
+			score++
+		}
+		if score > bestScore {
+			bestScore, h.defaultArm = score, i
+		}
+		// Variant arms, preferring gcc builds.
+		pick := func(slot *int) {
+			if *slot < 0 || f.Tag("compiler") == "gcc" && f.Tag("unroll") != "u1" {
+				*slot = i
+			}
+		}
+		switch {
+		case f.Tag("branch") == "y":
+			pick(&h.branchArm)
+		case f.Tag("branch") == "n":
+			pick(&h.noBranch)
+		}
+		switch {
+		case f.Tag("full") == "y":
+			pick(&h.full)
+		case f.Tag("full") == "n":
+			pick(&h.selective)
+		}
+		switch {
+		case f.Tag("fission") == "y":
+			pick(&h.fission)
+		case f.Tag("fission") == "n":
+			pick(&h.noFission)
+		}
+	}
+}
+
+// ChooseCtx implements core.ContextChooser.
+func (h *Selector) ChooseCtx(inst *core.Instance, c *core.Call) int {
+	if !h.resolved {
+		h.resolve(inst)
+	}
+	switch inst.Prim.Class {
+	case hw.ClassSelCmp:
+		if h.noBranch < 0 || h.branchArm < 0 {
+			return h.defaultArm
+		}
+		// Observed output selectivity of this instance so far; until
+		// known, stay with the default (branching) build.
+		if inst.Tuples == 0 {
+			return h.branchArm
+		}
+		sel := float64(inst.Produced) / float64(inst.Tuples)
+		if sel >= h.th.NoBranchLo && sel <= h.th.NoBranchHi {
+			return h.noBranch
+		}
+		return h.branchArm
+	case hw.ClassMapArith:
+		if h.full < 0 || h.selective < 0 {
+			return h.defaultArm
+		}
+		if c.Sel != nil && c.Density() > h.th.FullCompSel {
+			return h.full
+		}
+		return h.selective
+	case hw.ClassBloom:
+		if h.fission < 0 || h.noFission < 0 {
+			return h.defaultArm
+		}
+		if f, ok := c.Aux.(*bloom.Filter); ok && f.SizeBytes() > h.machine.BloomEffCache {
+			return h.fission
+		}
+		return h.noFission
+	default:
+		// Compilers, unrolling, fetch, joins: no heuristic exists.
+		return h.defaultArm
+	}
+}

@@ -1,0 +1,98 @@
+package hw
+
+// Cache is a set-associative LRU cache simulator. It is the substrate used
+// where the paper's effects depend on cache residency that evolves during a
+// query (hash-table growth in Figure 4e) and is available for ad-hoc
+// microarchitecture experiments.
+//
+// Tags are stored per set in LRU order (front = most recent). Associativity
+// is kept small (4-16) so a lookup is a short linear scan.
+type Cache struct {
+	lineBits uint
+	setMask  uint64
+	assoc    int
+	sets     [][]uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache of totalBytes capacity with the given line size
+// and associativity. totalBytes is rounded down to a power-of-two number of
+// sets; line size must be a power of two.
+func NewCache(totalBytes, lineSize, assoc int) *Cache {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic("hw.NewCache: line size must be a power of two")
+	}
+	if assoc <= 0 {
+		panic("hw.NewCache: associativity must be positive")
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineSize {
+		lineBits++
+	}
+	numSets := totalBytes / (lineSize * assoc)
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= numSets {
+		p *= 2
+	}
+	numSets = p
+	c := &Cache{
+		lineBits: lineBits,
+		setMask:  uint64(numSets - 1),
+		assoc:    assoc,
+		sets:     make([][]uint64, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, assoc)
+	}
+	return c
+}
+
+// Access touches addr and reports whether it missed. The touched line
+// becomes most-recently-used; on a miss in a full set the LRU line is
+// evicted.
+func (c *Cache) Access(addr uint64) (miss bool) {
+	c.accesses++
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	for i, t := range set {
+		if t == tag {
+			// Hit: move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return false
+		}
+	}
+	c.misses++
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[tag&c.setMask] = set
+	return true
+}
+
+// Stats returns total accesses and misses so far.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Flush empties the cache and zeroes the statistics.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.accesses, c.misses = 0, 0
+}

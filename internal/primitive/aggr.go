@@ -1,0 +1,179 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/vector"
+)
+
+// AccI64 is a per-group int64 accumulator array, indexed by group id. The
+// operator grows it to the current group count before each update call.
+type AccI64 struct{ Acc []int64 }
+
+// AccF64 is a per-group float64 accumulator array.
+type AccF64 struct{ Acc []float64 }
+
+// Grow extends the accumulator to n groups, filling new slots with init.
+func (a *AccI64) Grow(n int, init int64) {
+	for len(a.Acc) < n {
+		a.Acc = append(a.Acc, init)
+	}
+}
+
+// Grow extends the accumulator to n groups, filling new slots with init.
+func (a *AccF64) Grow(n int, init float64) {
+	for len(a.Acc) < n {
+		a.Acc = append(a.Acc, init)
+	}
+}
+
+// aggrKind enumerates the aggregate update functions.
+type aggrKind int
+
+const (
+	aggrSum aggrKind = iota
+	aggrCount
+	aggrMin
+	aggrMax
+)
+
+// makeAggrI64 builds an integer aggregate-update primitive: values In[0]
+// (slng), group ids In[1] (sint, may be absent for the global group 0),
+// accumulator in Aux (*AccI64). This is the class measured in Figure 4(b)
+// (aggr_sum128_sint_col): the paper's 128-bit totals are represented by
+// int64 accumulators here.
+func makeAggrI64(kind aggrKind, v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		acc := c.Aux.(*AccI64).Acc
+		var vals []int64
+		if kind != aggrCount {
+			vals = c.In[0].I64()
+		}
+		var gids []int32
+		if len(c.In) > 1 && c.In[1] != nil {
+			gids = c.In[1].I32()
+		}
+		gid := func(i int32) int32 {
+			if gids == nil {
+				return 0
+			}
+			return gids[i]
+		}
+		update := func(i int32) {
+			g := gid(i)
+			switch kind {
+			case aggrSum:
+				acc[g] += vals[i]
+			case aggrCount:
+				acc[g]++
+			case aggrMin:
+				if vals[i] < acc[g] {
+					acc[g] = vals[i]
+				}
+			case aggrMax:
+				if vals[i] > acc[g] {
+					acc[g] = vals[i]
+				}
+			}
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				update(i)
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				update(int32(i))
+			}
+		}
+		return c.Live(), groupedUpdateCost(ctx, v, c.Live(), len(acc), c.Inst.Calls)
+	}
+}
+
+// makeAggrF64 is makeAggrI64 for float64 values (Aux *AccF64).
+func makeAggrF64(kind aggrKind, v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		acc := c.Aux.(*AccF64).Acc
+		vals := c.In[0].F64()
+		var gids []int32
+		if len(c.In) > 1 && c.In[1] != nil {
+			gids = c.In[1].I32()
+		}
+		update := func(i int32) {
+			g := int32(0)
+			if gids != nil {
+				g = gids[i]
+			}
+			switch kind {
+			case aggrSum:
+				acc[g] += vals[i]
+			case aggrMin:
+				if vals[i] < acc[g] {
+					acc[g] = vals[i]
+				}
+			case aggrMax:
+				if vals[i] > acc[g] {
+					acc[g] = vals[i]
+				}
+			}
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				update(i)
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				update(int32(i))
+			}
+		}
+		return c.Live(), groupedUpdateCost(ctx, v, c.Live(), len(acc), c.Inst.Calls)
+	}
+}
+
+func registerAggr(d *core.Dictionary, o Options) {
+	type entry struct {
+		sig  string
+		kind aggrKind
+		f64  bool
+	}
+	entries := []entry{
+		{"aggr_sum_slng_col", aggrSum, false},
+		{"aggr_count_col", aggrCount, false},
+		{"aggr_min_slng_col", aggrMin, false},
+		{"aggr_max_slng_col", aggrMax, false},
+		{"aggr_sum_dbl_col", aggrSum, true},
+		{"aggr_min_dbl_col", aggrMin, true},
+		{"aggr_max_dbl_col", aggrMax, true},
+	}
+	for _, e := range entries {
+		for _, cg := range o.codegens() {
+			for _, u := range o.unrolls() {
+				v := variant{cg: cg, unroll: u, class: hw.ClassAggr}
+				var fn core.PrimFn
+				if e.f64 {
+					fn = makeAggrF64(e.kind, v)
+				} else {
+					fn = makeAggrI64(e.kind, v)
+				}
+				addFlavor(d, e.sig, hw.ClassAggr, &core.Flavor{
+					Name:   flavorName(cg.Name, unrollTag(u)),
+					Source: cg.Name,
+					Tags:   map[string]string{"compiler": cg.Name, "unroll": unrollTag(u)},
+					Fn:     fn,
+				})
+			}
+		}
+	}
+}
+
+// AggrValueType returns the accumulator element type for a value column
+// type, used by the aggregation operator to pick signatures.
+func AggrValueType(t vector.Type) vector.Type {
+	switch t {
+	case vector.I16, vector.I32, vector.I64:
+		return vector.I64
+	case vector.F64:
+		return vector.F64
+	default:
+		panic("primitive: cannot aggregate type " + t.String())
+	}
+}

@@ -1,0 +1,84 @@
+package primitive
+
+import (
+	"microadapt/internal/bloom"
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// makeBloomProbe builds sel_bloomfilter_slng_col, the primitive of
+// Listings 5 (fission=false) and 6 (fission=true): keys In[0] (slng) are
+// probed against the bloom filter in Aux (*bloom.Filter); surviving
+// positions go to SelOut. The fission variant materializes the probe
+// results in a temporary first, removing the loop-carried dependency so
+// misses overlap (§2 "Loop Fission").
+func makeBloomProbe(fission bool, v variant) core.PrimFn {
+	if !fission {
+		return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+			f := c.Aux.(*bloom.Filter)
+			keys := c.In[0].I64()
+			out := c.SelOut
+			k := 0
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					out[k] = i
+					k += b2i(f.TestHash(bloom.Hash(keys[i])))
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					out[k] = int32(i)
+					k += b2i(f.TestHash(bloom.Hash(keys[i])))
+				}
+			}
+			return k, bloomProbeCost(ctx, v, c.Live(), f.SizeBytes(), false)
+		}
+	}
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		f := c.Aux.(*bloom.Filter)
+		keys := c.In[0].I64()
+		out := c.SelOut
+		live := c.Live()
+		tmp := make([]bool, live)
+		// First loop: independent iterations, one probe each.
+		if c.Sel != nil {
+			for j, i := range c.Sel {
+				tmp[j] = f.TestHash(bloom.Hash(keys[i]))
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				tmp[i] = f.TestHash(bloom.Hash(keys[i]))
+			}
+		}
+		// Second loop: collect the selected positions.
+		k := 0
+		if c.Sel != nil {
+			for j, i := range c.Sel {
+				out[k] = i
+				k += b2i(tmp[j])
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				out[k] = int32(i)
+				k += b2i(tmp[i])
+			}
+		}
+		return k, bloomProbeCost(ctx, v, live, f.SizeBytes(), true)
+	}
+}
+
+func registerBloom(d *core.Dictionary, o Options) {
+	for _, cg := range o.codegens() {
+		for _, fis := range o.Fission {
+			v := variant{cg: cg, unroll: false, class: hw.ClassBloom}
+			addFlavor(d, "sel_bloomfilter_slng_col", hw.ClassBloom, &core.Flavor{
+				Name:   flavorName(fis, cg.Name),
+				Source: cg.Name,
+				Tags: map[string]string{
+					"compiler": cg.Name,
+					"fission":  map[string]string{"nofission": "n", "fission": "y"}[fis],
+				},
+				Fn: makeBloomProbe(fis == "fission", v),
+			})
+		}
+	}
+}

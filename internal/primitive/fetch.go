@@ -1,0 +1,59 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/vector"
+)
+
+// fetchable covers the element types a fetch primitive can gather.
+type fetchable interface {
+	~int16 | ~int32 | ~int64 | ~float64 | ~string
+}
+
+// makeFetch builds the "fetch" primitive of Figure 4(d): it copies values
+// from a source column into the output vector through an index column,
+// res[i] = src[idx[i]] for every live position i. The index column holds
+// row numbers into the (arbitrarily long) source column, which is how join
+// payloads are materialized.
+func makeFetch[T fetchable](v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		idx := c.In[0].I32()
+		src := sliceOf[T](c.In[1])
+		res := sliceOf[T](c.Res)
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				res[i] = src[idx[i]]
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				res[i] = src[idx[i]]
+			}
+		}
+		c.Res.SetLen(c.N)
+		return c.Live(), fetchCost(ctx, v, c.Live(), c.Density())
+	}
+}
+
+func registerFetchFor[T fetchable](d *core.Dictionary, o Options, t vector.Type) {
+	sig := FetchSig(t)
+	for _, cg := range o.codegens() {
+		for _, u := range o.unrolls() {
+			v := variant{cg: cg, unroll: u, class: hw.ClassFetch}
+			addFlavor(d, sig, hw.ClassFetch, &core.Flavor{
+				Name:   flavorName(cg.Name, unrollTag(u)),
+				Source: cg.Name,
+				Tags:   map[string]string{"compiler": cg.Name, "unroll": unrollTag(u)},
+				Fn:     makeFetch[T](v),
+			})
+		}
+	}
+}
+
+func registerFetch(d *core.Dictionary, o Options) {
+	registerFetchFor[int16](d, o, vector.I16)
+	registerFetchFor[int32](d, o, vector.I32)
+	registerFetchFor[int64](d, o, vector.I64)
+	registerFetchFor[float64](d, o, vector.F64)
+	registerFetchFor[string](d, o, vector.Str)
+}

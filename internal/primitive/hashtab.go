@@ -1,0 +1,236 @@
+package primitive
+
+// Open-addressing hash tables used by aggregation (group tables) and hash
+// joins (join tables). The tables live here rather than in the engine
+// because the vectorized insert-check and lookup primitives operate
+// directly on their internals, exactly like the hash primitives the paper
+// lists among the Aggregation and Hash-Join workhorses.
+
+// GroupTableI64 maps int64 keys to dense group ids [0, Groups).
+type GroupTableI64 struct {
+	slots []int32 // group id + 1; 0 = empty
+	mask  uint64
+	keys  []int64 // group id -> key
+}
+
+// NewGroupTableI64 returns a table pre-sized for the given group capacity.
+func NewGroupTableI64(capacity int) *GroupTableI64 {
+	t := &GroupTableI64{}
+	t.init(nextPow2(capacity * 2))
+	return t
+}
+
+func (t *GroupTableI64) init(slots int) {
+	if slots < 16 {
+		slots = 16
+	}
+	t.slots = make([]int32, slots)
+	t.mask = uint64(slots - 1)
+}
+
+// Groups returns the number of distinct keys inserted.
+func (t *GroupTableI64) Groups() int { return len(t.keys) }
+
+// Key returns the key of a group id.
+func (t *GroupTableI64) Key(gid int32) int64 { return t.keys[gid] }
+
+// ByteSize approximates the resident size of the table, the quantity that
+// drives the cache-miss growth of Figure 4(e).
+func (t *GroupTableI64) ByteSize() int { return len(t.slots)*4 + len(t.keys)*8 }
+
+// insertCheck returns the group id for key, inserting it when new.
+func (t *GroupTableI64) insertCheck(key int64) int32 {
+	if len(t.keys)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	h := HashI64(key) & t.mask
+	for {
+		g := t.slots[h]
+		if g == 0 {
+			gid := int32(len(t.keys))
+			t.keys = append(t.keys, key)
+			t.slots[h] = gid + 1
+			return gid
+		}
+		if t.keys[g-1] == key {
+			return g - 1
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+func (t *GroupTableI64) grow() {
+	old := t.keys
+	t.init(len(t.slots) * 2)
+	for gid, k := range old {
+		h := HashI64(k) & t.mask
+		for t.slots[h] != 0 {
+			h = (h + 1) & t.mask
+		}
+		t.slots[h] = int32(gid) + 1
+	}
+}
+
+// GroupTableStr maps string keys to dense group ids.
+type GroupTableStr struct {
+	slots []int32
+	mask  uint64
+	keys  []string
+	bytes int
+}
+
+// NewGroupTableStr returns a table pre-sized for the given group capacity.
+func NewGroupTableStr(capacity int) *GroupTableStr {
+	t := &GroupTableStr{}
+	t.init(nextPow2(capacity * 2))
+	return t
+}
+
+func (t *GroupTableStr) init(slots int) {
+	if slots < 16 {
+		slots = 16
+	}
+	t.slots = make([]int32, slots)
+	t.mask = uint64(slots - 1)
+}
+
+// Groups returns the number of distinct keys inserted.
+func (t *GroupTableStr) Groups() int { return len(t.keys) }
+
+// Key returns the key of a group id.
+func (t *GroupTableStr) Key(gid int32) string { return t.keys[gid] }
+
+// ByteSize approximates the resident size of the table.
+func (t *GroupTableStr) ByteSize() int { return len(t.slots)*4 + len(t.keys)*16 + t.bytes }
+
+func (t *GroupTableStr) insertCheck(key string) int32 {
+	if len(t.keys)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	h := HashStr(key) & t.mask
+	for {
+		g := t.slots[h]
+		if g == 0 {
+			gid := int32(len(t.keys))
+			t.keys = append(t.keys, key)
+			t.bytes += len(key)
+			t.slots[h] = gid + 1
+			return gid
+		}
+		if t.keys[g-1] == key {
+			return g - 1
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+func (t *GroupTableStr) grow() {
+	old := t.keys
+	t.init(len(t.slots) * 2)
+	for gid, k := range old {
+		h := HashStr(k) & t.mask
+		for t.slots[h] != 0 {
+			h = (h + 1) & t.mask
+		}
+		t.slots[h] = int32(gid) + 1
+	}
+}
+
+// JoinTable is a hash table from int64 keys to build-side row numbers,
+// with chaining for duplicate keys.
+type JoinTable struct {
+	slots []int32 // entry index + 1; 0 = empty
+	mask  uint64
+	keys  []int64
+	rows  []int32
+	next  []int32 // entry -> next entry with same slot key chain (+1; 0 = end)
+}
+
+// NewJoinTable builds the table from the build side's key column.
+func NewJoinTable(keys []int64) *JoinTable {
+	slots := nextPow2(len(keys)*2 + 16)
+	t := &JoinTable{
+		slots: make([]int32, slots),
+		mask:  uint64(slots - 1),
+		keys:  make([]int64, 0, len(keys)),
+		rows:  make([]int32, 0, len(keys)),
+		next:  make([]int32, 0, len(keys)),
+	}
+	for row, k := range keys {
+		t.insert(k, int32(row))
+	}
+	return t
+}
+
+func (t *JoinTable) insert(key int64, row int32) {
+	h := HashI64(key) & t.mask
+	for {
+		e := t.slots[h]
+		if e == 0 {
+			t.keys = append(t.keys, key)
+			t.rows = append(t.rows, row)
+			t.next = append(t.next, 0)
+			t.slots[h] = int32(len(t.keys))
+			return
+		}
+		if t.keys[e-1] == key {
+			// Chain behind the first entry of this key.
+			t.keys = append(t.keys, key)
+			t.rows = append(t.rows, row)
+			t.next = append(t.next, t.next[e-1])
+			t.next[e-1] = int32(len(t.keys))
+			return
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// Lookup returns the first build row for key, or -1.
+func (t *JoinTable) Lookup(key int64) int32 {
+	h := HashI64(key) & t.mask
+	for {
+		e := t.slots[h]
+		if e == 0 {
+			return -1
+		}
+		if t.keys[e-1] == key {
+			return t.rows[e-1]
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// LookupAll appends all build rows for key to dst and returns it.
+func (t *JoinTable) LookupAll(key int64, dst []int32) []int32 {
+	h := HashI64(key) & t.mask
+	for {
+		e := t.slots[h]
+		if e == 0 {
+			return dst
+		}
+		if t.keys[e-1] == key {
+			for e != 0 {
+				dst = append(dst, t.rows[e-1])
+				e = t.next[e-1]
+			}
+			return dst
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// Entries returns the number of build rows in the table.
+func (t *JoinTable) Entries() int { return len(t.keys) }
+
+// ByteSize approximates the resident size of the table.
+func (t *JoinTable) ByteSize() int {
+	return len(t.slots)*4 + len(t.keys)*8 + len(t.rows)*4 + len(t.next)*4
+}
+
+func nextPow2(n int) int {
+	p := 16
+	for p < n {
+		p *= 2
+	}
+	return p
+}

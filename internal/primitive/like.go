@@ -1,0 +1,257 @@
+package primitive
+
+import (
+	"strings"
+
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// LikeMatch matches simplified SQL LIKE patterns: literal segments
+// separated by '%' wildcards ('_' is not supported; the TPC-H predicates
+// this engine runs do not use it).
+func LikeMatch(s, pattern string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if parts[0] != "" {
+		if !strings.HasPrefix(s, parts[0]) {
+			return false
+		}
+		s = s[len(parts[0]):]
+	}
+	last := parts[len(parts)-1]
+	if last != "" {
+		if !strings.HasSuffix(s, last) {
+			return false
+		}
+		s = s[:len(s)-len(last)]
+	}
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(s, mid)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(mid):]
+	}
+	return true
+}
+
+// likeCostFactor scales the comparison cost of string matching relative to
+// an integer compare.
+const likeCostFactor = 4.0
+
+// makeSelLike builds select_like_str_col_str_val and its negation; like
+// all selection primitives it has branching and no-branching flavors.
+func makeSelLike(negate, branching bool, v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		col := c.In[0].Str()
+		pattern := c.In[1].Str()[0]
+		out := c.SelOut
+		k := 0
+		if branching {
+			mispredicts := 0
+			pred := &c.Inst.Pred
+			match := func(i int32) {
+				ok := LikeMatch(col[i], pattern) != negate
+				if pred.Record(ok) {
+					mispredicts++
+				}
+				if ok {
+					out[k] = i
+					k++
+				}
+			}
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					match(i)
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					match(int32(i))
+				}
+			}
+			cost := selectionCost(ctx, v, c.Live(), k, mispredicts)
+			cost += float64(c.Live()) * cmpElem * (likeCostFactor - 1)
+			return k, cost
+		}
+		match := func(i int32) {
+			out[k] = i
+			k += b2i(LikeMatch(col[i], pattern) != negate)
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				match(i)
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				match(int32(i))
+			}
+		}
+		cost := selectionNoBranchCost(ctx, v, c.Live())
+		cost += float64(c.Live()) * cmpElem * (likeCostFactor - 1)
+		return k, cost
+	}
+}
+
+// makeSelIn builds select_in_str_col: qualifying tuples are those whose
+// value appears in the In[1] value list (built once per call; the lists
+// are tiny in practice — TPC-H uses 2-8 values).
+func makeSelIn(branching bool, v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		col := c.In[0].Str()
+		vals := c.In[1].Str()
+		set := make(map[string]bool, len(vals))
+		for _, s := range vals {
+			set[s] = true
+		}
+		out := c.SelOut
+		k := 0
+		if branching {
+			mispredicts := 0
+			pred := &c.Inst.Pred
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					ok := set[col[i]]
+					if pred.Record(ok) {
+						mispredicts++
+					}
+					if ok {
+						out[k] = i
+						k++
+					}
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					ok := set[col[i]]
+					if pred.Record(ok) {
+						mispredicts++
+					}
+					if ok {
+						out[k] = int32(i)
+						k++
+					}
+				}
+			}
+			cost := selectionCost(ctx, v, c.Live(), k, mispredicts)
+			cost += float64(c.Live()) * cmpElem * (likeCostFactor - 1)
+			return k, cost
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				out[k] = i
+				k += b2i(set[col[i]])
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				out[k] = int32(i)
+				k += b2i(set[col[i]])
+			}
+		}
+		cost := selectionNoBranchCost(ctx, v, c.Live())
+		cost += float64(c.Live()) * cmpElem * (likeCostFactor - 1)
+		return k, cost
+	}
+}
+
+// makeSelInI32 builds select_in_sint_col: the integer IN-list selection
+// (sizes of TPC-H Q16/Q19). Values are In[1] (sint).
+func makeSelInI32(branching bool, v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		col := c.In[0].I32()
+		vals := c.In[1].I32()
+		set := make(map[int32]bool, len(vals))
+		for _, x := range vals {
+			set[x] = true
+		}
+		out := c.SelOut
+		k := 0
+		if branching {
+			mispredicts := 0
+			pred := &c.Inst.Pred
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					ok := set[col[i]]
+					if pred.Record(ok) {
+						mispredicts++
+					}
+					if ok {
+						out[k] = i
+						k++
+					}
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					ok := set[col[i]]
+					if pred.Record(ok) {
+						mispredicts++
+					}
+					if ok {
+						out[k] = int32(i)
+						k++
+					}
+				}
+			}
+			return k, selectionCost(ctx, v, c.Live(), k, mispredicts)
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				out[k] = i
+				k += b2i(set[col[i]])
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				out[k] = int32(i)
+				k += b2i(set[col[i]])
+			}
+		}
+		return k, selectionNoBranchCost(ctx, v, c.Live())
+	}
+}
+
+func registerLike(d *core.Dictionary, o Options) {
+	type entry struct {
+		sig    string
+		negate bool
+		in     bool
+		inI32  bool
+	}
+	entries := []entry{
+		{"select_like_str_col_str_val", false, false, false},
+		{"select_notlike_str_col_str_val", true, false, false},
+		{"select_in_str_col", false, true, false},
+		{"select_in_sint_col", false, false, true},
+	}
+	for _, e := range entries {
+		for _, cg := range o.codegens() {
+			for _, br := range o.Branching {
+				for _, u := range o.unrolls() {
+					v := variant{cg: cg, unroll: u, class: hw.ClassSelCmp}
+					var fn core.PrimFn
+					switch {
+					case e.inI32:
+						fn = makeSelInI32(br == "branch", v)
+					case e.in:
+						fn = makeSelIn(br == "branch", v)
+					default:
+						fn = makeSelLike(e.negate, br == "branch", v)
+					}
+					addFlavor(d, e.sig, hw.ClassSelCmp, &core.Flavor{
+						Name:   flavorName(br, cg.Name, unrollTag(u)),
+						Source: cg.Name,
+						Tags: map[string]string{
+							"compiler": cg.Name,
+							"branch":   map[string]string{"branch": "y", "nobranch": "n"}[br],
+							"unroll":   unrollTag(u),
+						},
+						Fn: fn,
+					})
+				}
+			}
+		}
+	}
+}

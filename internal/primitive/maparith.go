@@ -1,0 +1,148 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/vector"
+)
+
+// number covers the arithmetic vector element types.
+type number interface {
+	~int16 | ~int32 | ~int64 | ~float64
+}
+
+var mapOps = []string{"+", "-", "*", "/"}
+
+func arithFn[T number](op string) func(a, b T) T {
+	switch op {
+	case "+":
+		return func(a, b T) T { return a + b }
+	case "-":
+		return func(a, b T) T { return a - b }
+	case "*":
+		return func(a, b T) T { return a * b }
+	case "/":
+		return func(a, b T) T {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}
+	default:
+		panic("primitive: unknown arithmetic op " + op)
+	}
+}
+
+func opFactor(op string) float64 {
+	switch op {
+	case "+":
+		return opFactorAdd
+	case "-":
+		return opFactorSub
+	case "*":
+		return opFactorMul
+	case "/":
+		return opFactorDiv
+	default:
+		return 1
+	}
+}
+
+// makeMap builds a map (Projection) primitive flavor of Listing 4: result
+// positions align with input positions. Under "full computation" the
+// selection vector is ignored and all N tuples are computed (Figure 7
+// right), trading extra work for SIMD-ability.
+func makeMap[T number](op, shape string, full bool, v variant, typeWidth int) core.PrimFn {
+	fn := arithFn[T](op)
+	elem := opFactor(op) // scaled by machine.ArithElem at call time
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		res := sliceOf[T](c.Res)
+		var a, b []T
+		switch shape {
+		case "col_col":
+			a, b = sliceOf[T](c.In[0]), sliceOf[T](c.In[1])
+		case "col_val":
+			a, b = sliceOf[T](c.In[0]), sliceOf[T](c.In[1])
+		case "val_col":
+			a, b = sliceOf[T](c.In[0]), sliceOf[T](c.In[1])
+		}
+		e := elem * ctx.Machine.ArithElem
+		if c.Sel == nil || full {
+			// Dense loop over all N tuples.
+			switch shape {
+			case "col_col":
+				for i := 0; i < c.N; i++ {
+					res[i] = fn(a[i], b[i])
+				}
+			case "col_val":
+				val := b[0]
+				for i := 0; i < c.N; i++ {
+					res[i] = fn(a[i], val)
+				}
+			case "val_col":
+				val := a[0]
+				for i := 0; i < c.N; i++ {
+					res[i] = fn(val, b[i])
+				}
+			}
+			c.Res.SetLen(c.N)
+			if c.Sel == nil {
+				return c.N, denseLoopCost(ctx.Machine, v, c.N, e, typeWidth)
+			}
+			return c.N, fullComputationCost(ctx.Machine, v, c.N, e, typeWidth)
+		}
+		// Selective computation: only positions in the selection vector
+		// (Figure 7 left); untouched positions keep stale values.
+		switch shape {
+		case "col_col":
+			for _, i := range c.Sel {
+				res[i] = fn(a[i], b[i])
+			}
+		case "col_val":
+			val := b[0]
+			for _, i := range c.Sel {
+				res[i] = fn(a[i], val)
+			}
+		case "val_col":
+			val := a[0]
+			for _, i := range c.Sel {
+				res[i] = fn(val, b[i])
+			}
+		}
+		c.Res.SetLen(c.N)
+		return len(c.Sel), selectiveLoopCost(ctx.Machine, v, len(c.Sel), e, typeWidth)
+	}
+}
+
+func registerMapsFor[T number](d *core.Dictionary, o Options, t vector.Type) {
+	for _, op := range mapOps {
+		for _, shape := range []string{"col_col", "col_val", "val_col"} {
+			sig := MapSig(op, t, shape)
+			for _, cg := range o.codegens() {
+				for _, comp := range o.Compute {
+					for _, u := range o.unrolls() {
+						v := variant{cg: cg, unroll: u, class: hw.ClassMapArith}
+						fn := makeMap[T](op, shape, comp == "full", v, t.Width())
+						addFlavor(d, sig, hw.ClassMapArith, &core.Flavor{
+							Name:   flavorName(comp, cg.Name, unrollTag(u)),
+							Source: cg.Name,
+							Tags: map[string]string{
+								"compiler": cg.Name,
+								"full":     map[string]string{"selective": "n", "full": "y"}[comp],
+								"unroll":   unrollTag(u),
+							},
+							Fn: fn,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func registerMaps(d *core.Dictionary, o Options) {
+	registerMapsFor[int16](d, o, vector.I16)
+	registerMapsFor[int32](d, o, vector.I32)
+	registerMapsFor[int64](d, o, vector.I64)
+	registerMapsFor[float64](d, o, vector.F64)
+}

@@ -1,0 +1,38 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/vector"
+)
+
+// MeasureDenseMul supports the Table 4 experiment: it measures the dense
+// (no selection vector) integer-multiplication map under an explicit
+// combination of hand unrolling and compiler flags (-ftree-vectorize,
+// -funroll-loops), returning cycles/tuple on the given machine. The flag
+// combinations correspond to the gcc builds the paper benchmarks.
+func MeasureDenseMul(m *hw.Machine, handUnroll, simdFlag, unrollFlag bool, n int) float64 {
+	cg := hw.GCC()
+	cg.AutoVectorize = simdFlag
+	cg.AutoUnroll = unrollFlag
+	v := variant{cg: cg, unroll: handUnroll, class: hw.ClassMapArith}
+	fn := makeMap[int32]("*", "col_col", false, v, vector.I32.Width())
+
+	a := vector.New(vector.I32, n)
+	b := vector.New(vector.I32, n)
+	res := vector.New(vector.I32, n)
+	a.SetLen(n)
+	b.SetLen(n)
+	res.SetLen(n)
+	as, bs := a.I32(), b.I32()
+	for i := 0; i < n; i++ {
+		as[i] = int32(i)
+		bs[i] = int32(i * 3)
+	}
+	ctx := core.NewExecCtx(m)
+	call := &core.Call{N: n, In: []*vector.Vector{a, b}, Res: res}
+	_, cycles := fn(ctx, call)
+	// Subtract the fixed call overhead so the table shows the asymptotic
+	// per-tuple cost, as in the paper.
+	return (cycles - m.CallOverhead) / float64(n)
+}

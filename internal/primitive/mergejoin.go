@@ -1,0 +1,97 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// MergeState is the cursor state of a merge join between two key columns
+// sorted ascending. The kernel primitive advances it, emitting up to the
+// output capacity of matched (left,right) row pairs per call; many-to-many
+// duplicate groups are handled by rescanning the right group per left row.
+type MergeState struct {
+	LKeys, RKeys []int64
+	LI           int // current left row
+	RI           int // start of the right group matching LKeys[LI]
+	RPos         int // scan position within the right group
+	LOut, ROut   []int32
+}
+
+// NewMergeState builds merge-join state over two sorted key columns.
+func NewMergeState(lkeys, rkeys []int64) *MergeState {
+	return &MergeState{LKeys: lkeys, RKeys: rkeys}
+}
+
+// Done reports whether the join is exhausted.
+func (st *MergeState) Done() bool {
+	return st.LI >= len(st.LKeys) || st.RI >= len(st.RKeys)
+}
+
+// step advances the state emitting at most capacity pairs; it returns the
+// number of pairs emitted and the number of input tuples consumed (cursor
+// advances), the quantity the cost model charges per tuple.
+func (st *MergeState) step(capacity int) (produced, consumed int) {
+	L, R := st.LKeys, st.RKeys
+	for st.LI < len(L) && produced < capacity {
+		// Align the right group start with the current left key.
+		for st.RI < len(R) && R[st.RI] < L[st.LI] {
+			st.RI++
+			consumed++
+		}
+		if st.RI >= len(R) {
+			st.LI = len(L)
+			break
+		}
+		if R[st.RI] > L[st.LI] {
+			st.LI++
+			st.RPos = 0
+			consumed++
+			continue
+		}
+		// Match: scan the right group.
+		if st.RPos < st.RI {
+			st.RPos = st.RI
+		}
+		for st.RPos < len(R) && R[st.RPos] == L[st.LI] && produced < capacity {
+			st.LOut[produced] = int32(st.LI)
+			st.ROut[produced] = int32(st.RPos)
+			st.RPos++
+			produced++
+			consumed++
+		}
+		if st.RPos < len(R) && R[st.RPos] == L[st.LI] {
+			// Output capacity reached mid-group; resume here next call.
+			return produced, consumed
+		}
+		// This left row is done; next left row rescans the group.
+		st.LI++
+		st.RPos = st.RI
+		consumed++
+	}
+	return produced, consumed
+}
+
+// makeMergeJoin builds mergejoin_slng_col_slng_col (Figures 4c and 5): one
+// call fills at most c.N output pairs. Aux is the *MergeState; produced
+// pair indexes land in st.LOut/st.ROut.
+func makeMergeJoin(v variant) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		st := c.Aux.(*MergeState)
+		produced, consumed := st.step(c.N)
+		return produced, mergeJoinCost(ctx, v, consumed, produced)
+	}
+}
+
+func registerMergeJoin(d *core.Dictionary, o Options) {
+	for _, cg := range o.codegens() {
+		for _, u := range o.unrolls() {
+			v := variant{cg: cg, unroll: u, class: hw.ClassMergeJoin}
+			addFlavor(d, "mergejoin_slng_col_slng_col", hw.ClassMergeJoin, &core.Flavor{
+				Name:   flavorName(cg.Name, unrollTag(u)),
+				Source: cg.Name,
+				Tags:   map[string]string{"compiler": cg.Name, "unroll": unrollTag(u)},
+				Fn:     makeMergeJoin(v),
+			})
+		}
+	}
+}

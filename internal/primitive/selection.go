@@ -1,0 +1,198 @@
+package primitive
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/vector"
+)
+
+// ordered covers every vector element type that supports comparison.
+type ordered interface {
+	~int16 | ~int32 | ~int64 | ~float64 | ~string
+}
+
+// Comparison operators, in the spelling used inside signatures.
+var selOps = []string{"<", "<=", ">", ">=", "==", "!="}
+
+func cmpFn[T ordered](op string) func(a, b T) bool {
+	switch op {
+	case "<":
+		return func(a, b T) bool { return a < b }
+	case "<=":
+		return func(a, b T) bool { return a <= b }
+	case ">":
+		return func(a, b T) bool { return a > b }
+	case ">=":
+		return func(a, b T) bool { return a >= b }
+	case "==":
+		return func(a, b T) bool { return a == b }
+	case "!=":
+		return func(a, b T) bool { return a != b }
+	default:
+		panic("primitive: unknown comparison " + op)
+	}
+}
+
+// slice extracts the typed backing slice of a vector; instantiated per T.
+func sliceOf[T ordered](v *vector.Vector) []T {
+	switch any(*new(T)).(type) {
+	case int16:
+		return any(v.I16()).([]T)
+	case int32:
+		return any(v.I32()).([]T)
+	case int64:
+		return any(v.I64()).([]T)
+	case float64:
+		return any(v.F64()).([]T)
+	case string:
+		return any(v.Str()).([]T)
+	default:
+		panic("primitive: unsupported element type")
+	}
+}
+
+// makeSelect builds one selection flavor: Listing 1 (branching=true) or
+// Listing 2 (branching=false), for column-vs-constant (rhsCol=false) or
+// column-vs-column comparisons. It writes qualifying positions to
+// c.SelOut and returns their count.
+func makeSelect[T ordered](op string, rhsCol bool, branching bool, v variant) core.PrimFn {
+	cmp := cmpFn[T](op)
+	if branching {
+		return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+			col := sliceOf[T](c.In[0])
+			rhs := sliceOf[T](c.In[1])
+			out := c.SelOut
+			k := 0
+			mispredicts := 0
+			pred := &c.Inst.Pred
+			if rhsCol {
+				if c.Sel != nil {
+					for _, i := range c.Sel {
+						ok := cmp(col[i], rhs[i])
+						if pred.Record(ok) {
+							mispredicts++
+						}
+						if ok {
+							out[k] = i
+							k++
+						}
+					}
+				} else {
+					for i := 0; i < c.N; i++ {
+						ok := cmp(col[i], rhs[i])
+						if pred.Record(ok) {
+							mispredicts++
+						}
+						if ok {
+							out[k] = int32(i)
+							k++
+						}
+					}
+				}
+			} else {
+				val := rhs[0]
+				if c.Sel != nil {
+					for _, i := range c.Sel {
+						ok := cmp(col[i], val)
+						if pred.Record(ok) {
+							mispredicts++
+						}
+						if ok {
+							out[k] = i
+							k++
+						}
+					}
+				} else {
+					for i := 0; i < c.N; i++ {
+						ok := cmp(col[i], val)
+						if pred.Record(ok) {
+							mispredicts++
+						}
+						if ok {
+							out[k] = int32(i)
+							k++
+						}
+					}
+				}
+			}
+			return k, selectionCost(ctx, v, c.Live(), k, mispredicts)
+		}
+	}
+	// No-branching variant: result generation is unconditional; the
+	// output cursor advances by the comparison outcome (Listing 2).
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		col := sliceOf[T](c.In[0])
+		rhs := sliceOf[T](c.In[1])
+		out := c.SelOut
+		k := 0
+		if rhsCol {
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					out[k] = i
+					k += b2i(cmp(col[i], rhs[i]))
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					out[k] = int32(i)
+					k += b2i(cmp(col[i], rhs[i]))
+				}
+			}
+		} else {
+			val := rhs[0]
+			if c.Sel != nil {
+				for _, i := range c.Sel {
+					out[k] = i
+					k += b2i(cmp(col[i], val))
+				}
+			} else {
+				for i := 0; i < c.N; i++ {
+					out[k] = int32(i)
+					k += b2i(cmp(col[i], val))
+				}
+			}
+		}
+		return k, selectionNoBranchCost(ctx, v, c.Live())
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// registerSelectionsFor registers all comparison selections for one type.
+func registerSelectionsFor[T ordered](d *core.Dictionary, o Options, t vector.Type) {
+	for _, op := range selOps {
+		for _, rhsCol := range []bool{false, true} {
+			sig := SelSig(op, t, rhsCol)
+			for _, cg := range o.codegens() {
+				for _, br := range o.Branching {
+					for _, u := range o.unrolls() {
+						v := variant{cg: cg, unroll: u, class: hw.ClassSelCmp}
+						fn := makeSelect[T](op, rhsCol, br == "branch", v)
+						addFlavor(d, sig, hw.ClassSelCmp, &core.Flavor{
+							Name:   flavorName(br, cg.Name, unrollTag(u)),
+							Source: cg.Name,
+							Tags: map[string]string{
+								"compiler": cg.Name,
+								"branch":   map[string]string{"branch": "y", "nobranch": "n"}[br],
+								"unroll":   unrollTag(u),
+							},
+							Fn: fn,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func registerSelections(d *core.Dictionary, o Options) {
+	registerSelectionsFor[int16](d, o, vector.I16)
+	registerSelectionsFor[int32](d, o, vector.I32)
+	registerSelectionsFor[int64](d, o, vector.I64)
+	registerSelectionsFor[float64](d, o, vector.F64)
+	registerSelectionsFor[string](d, o, vector.Str)
+}

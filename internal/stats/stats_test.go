@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Error("geomean(2,8) != 4")
+	}
+	if !almost(GeoMean([]float64{1, 1, 1}), 1) {
+		t.Error("geomean of ones != 1")
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Error("degenerate geomean should be 0")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMaxSum(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 || Sum(xs) != 6 {
+		t.Error("basic stats wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty min/max should be infinities")
+	}
+}
+
+func TestResample(t *testing.T) {
+	up := Resample([]float64{0, 10}, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if !almost(up[i], want[i]) {
+			t.Fatalf("up[%d] = %v, want %v", i, up[i], want[i])
+		}
+	}
+	down := Resample([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 3)
+	if !almost(down[0], 1) || !almost(down[2], 9) {
+		t.Errorf("down = %v", down)
+	}
+	if Resample(nil, 4) != nil {
+		t.Error("resample of nil should be nil")
+	}
+	one := Resample([]float64{7}, 3)
+	if one[0] != 7 || one[2] != 7 {
+		t.Error("resample of singleton should repeat")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	out := ASCIIChart("title", []Series{
+		{Name: "up", Values: []float64{1, 2, 3}},
+		{Name: "down", Values: []float64{3, 2, 1}},
+	}, 24, 6)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("chart too short")
+	}
+	// Degenerate inputs must not panic.
+	_ = ASCIIChart("flat", []Series{{Name: "c", Values: []float64{5, 5}}}, 10, 4)
+	_ = ASCIIChart("empty", nil, 10, 4)
+	_ = ASCIIChart("nan", []Series{{Name: "n", Values: []float64{math.NaN(), math.Inf(1)}}}, 10, 4)
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([][]string{
+		{"name", "value"},
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Error("missing header rule")
+	}
+	if FormatTable(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}

@@ -1,0 +1,431 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/vector"
+)
+
+// DB holds the eight generated TPC-H tables.
+type DB struct {
+	SF       float64
+	Region   *engine.Table
+	Nation   *engine.Table
+	Supplier *engine.Table
+	Customer *engine.Table
+	Part     *engine.Table
+	PartSupp *engine.Table
+	Orders   *engine.Table
+	Lineitem *engine.Table
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationDefs is the fixed TPC-H nation list: name and region key.
+var nationDefs = []struct {
+	name   string
+	region int32
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+var containerSyl1 = []string{"SM", "MED", "LG", "JUMBO", "WRAP"}
+var containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+var colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "hunter", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+	"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+	"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+	"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+	"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+	"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+	"requests", "accounts", "packages", "foxes", "pearls", "instructions",
+	"theodolites", "platelets", "pinto", "beans", "ideas", "dependencies",
+	"excuses", "waters", "sleep", "nag", "haggle", "bold", "final", "express",
+	"silent", "regular", "unusual", "even", "special", "pending", "ironic",
+}
+
+const (
+	startDate = 0 // 1992-01-01
+)
+
+// Generate builds a deterministic TPC-H database at the given scale
+// factor. Orders (and hence lineitem) are clustered on o_orderdate — the
+// data locality that produces the border-region phases of Figures 2 and
+// 4(c)/(d) in the paper.
+func Generate(sf float64, seed int64) *DB {
+	db := &DB{SF: sf}
+	nSupp := scaleCount(10_000, sf, 10)
+	nCust := scaleCount(150_000, sf, 30)
+	nPart := scaleCount(200_000, sf, 40)
+	nOrders := scaleCount(1_500_000, sf, 150)
+
+	db.genRegion()
+	db.genNation()
+	db.genSupplier(nSupp, seed+1)
+	db.genCustomer(nCust, seed+2)
+	prices := db.genPart(nPart, seed+3)
+	db.genPartSupp(nPart, nSupp, seed+4)
+	db.genOrdersLineitem(nOrders, nCust, nPart, nSupp, prices, seed+5)
+	return db
+}
+
+func scaleCount(base int, sf float64, min int) int {
+	n := int(float64(base) * sf)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func words(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[rng.Intn(len(commentWords))]
+	}
+	return out
+}
+
+func (db *DB) genRegion() {
+	keys := make([]int32, 5)
+	names := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		keys[i] = int32(i)
+		names[i] = regionNames[i]
+	}
+	db.Region = engine.NewTable("region",
+		vector.Schema{{Name: "r_regionkey", Type: vector.I32}, {Name: "r_name", Type: vector.Str}},
+		[]*vector.Vector{vector.FromI32(keys), vector.FromStr(names)})
+}
+
+func (db *DB) genNation() {
+	n := len(nationDefs)
+	keys := make([]int32, n)
+	names := make([]string, n)
+	regions := make([]int32, n)
+	for i, def := range nationDefs {
+		keys[i] = int32(i)
+		names[i] = def.name
+		regions[i] = def.region
+	}
+	db.Nation = engine.NewTable("nation",
+		vector.Schema{
+			{Name: "n_nationkey", Type: vector.I32},
+			{Name: "n_name", Type: vector.Str},
+			{Name: "n_regionkey", Type: vector.I32},
+		},
+		[]*vector.Vector{vector.FromI32(keys), vector.FromStr(names), vector.FromI32(regions)})
+}
+
+func (db *DB) genSupplier(n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int32, n)
+	names := make([]string, n)
+	nations := make([]int32, n)
+	acct := make([]float64, n)
+	phones := make([]string, n)
+	comments := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int32(i + 1)
+		names[i] = fmt.Sprintf("Supplier#%09d", i+1)
+		nations[i] = int32(rng.Intn(25))
+		acct[i] = float64(rng.Intn(1_100_000)-100_000) / 100
+		phones[i] = fmt.Sprintf("%d-%03d-%03d-%04d", 10+nations[i], rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+		c := words(rng, 6)
+		// ~0.5% of suppliers have complaint comments (Q16's anti filter).
+		if rng.Intn(200) == 0 {
+			c = "take Customer slow Complaints " + c
+		}
+		comments[i] = c
+	}
+	db.Supplier = engine.NewTable("supplier",
+		vector.Schema{
+			{Name: "s_suppkey", Type: vector.I32},
+			{Name: "s_name", Type: vector.Str},
+			{Name: "s_nationkey", Type: vector.I32},
+			{Name: "s_acctbal", Type: vector.F64},
+			{Name: "s_phone", Type: vector.Str},
+			{Name: "s_comment", Type: vector.Str},
+		},
+		[]*vector.Vector{
+			vector.FromI32(keys), vector.FromStr(names), vector.FromI32(nations),
+			vector.FromF64(acct), vector.FromStr(phones), vector.FromStr(comments),
+		})
+}
+
+func (db *DB) genCustomer(n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int32, n)
+	names := make([]string, n)
+	nations := make([]int32, n)
+	acct := make([]float64, n)
+	segs := make([]string, n)
+	phones := make([]string, n)
+	comments := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int32(i + 1)
+		names[i] = fmt.Sprintf("Customer#%09d", i+1)
+		nations[i] = int32(rng.Intn(25))
+		acct[i] = float64(rng.Intn(1_100_000)-100_000) / 100
+		segs[i] = segments[rng.Intn(len(segments))]
+		phones[i] = fmt.Sprintf("%d-%03d-%03d-%04d", 10+nations[i], rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+		comments[i] = words(rng, 8)
+	}
+	db.Customer = engine.NewTable("customer",
+		vector.Schema{
+			{Name: "c_custkey", Type: vector.I32},
+			{Name: "c_name", Type: vector.Str},
+			{Name: "c_nationkey", Type: vector.I32},
+			{Name: "c_acctbal", Type: vector.F64},
+			{Name: "c_mktsegment", Type: vector.Str},
+			{Name: "c_phone", Type: vector.Str},
+			{Name: "c_comment", Type: vector.Str},
+		},
+		[]*vector.Vector{
+			vector.FromI32(keys), vector.FromStr(names), vector.FromI32(nations),
+			vector.FromF64(acct), vector.FromStr(segs), vector.FromStr(phones),
+			vector.FromStr(comments),
+		})
+}
+
+// genPart returns the retail price array (cents) for lineitem pricing.
+func (db *DB) genPart(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int32, n)
+	names := make([]string, n)
+	mfgrs := make([]string, n)
+	brands := make([]string, n)
+	types := make([]string, n)
+	sizes := make([]int32, n)
+	containers := make([]string, n)
+	prices := make([]int64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int32(i + 1)
+		names[i] = colors[rng.Intn(len(colors))] + " " + colors[rng.Intn(len(colors))]
+		m := rng.Intn(5) + 1
+		mfgrs[i] = fmt.Sprintf("Manufacturer#%d", m)
+		brands[i] = fmt.Sprintf("Brand#%d%d", m, rng.Intn(5)+1)
+		types[i] = typeSyl1[rng.Intn(len(typeSyl1))] + " " +
+			typeSyl2[rng.Intn(len(typeSyl2))] + " " + typeSyl3[rng.Intn(len(typeSyl3))]
+		sizes[i] = int32(rng.Intn(50) + 1)
+		containers[i] = containerSyl1[rng.Intn(len(containerSyl1))] + " " +
+			containerSyl2[rng.Intn(len(containerSyl2))]
+		prices[i] = int64(90_000 + (i%2000)*10 + rng.Intn(1000)) // ~900-1100 dollars in cents
+	}
+	db.Part = engine.NewTable("part",
+		vector.Schema{
+			{Name: "p_partkey", Type: vector.I32},
+			{Name: "p_name", Type: vector.Str},
+			{Name: "p_mfgr", Type: vector.Str},
+			{Name: "p_brand", Type: vector.Str},
+			{Name: "p_type", Type: vector.Str},
+			{Name: "p_size", Type: vector.I32},
+			{Name: "p_container", Type: vector.Str},
+			{Name: "p_retailprice", Type: vector.I64},
+		},
+		[]*vector.Vector{
+			vector.FromI32(keys), vector.FromStr(names), vector.FromStr(mfgrs),
+			vector.FromStr(brands), vector.FromStr(types), vector.FromI32(sizes),
+			vector.FromStr(containers), vector.FromI64(prices),
+		})
+	return prices
+}
+
+// suppForPart returns the s-th (0..3) supplier of a part, the TPC-H
+// formula that makes lineitem (partkey, suppkey) pairs exist in partsupp.
+func suppForPart(partkey, s, nSupp int) int32 {
+	return int32((partkey+s*(nSupp/4+(partkey-1)/nSupp))%nSupp + 1)
+}
+
+func (db *DB) genPartSupp(nPart, nSupp int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := nPart * 4
+	partkeys := make([]int32, 0, n)
+	suppkeys := make([]int32, 0, n)
+	avail := make([]int32, 0, n)
+	cost := make([]int64, 0, n)
+	comments := make([]string, 0, n)
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			partkeys = append(partkeys, int32(p))
+			suppkeys = append(suppkeys, suppForPart(p, s, nSupp))
+			avail = append(avail, int32(rng.Intn(9999)+1))
+			cost = append(cost, int64(rng.Intn(99_901)+100)) // 1.00-1000.00 dollars in cents
+			comments = append(comments, words(rng, 5))
+		}
+	}
+	db.PartSupp = engine.NewTable("partsupp",
+		vector.Schema{
+			{Name: "ps_partkey", Type: vector.I32},
+			{Name: "ps_suppkey", Type: vector.I32},
+			{Name: "ps_availqty", Type: vector.I32},
+			{Name: "ps_supplycost", Type: vector.I64},
+			{Name: "ps_comment", Type: vector.Str},
+		},
+		[]*vector.Vector{
+			vector.FromI32(partkeys), vector.FromI32(suppkeys), vector.FromI32(avail),
+			vector.FromI64(cost), vector.FromStr(comments),
+		})
+}
+
+func (db *DB) genOrdersLineitem(nOrders, nCust, nPart, nSupp int, prices []int64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	endDay := Date(1998, 8, 2)
+	span := int(endDay) - startDate
+
+	oKey := make([]int32, nOrders)
+	oCust := make([]int32, nOrders)
+	oStatus := make([]string, nOrders)
+	oTotal := make([]int64, nOrders)
+	oDate := make([]int32, nOrders)
+	oPrio := make([]string, nOrders)
+	oShipPrio := make([]int32, nOrders)
+	oComment := make([]string, nOrders)
+
+	var lOrder, lPart, lSupp, lLineNum, lQty []int32
+	var lPrice, lDisc, lTax []int64
+	var lRetFlag, lLineStatus []string
+	var lShip, lCommit, lReceipt []int32
+	var lInstruct, lMode, lComment []string
+
+	cutoff := Date(1995, 6, 17)
+	for o := 0; o < nOrders; o++ {
+		oKey[o] = int32(o + 1)
+		oCust[o] = int32(rng.Intn(nCust) + 1)
+		// Clustered order dates: monotone with small jitter.
+		d := startDate + o*span/nOrders + rng.Intn(31) - 15
+		if d < startDate {
+			d = startDate
+		}
+		if d > int(endDay) {
+			d = int(endDay)
+		}
+		oDate[o] = int32(d)
+		oPrio[o] = priorities[rng.Intn(len(priorities))]
+		oShipPrio[o] = 0
+		c := words(rng, 6)
+		if rng.Intn(50) == 0 {
+			c = "special wishes requests " + c
+		}
+		oComment[o] = c
+
+		lines := rng.Intn(7) + 1
+		var total int64
+		allF := true
+		for ln := 0; ln < lines; ln++ {
+			pk := rng.Intn(nPart) + 1
+			qty := rng.Intn(50) + 1
+			ship := int32(d + rng.Intn(121) + 1)
+			commit := int32(d + rng.Intn(61) + 30)
+			receipt := ship + int32(rng.Intn(30)+1)
+			price := int64(qty) * prices[pk-1]
+			lOrder = append(lOrder, int32(o+1))
+			lPart = append(lPart, int32(pk))
+			lSupp = append(lSupp, suppForPart(pk, rng.Intn(4), nSupp))
+			lLineNum = append(lLineNum, int32(ln+1))
+			lQty = append(lQty, int32(qty))
+			lPrice = append(lPrice, price)
+			lDisc = append(lDisc, int64(rng.Intn(11)))
+			lTax = append(lTax, int64(rng.Intn(9)))
+			if receipt <= cutoff {
+				if rng.Intn(2) == 0 {
+					lRetFlag = append(lRetFlag, "R")
+				} else {
+					lRetFlag = append(lRetFlag, "A")
+				}
+			} else {
+				lRetFlag = append(lRetFlag, "N")
+			}
+			if ship <= cutoff {
+				lLineStatus = append(lLineStatus, "F")
+			} else {
+				lLineStatus = append(lLineStatus, "O")
+				allF = false
+			}
+			lShip = append(lShip, ship)
+			lCommit = append(lCommit, commit)
+			lReceipt = append(lReceipt, receipt)
+			lInstruct = append(lInstruct, shipInstructs[rng.Intn(len(shipInstructs))])
+			lMode = append(lMode, shipModes[rng.Intn(len(shipModes))])
+			lComment = append(lComment, words(rng, 4))
+			total += price
+		}
+		oTotal[o] = total
+		if allF {
+			oStatus[o] = "F"
+		} else {
+			oStatus[o] = "O"
+		}
+	}
+
+	db.Orders = engine.NewTable("orders",
+		vector.Schema{
+			{Name: "o_orderkey", Type: vector.I32},
+			{Name: "o_custkey", Type: vector.I32},
+			{Name: "o_orderstatus", Type: vector.Str},
+			{Name: "o_totalprice", Type: vector.I64},
+			{Name: "o_orderdate", Type: vector.I32},
+			{Name: "o_orderpriority", Type: vector.Str},
+			{Name: "o_shippriority", Type: vector.I32},
+			{Name: "o_comment", Type: vector.Str},
+		},
+		[]*vector.Vector{
+			vector.FromI32(oKey), vector.FromI32(oCust), vector.FromStr(oStatus),
+			vector.FromI64(oTotal), vector.FromI32(oDate), vector.FromStr(oPrio),
+			vector.FromI32(oShipPrio), vector.FromStr(oComment),
+		})
+
+	db.Lineitem = engine.NewTable("lineitem",
+		vector.Schema{
+			{Name: "l_orderkey", Type: vector.I32},
+			{Name: "l_partkey", Type: vector.I32},
+			{Name: "l_suppkey", Type: vector.I32},
+			{Name: "l_linenumber", Type: vector.I32},
+			{Name: "l_quantity", Type: vector.I32},
+			{Name: "l_extendedprice", Type: vector.I64},
+			{Name: "l_discount", Type: vector.I64},
+			{Name: "l_tax", Type: vector.I64},
+			{Name: "l_returnflag", Type: vector.Str},
+			{Name: "l_linestatus", Type: vector.Str},
+			{Name: "l_shipdate", Type: vector.I32},
+			{Name: "l_commitdate", Type: vector.I32},
+			{Name: "l_receiptdate", Type: vector.I32},
+			{Name: "l_shipinstruct", Type: vector.Str},
+			{Name: "l_shipmode", Type: vector.Str},
+			{Name: "l_comment", Type: vector.Str},
+		},
+		[]*vector.Vector{
+			vector.FromI32(lOrder), vector.FromI32(lPart), vector.FromI32(lSupp),
+			vector.FromI32(lLineNum), vector.FromI32(lQty), vector.FromI64(lPrice),
+			vector.FromI64(lDisc), vector.FromI64(lTax), vector.FromStr(lRetFlag),
+			vector.FromStr(lLineStatus), vector.FromI32(lShip), vector.FromI32(lCommit),
+			vector.FromI32(lReceipt), vector.FromStr(lInstruct), vector.FromStr(lMode),
+			vector.FromStr(lComment),
+		})
+}

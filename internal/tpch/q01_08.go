@@ -1,0 +1,338 @@
+package tpch
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/vector"
+)
+
+// Q1 is the pricing summary report: one pass over lineitem with a date
+// selection, two map-heavy projected expressions, and an aggregation
+// grouped on (returnflag, linestatus). It is the query of Figures 4(a),
+// 4(b) and 11(c) in the paper.
+func Q1(db *DB, s *core.Session) (*engine.Table, error) {
+	scan := engine.NewScan(s, db.Lineitem,
+		"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+		"l_returnflag", "l_linestatus", "l_shipdate")
+	sel := engine.NewSelect(s, scan, "Q1/sel",
+		engine.CmpVal(6, "<=", int(Date(1998, 9, 2))))
+	discPrice := revenue(sel, "l_extendedprice", "l_discount")
+	charge := expr.Div(
+		expr.Mul(discPrice, expr.Add(&expr.ConstI64{V: 100}, col(sel, "l_tax"))),
+		&expr.ConstI64{V: 100})
+	proj := engine.NewProject(s, sel, "Q1/proj",
+		engine.Keep("l_returnflag", 4),
+		engine.Keep("l_linestatus", 5),
+		engine.Keep("l_quantity", 0),
+		engine.Keep("l_extendedprice", 1),
+		engine.ProjExpr{Name: "disc_price", Expr: discPrice},
+		engine.ProjExpr{Name: "charge", Expr: charge},
+		engine.Keep("l_discount", 2),
+	)
+	agg := engine.NewHashAgg(s, proj, "Q1/agg", []int{0, 1},
+		engine.Agg(engine.AggSum, 2, "sum_qty"),
+		engine.Agg(engine.AggSum, 3, "sum_base_price"),
+		engine.Agg(engine.AggSum, 4, "sum_disc_price"),
+		engine.Agg(engine.AggSum, 5, "sum_charge"),
+		engine.Agg(engine.AggAvg, 2, "avg_qty"),
+		engine.Agg(engine.AggAvg, 3, "avg_price"),
+		engine.Agg(engine.AggAvg, 6, "avg_disc"),
+		engine.Agg(engine.AggCount, -1, "count_order"),
+	)
+	sorted := engine.NewSort(s, agg, engine.Asc(0), engine.Asc(1))
+	return run(sorted)
+}
+
+// Q2 finds the minimum-cost supplier per part in EUROPE for size-15
+// %BRASS parts, with the min-cost correlated subquery as an aggregate +
+// join-back.
+func Q2(db *DB, s *core.Session) (*engine.Table, error) {
+	partScan := engine.NewScan(s, db.Part, "p_partkey", "p_mfgr", "p_size", "p_type")
+	partSel := engine.NewSelect(s, partScan, "Q2/part",
+		engine.CmpVal(2, "==", 15),
+		engine.Like(3, "%BRASS"))
+
+	ps := engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
+	j1 := engine.NewHashJoin(s, partSel, ps, "Q2/j_part", "p_partkey", "ps_partkey", []string{"p_mfgr"})
+
+	supp := engine.NewScan(s, db.Supplier, "s_suppkey", "s_name", "s_nationkey", "s_acctbal")
+	j2 := engine.NewHashJoin(s, supp, j1, "Q2/j_supp", "s_suppkey", "ps_suppkey",
+		[]string{"s_name", "s_acctbal", "s_nationkey"})
+
+	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
+		"Q2/region", engine.CmpVal(1, "==", "EUROPE"))
+	natScan := engine.NewScan(s, db.Nation, "n_nationkey", "n_name", "n_regionkey")
+	natEur := semiJoin(s, regSel, natScan, "Q2/j_region", "r_regionkey", "n_regionkey")
+	natTab, err := run(natEur)
+	if err != nil {
+		return nil, err
+	}
+	j3 := engine.NewHashJoin(s, engine.NewScan(s, natTab), j2, "Q2/j_nation",
+		"n_nationkey", "s_nationkey", []string{"n_name"})
+
+	joined, err := run(j3)
+	if err != nil {
+		return nil, err
+	}
+	minAgg := engine.NewHashAgg(s, engine.NewScan(s, joined), "Q2/minagg",
+		[]int{joined.Sch.MustIndexOf("ps_partkey")},
+		engine.Agg(engine.AggMin, joined.Sch.MustIndexOf("ps_supplycost"), "min_cost"))
+	minTab, err := run(minAgg)
+	if err != nil {
+		return nil, err
+	}
+	back := engine.NewHashJoin(s, engine.NewScan(s, minTab), engine.NewScan(s, joined),
+		"Q2/j_back", "ps_partkey", "ps_partkey", []string{"min_cost"})
+	final := engine.NewSelect(s, back, "Q2/selmin",
+		engine.CmpCol(back.Schema().MustIndexOf("ps_supplycost"), "==", back.Schema().MustIndexOf("min_cost")))
+	sorted := engine.NewTopN(s, final, 100,
+		engine.Desc(final.Schema().MustIndexOf("s_acctbal")),
+		engine.Asc(final.Schema().MustIndexOf("n_name")),
+		engine.Asc(final.Schema().MustIndexOf("s_name")),
+		engine.Asc(final.Schema().MustIndexOf("ps_partkey")))
+	return run(sorted)
+}
+
+// Q3 is the shipping-priority query: BUILDING customers, pre-date orders,
+// post-date lineitems, top-10 revenue. orders-lineitem is a merge join on
+// the clustered orderkey.
+func Q3(db *DB, s *core.Session) (*engine.Table, error) {
+	cutoff := int(Date(1995, 3, 15))
+	cust := engine.NewSelect(s,
+		engine.NewScan(s, db.Customer, "c_custkey", "c_mktsegment"),
+		"Q3/cust", engine.CmpVal(1, "==", "BUILDING"))
+	ord := engine.NewSelect(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"),
+		"Q3/ord", engine.CmpVal(2, "<", cutoff))
+	ordB := semiJoin(s, cust, ord, "Q3/j_cust", "c_custkey", "o_custkey")
+
+	li := engine.NewSelect(s,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
+		"Q3/li", engine.CmpVal(3, ">", cutoff))
+	mj := engine.NewMergeJoin(s, ordB, li, "Q3/mj", "o_orderkey", "l_orderkey",
+		[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+		[]string{"l_extendedprice", "l_discount"})
+	proj := engine.NewProject(s, mj, "Q3/proj",
+		engine.Keep("o_orderkey", 0),
+		engine.Keep("o_orderdate", 1),
+		engine.Keep("o_shippriority", 2),
+		engine.ProjExpr{Name: "rev", Expr: revenue(mj, "l_extendedprice", "l_discount")},
+	)
+	agg := engine.NewHashAgg(s, proj, "Q3/agg", []int{0, 1, 2},
+		engine.Agg(engine.AggSum, 3, "revenue"))
+	sorted := engine.NewTopN(s, agg, 10, engine.Desc(3), engine.Asc(1))
+	return run(sorted)
+}
+
+// Q4 is the order-priority check: orders in a quarter having at least one
+// late lineitem (semi join), counted per priority.
+func Q4(db *DB, s *core.Session) (*engine.Table, error) {
+	li := engine.NewScan(s, db.Lineitem, "l_orderkey", "l_commitdate", "l_receiptdate")
+	late := engine.NewSelect(s, li, "Q4/late", engine.CmpCol(1, "<", 2))
+	ord := engine.NewSelect(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderdate", "o_orderpriority"),
+		"Q4/ord",
+		engine.CmpVal(1, ">=", int(Date(1993, 7, 1))),
+		engine.CmpVal(1, "<", int(Date(1993, 10, 1))))
+	j := semiJoin(s, late, ord, "Q4/j", "l_orderkey", "o_orderkey")
+	agg := engine.NewHashAgg(s, j, "Q4/agg", []int{2},
+		engine.Agg(engine.AggCount, -1, "order_count"))
+	sorted := engine.NewSort(s, agg, engine.Asc(0))
+	return run(sorted)
+}
+
+// Q5 is local-supplier volume in ASIA for 1994: a five-way join with the
+// customer-nation = supplier-nation constraint as a column-column select.
+func Q5(db *DB, s *core.Session) (*engine.Table, error) {
+	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
+		"Q5/region", engine.CmpVal(1, "==", "ASIA"))
+	nat := semiJoin(s, regSel,
+		engine.NewScan(s, db.Nation, "n_nationkey", "n_name", "n_regionkey"),
+		"Q5/j_region", "r_regionkey", "n_regionkey")
+	natTab, err := run(nat)
+	if err != nil {
+		return nil, err
+	}
+	supp := engine.NewHashJoin(s, engine.NewScan(s, natTab),
+		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
+		"Q5/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
+	suppTab, err := run(supp)
+	if err != nil {
+		return nil, err
+	}
+
+	ord := engine.NewSelect(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
+		"Q5/ord",
+		engine.CmpVal(2, ">=", int(Date(1994, 1, 1))),
+		engine.CmpVal(2, "<", int(Date(1995, 1, 1))))
+	mj := engine.NewMergeJoin(s, ord,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		"Q5/mj", "o_orderkey", "l_orderkey",
+		[]string{"o_custkey"},
+		[]string{"l_suppkey", "l_extendedprice", "l_discount"})
+	j2 := engine.NewHashJoin(s, engine.NewScan(s, suppTab), mj, "Q5/j_supp",
+		"s_suppkey", "l_suppkey", []string{"n_name", "s_nationkey"})
+	j3 := engine.NewHashJoin(s,
+		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
+		j2, "Q5/j_cust", "c_custkey", "o_custkey", []string{"c_nationkey"})
+	filt := engine.NewSelect(s, j3, "Q5/samenation",
+		engine.CmpCol(idx(j3, "s_nationkey"), "==", idx(j3, "c_nationkey")))
+	proj := engine.NewProject(s, filt, "Q5/proj",
+		engine.Keep("n_name", idx(filt, "n_name")),
+		engine.ProjExpr{Name: "rev", Expr: revenue(filt, "l_extendedprice", "l_discount")})
+	agg := engine.NewHashAgg(s, proj, "Q5/agg", []int{0},
+		engine.Agg(engine.AggSum, 1, "revenue"))
+	sorted := engine.NewSort(s, agg, engine.Desc(1))
+	return run(sorted)
+}
+
+// Q6 is the forecasting revenue-change query: three selections on one
+// lineitem scan and a global aggregate — the paper's canonical selection-
+// dominated query (the biggest heuristics/adaptivity win in Table 11).
+func Q6(db *DB, s *core.Session) (*engine.Table, error) {
+	scan := engine.NewScan(s, db.Lineitem, "l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
+	sel := engine.NewSelect(s, scan, "Q6/sel",
+		engine.CmpVal(0, ">=", int(Date(1994, 1, 1))),
+		engine.CmpVal(0, "<", int(Date(1995, 1, 1))),
+		engine.CmpVal(1, ">=", 5),
+		engine.CmpVal(1, "<=", 7),
+		engine.CmpVal(2, "<", 24))
+	proj := engine.NewProject(s, sel, "Q6/proj",
+		engine.ProjExpr{Name: "rev", Expr: expr.Div(
+			expr.Mul(col(sel, "l_extendedprice"), col(sel, "l_discount")),
+			&expr.ConstI64{V: 100})})
+	agg := engine.NewHashAgg(s, proj, "Q6/agg", nil,
+		engine.Agg(engine.AggSum, 0, "revenue"))
+	return run(agg)
+}
+
+// Q7 is the volume-shipping query between FRANCE and GERMANY, grouped by
+// the shipping year; orders-lineitem runs as the merge join of Figure 4(c).
+func Q7(db *DB, s *core.Session) (*engine.Table, error) {
+	natPair := engine.NewSelect(s, engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
+		"Q7/nations", engine.InStr(1, "FRANCE", "GERMANY"))
+	natTab, err := run(natPair)
+	if err != nil {
+		return nil, err
+	}
+	suppJ := engine.NewHashJoin(s, engine.NewScan(s, natTab),
+		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
+		"Q7/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
+	suppTab, err := run(suppJ)
+	if err != nil {
+		return nil, err
+	}
+	suppTab = engine.Rename(suppTab, map[string]string{"n_name": "supp_nation"})
+	custJ := engine.NewHashJoin(s, engine.NewScan(s, natTab),
+		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
+		"Q7/j_custnat", "n_nationkey", "c_nationkey", []string{"n_name"})
+	custTab, err := run(custJ)
+	if err != nil {
+		return nil, err
+	}
+	custTab = engine.Rename(custTab, map[string]string{"n_name": "cust_nation"})
+
+	li := engine.NewSelect(s,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
+		"Q7/li",
+		engine.CmpVal(4, ">=", int(Date(1995, 1, 1))),
+		engine.CmpVal(4, "<=", int(Date(1996, 12, 31))))
+	mj := engine.NewMergeJoin(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey"),
+		li, "Q7/mj", "o_orderkey", "l_orderkey",
+		[]string{"o_custkey"},
+		[]string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"})
+	j1 := engine.NewHashJoin(s, engine.NewScan(s, suppTab), mj, "Q7/j_supp",
+		"s_suppkey", "l_suppkey", []string{"supp_nation"})
+	j2 := engine.NewHashJoin(s, engine.NewScan(s, custTab), j1, "Q7/j_cust",
+		"c_custkey", "o_custkey", []string{"cust_nation"})
+	pairSel := engine.NewSelect(s, j2, "Q7/pair",
+		engine.CmpCol(idx(j2, "supp_nation"), "!=", idx(j2, "cust_nation")))
+	proj := engine.NewProject(s, pairSel, "Q7/proj",
+		engine.Keep("supp_nation", idx(pairSel, "supp_nation")),
+		engine.Keep("cust_nation", idx(pairSel, "cust_nation")),
+		engine.ProjExpr{Name: "l_year", Expr: yearOf(pairSel, "l_shipdate")},
+		engine.ProjExpr{Name: "volume", Expr: revenue(pairSel, "l_extendedprice", "l_discount")})
+	agg := engine.NewHashAgg(s, proj, "Q7/agg", []int{0, 1, 2},
+		engine.Agg(engine.AggSum, 3, "revenue"))
+	sorted := engine.NewSort(s, agg, engine.Asc(0), engine.Asc(1), engine.Asc(2))
+	return run(sorted)
+}
+
+// Q8 is national market share: BRAZIL's fraction of AMERICA's ECONOMY
+// ANODIZED STEEL volume per year, via an indicator CASE expression.
+func Q8(db *DB, s *core.Session) (*engine.Table, error) {
+	partSel := engine.NewSelect(s, engine.NewScan(s, db.Part, "p_partkey", "p_type"),
+		"Q8/part", engine.CmpVal(1, "==", "ECONOMY ANODIZED STEEL"))
+	li := semiJoin(s, partSel,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		"Q8/j_part", "p_partkey", "l_partkey")
+	ord := engine.NewSelect(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
+		"Q8/ord",
+		engine.CmpVal(2, ">=", int(Date(1995, 1, 1))),
+		engine.CmpVal(2, "<=", int(Date(1996, 12, 31))))
+	mj := engine.NewMergeJoin(s, ord, li, "Q8/mj", "o_orderkey", "l_orderkey",
+		[]string{"o_custkey", "o_orderdate"},
+		[]string{"l_suppkey", "l_extendedprice", "l_discount"})
+
+	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
+		"Q8/region", engine.CmpVal(1, "==", "AMERICA"))
+	natAm := semiJoin(s, regSel,
+		engine.NewScan(s, db.Nation, "n_nationkey", "n_regionkey"),
+		"Q8/j_region", "r_regionkey", "n_regionkey")
+	natAmTab, err := run(natAm)
+	if err != nil {
+		return nil, err
+	}
+	custAm := semiJoin(s, engine.NewScan(s, natAmTab),
+		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
+		"Q8/j_custnat", "n_nationkey", "c_nationkey")
+	custAmTab, err := run(custAm)
+	if err != nil {
+		return nil, err
+	}
+	j1 := semiJoin(s, engine.NewScan(s, custAmTab), mj, "Q8/j_cust", "c_custkey", "o_custkey")
+
+	suppNat := engine.NewHashJoin(s,
+		engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
+		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
+		"Q8/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
+	suppNatTab, err := run(suppNat)
+	if err != nil {
+		return nil, err
+	}
+	j2 := engine.NewHashJoin(s, engine.NewScan(s, suppNatTab), j1, "Q8/j_supp",
+		"s_suppkey", "l_suppkey", []string{"n_name"})
+
+	vol := revenue(j2, "l_extendedprice", "l_discount")
+	proj := engine.NewProject(s, j2, "Q8/proj",
+		engine.ProjExpr{Name: "o_year", Expr: yearOf(j2, "o_orderdate")},
+		engine.ProjExpr{Name: "volume", Expr: vol},
+		engine.ProjExpr{Name: "brazil_volume", Expr: expr.Mul(
+			&expr.CaseEqStr{Col: col(j2, "n_name"), Value: "BRAZIL", Then: 1, Else: 0},
+			vol)})
+	agg := engine.NewHashAgg(s, proj, "Q8/agg", []int{0},
+		engine.Agg(engine.AggSum, 2, "brazil_volume"),
+		engine.Agg(engine.AggSum, 1, "total_volume"))
+	aggTab, err := run(engine.NewSort(s, agg, engine.Asc(0)))
+	if err != nil {
+		return nil, err
+	}
+	// Final share = brazil/total per year, computed in the delivery step.
+	years := aggTab.Col("o_year").I64()[:aggTab.Rows()]
+	br := aggTab.Col("brazil_volume").I64()[:aggTab.Rows()]
+	tot := aggTab.Col("total_volume").I64()[:aggTab.Rows()]
+	share := make([]float64, aggTab.Rows())
+	for i := range share {
+		if tot[i] != 0 {
+			share[i] = float64(br[i]) / float64(tot[i])
+		}
+	}
+	return engine.NewTable("q8", vector.Schema{
+		{Name: "o_year", Type: vector.I64},
+		{Name: "mkt_share", Type: vector.F64},
+	}, []*vector.Vector{vector.FromI64(years), vector.FromF64(share)}), nil
+}

@@ -1,0 +1,264 @@
+package tpch
+
+import (
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/vector"
+)
+
+// Q17 is small-quantity-order revenue: lineitems below 20% of their part's
+// average quantity, for one brand/container.
+func Q17(db *DB, s *core.Session) (*engine.Table, error) {
+	partSel := engine.NewSelect(s,
+		engine.NewScan(s, db.Part, "p_partkey", "p_brand", "p_container"),
+		"Q17/part",
+		engine.CmpVal(1, "==", "Brand#23"),
+		engine.CmpVal(2, "==", "MED BOX"))
+	li := semiJoin(s, partSel,
+		engine.NewScan(s, db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice"),
+		"Q17/j_part", "p_partkey", "l_partkey")
+	liTab, err := run(li)
+	if err != nil {
+		return nil, err
+	}
+	avgAgg := engine.NewHashAgg(s, engine.NewScan(s, liTab), "Q17/avg", []int{0},
+		engine.Agg(engine.AggAvg, 1, "avg_qty"))
+	avgTab, err := run(avgAgg)
+	if err != nil {
+		return nil, err
+	}
+	j := engine.NewHashJoin(s, engine.NewScan(s, avgTab), engine.NewScan(s, liTab),
+		"Q17/j_back", "l_partkey", "l_partkey", []string{"avg_qty"})
+	proj := engine.NewProject(s, j, "Q17/proj",
+		engine.Keep("l_extendedprice", idx(j, "l_extendedprice")),
+		engine.ProjExpr{Name: "qty_f", Expr: expr.CastF64(col(j, "l_quantity"))},
+		engine.ProjExpr{Name: "limit_f", Expr: expr.Mul(col(j, "avg_qty"), &expr.ConstF64{V: 0.2})})
+	sel := engine.NewSelect(s, proj, "Q17/sel", engine.CmpCol(1, "<", 2))
+	sumAgg, err := run(engine.NewHashAgg(s, sel, "Q17/sum", nil,
+		engine.Agg(engine.AggSum, 0, "sum_price")))
+	if err != nil {
+		return nil, err
+	}
+	yearly := float64(scalarI64(sumAgg, "sum_price")) / 7.0
+	return singleRow("q17", vector.Schema{{Name: "avg_yearly", Type: vector.F64}}, yearly), nil
+}
+
+// Q18 is large-volume customers: orders whose total quantity exceeds 300.
+func Q18(db *DB, s *core.Session) (*engine.Table, error) {
+	perOrder := engine.NewHashAgg(s,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_quantity"),
+		"Q18/perorder", []int{0},
+		engine.Agg(engine.AggSum, 1, "sum_qty"))
+	big := engine.NewSelect(s, perOrder, "Q18/big", engine.CmpVal(1, ">", 300))
+	j := engine.NewHashJoin(s, big,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"),
+		"Q18/j_ord", "l_orderkey", "o_orderkey", []string{"sum_qty"})
+	j2 := engine.NewHashJoin(s,
+		engine.NewScan(s, db.Customer, "c_custkey", "c_name"),
+		j, "Q18/j_cust", "c_custkey", "o_custkey", []string{"c_name"})
+	sorted := engine.NewTopN(s, j2, 100,
+		engine.Desc(idx(j2, "o_totalprice")), engine.Asc(idx(j2, "o_orderdate")))
+	return run(sorted)
+}
+
+// q19Branch computes one disjunct of Q19 (the branches are disjoint by
+// brand, so their revenues add).
+func q19Branch(db *DB, s *core.Session, label, brand string, containers []string, qtyLo, qtyHi, sizeHi int) (int64, error) {
+	li := engine.NewSelect(s,
+		engine.NewScan(s, db.Lineitem,
+			"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipinstruct", "l_shipmode"),
+		label+"/li",
+		engine.InStr(5, "AIR", "REG AIR"),
+		engine.CmpVal(4, "==", "DELIVER IN PERSON"),
+		engine.CmpVal(1, ">=", qtyLo),
+		engine.CmpVal(1, "<=", qtyHi))
+	part := engine.NewSelect(s,
+		engine.NewScan(s, db.Part, "p_partkey", "p_brand", "p_container", "p_size"),
+		label+"/part",
+		engine.CmpVal(1, "==", brand),
+		engine.InStr(2, containers...),
+		engine.CmpVal(3, ">=", 1),
+		engine.CmpVal(3, "<=", sizeHi))
+	j := semiJoin(s, part, li, label+"/j", "p_partkey", "l_partkey")
+	proj := engine.NewProject(s, j, label+"/proj",
+		engine.ProjExpr{Name: "rev", Expr: revenue(j, "l_extendedprice", "l_discount")})
+	agg, err := run(engine.NewHashAgg(s, proj, label+"/agg", nil,
+		engine.Agg(engine.AggSum, 0, "revenue")))
+	if err != nil {
+		return 0, err
+	}
+	return scalarI64(agg, "revenue"), nil
+}
+
+// Q19 is discounted revenue over three brand/container/quantity disjuncts.
+func Q19(db *DB, s *core.Session) (*engine.Table, error) {
+	r1, err := q19Branch(db, s, "Q19/b1", "Brand#12",
+		[]string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := q19Branch(db, s, "Q19/b2", "Brand#23",
+		[]string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10)
+	if err != nil {
+		return nil, err
+	}
+	r3, err := q19Branch(db, s, "Q19/b3", "Brand#34",
+		[]string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15)
+	if err != nil {
+		return nil, err
+	}
+	return singleRow("q19", vector.Schema{{Name: "revenue", Type: vector.I64}}, r1+r2+r3), nil
+}
+
+// Q20 is potential part promotion: suppliers of forest% parts whose
+// availability exceeds half of the year's shipped quantity.
+func Q20(db *DB, s *core.Session) (*engine.Table, error) {
+	partForest := engine.NewSelect(s,
+		engine.NewScan(s, db.Part, "p_partkey", "p_name"),
+		"Q20/part", engine.Like(1, "forest%"))
+	partTab, err := run(partForest)
+	if err != nil {
+		return nil, err
+	}
+
+	li := engine.NewSelect(s,
+		engine.NewScan(s, db.Lineitem, "l_partkey", "l_suppkey", "l_quantity", "l_shipdate"),
+		"Q20/li",
+		engine.CmpVal(3, ">=", int(Date(1994, 1, 1))),
+		engine.CmpVal(3, "<", int(Date(1995, 1, 1))))
+	liForest := semiJoin(s, engine.NewScan(s, partTab), li, "Q20/j_part", "p_partkey", "l_partkey")
+	liPacked := engine.NewProject(s, liForest, "Q20/pack",
+		engine.ProjExpr{Name: "ps_key", Expr: packKey(liForest, "l_partkey", "l_suppkey")},
+		engine.Keep("l_quantity", 2))
+	qtyAgg := engine.NewHashAgg(s, liPacked, "Q20/qty", []int{0},
+		engine.Agg(engine.AggSum, 1, "sum_qty"))
+	qtyTab, err := run(qtyAgg)
+	if err != nil {
+		return nil, err
+	}
+
+	psForest := semiJoin(s, engine.NewScan(s, partTab),
+		engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty"),
+		"Q20/j_ps", "p_partkey", "ps_partkey")
+	psPacked := engine.NewProject(s, psForest, "Q20/pspack",
+		engine.ProjExpr{Name: "ps_key", Expr: packKey(psForest, "ps_partkey", "ps_suppkey")},
+		engine.Keep("ps_suppkey", 1),
+		engine.ProjExpr{Name: "avail2", Expr: expr.Mul(
+			expr.ToI64(col(psForest, "ps_availqty")), &expr.ConstI64{V: 2})})
+	j := engine.NewHashJoin(s, engine.NewScan(s, qtyTab), psPacked, "Q20/j_qty",
+		"ps_key", "ps_key", []string{"sum_qty"})
+	excess := engine.NewSelect(s, j, "Q20/excess",
+		engine.CmpCol(idx(j, "avail2"), ">", idx(j, "sum_qty")))
+	suppKeys := engine.NewHashAgg(s, excess, "Q20/supps", []int{idx(j, "ps_suppkey")},
+		engine.Agg(engine.AggCount, -1, "n"))
+	suppKeysTab, err := run(suppKeys)
+	if err != nil {
+		return nil, err
+	}
+
+	suppCA := nationFilteredSuppliers(db, s, "Q20", "CANADA")
+	final := semiJoin(s, engine.NewScan(s, suppKeysTab), suppCA, "Q20/final", "ps_suppkey", "s_suppkey")
+	sorted := engine.NewSort(s, final, engine.Asc(idx(final, "s_name")))
+	return run(sorted)
+}
+
+// Q21 is suppliers who kept orders waiting: the multi-exists query. Its
+// hash joins carry bloom-filter pre-filters — the sel_bloomfilter
+// primitive of Figure 11(d) and Table 8.
+func Q21(db *DB, s *core.Session) (*engine.Table, error) {
+	// Distinct (orderkey, suppkey) pairs over all lineitems and over the
+	// late lineitems.
+	allPairs := engine.NewHashAgg(s,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey"),
+		"Q21/allpairs", []int{0, 1},
+		engine.Agg(engine.AggCount, -1, "n"))
+	allPairsTab, err := run(allPairs)
+	if err != nil {
+		return nil, err
+	}
+	cntAll := engine.NewHashAgg(s, engine.NewScan(s, allPairsTab), "Q21/cntall", []int{0},
+		engine.Agg(engine.AggCount, -1, "nsupp"))
+	multiSupp := engine.NewSelect(s, cntAll, "Q21/multi", engine.CmpVal(1, ">=", 2))
+
+	late := engine.NewSelect(s,
+		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+		"Q21/late", engine.CmpCol(3, ">", 2))
+	latePairs := engine.NewHashAgg(s, late, "Q21/latepairs", []int{0, 1},
+		engine.Agg(engine.AggCount, -1, "n"))
+	latePairsTab, err := run(latePairs)
+	if err != nil {
+		return nil, err
+	}
+	cntLate := engine.NewHashAgg(s, engine.NewScan(s, latePairsTab), "Q21/cntlate", []int{0},
+		engine.Agg(engine.AggCount, -1, "nlate"))
+	soloLate := engine.NewSelect(s, cntLate, "Q21/solo", engine.CmpVal(1, "==", 1))
+
+	// Candidate pairs: late pairs whose order has >=2 suppliers overall
+	// and exactly one late supplier; bloom filters pay off because most
+	// probes miss.
+	cand := engine.NewHashJoin(s, multiSupp, engine.NewScan(s, latePairsTab),
+		"Q21/j_multi", "l_orderkey", "l_orderkey", nil,
+		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
+	cand2 := engine.NewHashJoin(s, soloLate, cand, "Q21/j_solo",
+		"l_orderkey", "l_orderkey", nil,
+		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
+
+	ordF := engine.NewSelect(s,
+		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderstatus"),
+		"Q21/ordF", engine.CmpVal(1, "==", "F"))
+	cand3 := engine.NewHashJoin(s, ordF, cand2, "Q21/j_ord",
+		"o_orderkey", "l_orderkey", nil,
+		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
+
+	suppSA := nationFilteredSuppliers(db, s, "Q21", "SAUDI ARABIA")
+	suppSATab, err := run(suppSA)
+	if err != nil {
+		return nil, err
+	}
+	final := engine.NewHashJoin(s, engine.NewScan(s, suppSATab), cand3, "Q21/j_supp",
+		"s_suppkey", "l_suppkey", []string{"s_name"}, engine.WithBloom(8))
+	agg := engine.NewHashAgg(s, final, "Q21/agg", []int{idx(final, "s_name")},
+		engine.Agg(engine.AggCount, -1, "numwait"))
+	sorted := engine.NewTopN(s, agg, 100, engine.Desc(1), engine.Asc(0))
+	return run(sorted)
+}
+
+// Q22 is global sales opportunity: well-funded customers in selected
+// country codes with no orders.
+func Q22(db *DB, s *core.Session) (*engine.Table, error) {
+	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
+	custScan := engine.NewScan(s, db.Customer, "c_custkey", "c_acctbal", "c_phone")
+	custProj := engine.NewProject(s, custScan, "Q22/proj",
+		engine.Keep("c_custkey", 0),
+		engine.Keep("c_acctbal", 1),
+		engine.ProjExpr{Name: "cntrycode", Expr: &expr.Substr{Child: col(custScan, "c_phone"), From: 0, Len: 2}})
+	custSel := engine.NewSelect(s, custProj, "Q22/codes", engine.InStr(2, codes...))
+	custTab, err := run(custSel)
+	if err != nil {
+		return nil, err
+	}
+
+	posBal := engine.NewSelect(s, engine.NewScan(s, custTab), "Q22/posbal",
+		engine.CmpVal(1, ">", 0.0))
+	avgAgg, err := run(engine.NewHashAgg(s, posBal, "Q22/avg", nil,
+		engine.Agg(engine.AggAvg, 1, "avg_bal")))
+	if err != nil {
+		return nil, err
+	}
+	avgBal := scalarF64(avgAgg, "avg_bal")
+
+	rich := engine.NewSelect(s, engine.NewScan(s, custTab), "Q22/rich",
+		engine.CmpVal(1, ">", avgBal))
+	ordCust := engine.NewHashAgg(s,
+		engine.NewScan(s, db.Orders, "o_custkey"),
+		"Q22/ordcust", []int{0},
+		engine.Agg(engine.AggCount, -1, "n"))
+	noOrders := engine.NewHashJoin(s, ordCust, rich, "Q22/anti",
+		"o_custkey", "c_custkey", nil, engine.WithKind(engine.AntiJoin))
+	agg := engine.NewHashAgg(s, noOrders, "Q22/agg", []int{2},
+		engine.Agg(engine.AggCount, -1, "numcust"),
+		engine.Agg(engine.AggSum, 1, "totacctbal"))
+	sorted := engine.NewSort(s, agg, engine.Asc(0))
+	return run(sorted)
+}

@@ -1,0 +1,113 @@
+package tpch
+
+import (
+	"fmt"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/primitive"
+	"microadapt/internal/vector"
+)
+
+// Spec describes one TPC-H query: its number and a runner that builds the
+// physical plan(s), executes them through the session's adaptive primitive
+// instances, and returns the result table.
+type Spec struct {
+	ID   int
+	Name string
+	Run  func(db *DB, s *core.Session) (*engine.Table, error)
+}
+
+// Queries returns all 22 TPC-H queries in order.
+func Queries() []Spec {
+	return []Spec{
+		{1, "Q01", Q1}, {2, "Q02", Q2}, {3, "Q03", Q3}, {4, "Q04", Q4},
+		{5, "Q05", Q5}, {6, "Q06", Q6}, {7, "Q07", Q7}, {8, "Q08", Q8},
+		{9, "Q09", Q9}, {10, "Q10", Q10}, {11, "Q11", Q11}, {12, "Q12", Q12},
+		{13, "Q13", Q13}, {14, "Q14", Q14}, {15, "Q15", Q15}, {16, "Q16", Q16},
+		{17, "Q17", Q17}, {18, "Q18", Q18}, {19, "Q19", Q19}, {20, "Q20", Q20},
+		{21, "Q21", Q21}, {22, "Q22", Q22},
+	}
+}
+
+// Query returns the spec of query n (1-22).
+func Query(n int) Spec {
+	qs := Queries()
+	if n < 1 || n > len(qs) {
+		panic(fmt.Sprintf("tpch: no query %d", n))
+	}
+	return qs[n-1]
+}
+
+// idx resolves a column name in an operator's schema.
+func idx(op engine.Operator, name string) int { return op.Schema().MustIndexOf(name) }
+
+// col builds a column-reference expression by name.
+func col(op engine.Operator, name string) expr.Node { return &expr.Col{Idx: idx(op, name)} }
+
+// revenue builds l_extendedprice * (100 - l_discount) / 100 over int64
+// cents, the expression at the heart of most TPC-H aggregates.
+func revenue(op engine.Operator, priceCol, discCol string) expr.Node {
+	return expr.Div(
+		expr.Mul(col(op, priceCol), expr.Sub(&expr.ConstI64{V: 100}, col(op, discCol))),
+		&expr.ConstI64{V: 100})
+}
+
+// yearOf builds year(dateCol) as an expression.
+func yearOf(op engine.Operator, dateCol string) expr.Node {
+	return &expr.MapI64{Child: expr.ToI64(col(op, dateCol)), Fn: YearOf}
+}
+
+// packKey builds partkey*1_000_000 + suppkey, the composite-key packing
+// used for partsupp joins (Q9, Q20).
+func packKey(op engine.Operator, partCol, suppCol string) expr.Node {
+	return expr.Add(
+		expr.Mul(expr.ToI64(col(op, partCol)), &expr.ConstI64{V: 1_000_000}),
+		expr.ToI64(col(op, suppCol)))
+}
+
+// scalarI64 reads row 0 of a named column as int64.
+func scalarI64(t *engine.Table, name string) int64 { return t.Col(name).GetI64(0) }
+
+// scalarF64 reads row 0 of a named column as float64.
+func scalarF64(t *engine.Table, name string) float64 { return t.Col(name).GetF64(0) }
+
+// run materializes an operator tree.
+func run(op engine.Operator) (*engine.Table, error) { return engine.Materialize(op) }
+
+// singleRow builds a one-row result table (for scalar-result queries).
+func singleRow(name string, cols []vector.Col, vals ...any) *engine.Table {
+	vecs := make([]*vector.Vector, len(cols))
+	for i, c := range cols {
+		switch c.Type {
+		case vector.I64:
+			vecs[i] = vector.FromI64([]int64{vals[i].(int64)})
+		case vector.F64:
+			vecs[i] = vector.FromF64([]float64{vals[i].(float64)})
+		case vector.Str:
+			vecs[i] = vector.FromStr([]string{vals[i].(string)})
+		default:
+			panic("tpch.singleRow: unsupported type")
+		}
+	}
+	return engine.NewTable(name, cols, vecs)
+}
+
+// semiJoin is shorthand for a semi hash join probe⋉build.
+func semiJoin(s *core.Session, build, probe engine.Operator, label, buildKey, probeKey string) *engine.HashJoin {
+	return engine.NewHashJoin(s, build, probe, label, buildKey, probeKey, nil, engine.WithKind(engine.SemiJoin))
+}
+
+// nationFilteredSuppliers returns suppliers from the named nation
+// (semi-joined), a pattern several queries share.
+func nationFilteredSuppliers(db *DB, s *core.Session, label, nationName string) engine.Operator {
+	natScan := engine.NewScan(s, db.Nation, "n_nationkey", "n_name")
+	natSel := engine.NewSelect(s, natScan, label+"/nation", engine.CmpVal(1, "==", nationName))
+	supp := engine.NewScan(s, db.Supplier, "s_suppkey", "s_name", "s_nationkey")
+	return semiJoin(s, natSel, supp, label+"/suppnat", "n_nationkey", "s_nationkey")
+}
+
+// widenGroupKey is a no-op marker documenting that aggregate group columns
+// come out widened to I64; joins against them widen the other side too.
+var _ = primitive.WidenToI64

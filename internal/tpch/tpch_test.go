@@ -1,0 +1,326 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+)
+
+// testDB is shared across tests (generation is the expensive part).
+var testDB = Generate(0.005, 42)
+
+func newSession(t testing.TB, o primitive.Options, chooser core.ChooserFactory) *core.Session {
+	t.Helper()
+	dict := primitive.NewDictionary(o)
+	opts := []core.SessionOption{core.WithVectorSize(128), core.WithSeed(7)}
+	if chooser != nil {
+		opts = append(opts, core.WithChooser(chooser))
+	}
+	return core.NewSession(dict, hw.Machine1(), opts...)
+}
+
+// tableFingerprint renders a table to a canonical string for equivalence
+// checks across flavor configurations.
+func tableFingerprint(t *engine.Table) string {
+	return engine.TableString(t, 0) + fmt.Sprintf("rows=%d", t.Rows())
+}
+
+func TestGenerateShapes(t *testing.T) {
+	db := testDB
+	if db.Region.Rows() != 5 {
+		t.Errorf("region rows = %d, want 5", db.Region.Rows())
+	}
+	if db.Nation.Rows() != 25 {
+		t.Errorf("nation rows = %d, want 25", db.Nation.Rows())
+	}
+	if db.Orders.Rows() < 1000 {
+		t.Errorf("orders rows = %d, want >= 1000", db.Orders.Rows())
+	}
+	if db.Lineitem.Rows() < 3*db.Orders.Rows() {
+		t.Errorf("lineitem rows = %d, want >= 3x orders (%d)", db.Lineitem.Rows(), db.Orders.Rows())
+	}
+	if db.PartSupp.Rows() != 4*db.Part.Rows() {
+		t.Errorf("partsupp rows = %d, want 4x part (%d)", db.PartSupp.Rows(), db.Part.Rows())
+	}
+}
+
+func TestOrdersClusteredByDate(t *testing.T) {
+	dates := testDB.Orders.Col("o_orderdate").I32()
+	violations := 0
+	for i := 1; i < len(dates); i++ {
+		if dates[i] < dates[i-1]-31 {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("order dates not clustered: %d violations", violations)
+	}
+}
+
+func TestLineitemDatesConsistent(t *testing.T) {
+	li := testDB.Lineitem
+	ship := li.Col("l_shipdate").I32()
+	receipt := li.Col("l_receiptdate").I32()
+	for i := 0; i < li.Rows(); i++ {
+		if receipt[i] <= ship[i] {
+			t.Fatalf("row %d: receiptdate %d <= shipdate %d", i, receipt[i], ship[i])
+		}
+	}
+}
+
+func TestLineitemSuppkeysExistInPartsupp(t *testing.T) {
+	type pair struct{ p, s int32 }
+	ps := make(map[pair]bool)
+	pk := testDB.PartSupp.Col("ps_partkey").I32()
+	sk := testDB.PartSupp.Col("ps_suppkey").I32()
+	for i := 0; i < testDB.PartSupp.Rows(); i++ {
+		ps[pair{pk[i], sk[i]}] = true
+	}
+	lp := testDB.Lineitem.Col("l_partkey").I32()
+	ls := testDB.Lineitem.Col("l_suppkey").I32()
+	for i := 0; i < testDB.Lineitem.Rows(); i++ {
+		if !ps[pair{lp[i], ls[i]}] {
+			t.Fatalf("lineitem %d references (%d,%d) missing from partsupp", i, lp[i], ls[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.002, 7)
+	b := Generate(0.002, 7)
+	if got, want := tableFingerprint(a.Lineitem), tableFingerprint(b.Lineitem); got != want {
+		t.Error("same seed produced different lineitem data")
+	}
+	c := Generate(0.002, 8)
+	if tableFingerprint(a.Lineitem) == tableFingerprint(c.Lineitem) {
+		t.Error("different seed produced identical lineitem data")
+	}
+}
+
+// TestAllQueriesRun executes every query on the default (single-flavor)
+// build and checks it produces a well-formed result.
+func TestAllQueriesRun(t *testing.T) {
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			s := newSession(t, primitive.Defaults(), nil)
+			tab, err := q.Run(testDB, s)
+			if err != nil {
+				t.Fatalf("%s failed: %v", q.Name, err)
+			}
+			if tab == nil {
+				t.Fatalf("%s returned nil table", q.Name)
+			}
+			if len(tab.Sch) == 0 {
+				t.Fatalf("%s returned empty schema", q.Name)
+			}
+			if s.Ctx.PrimCycles <= 0 {
+				t.Errorf("%s consumed no primitive cycles", q.Name)
+			}
+		})
+	}
+}
+
+// TestQueriesFlavorEquivalence is the core correctness property of Micro
+// Adaptivity: flavors are functionally equivalent, so every query must
+// produce identical results under any flavor configuration and any
+// selection policy.
+func TestQueriesFlavorEquivalence(t *testing.T) {
+	configs := []struct {
+		name    string
+		opts    primitive.Options
+		chooser core.ChooserFactory
+	}{
+		{"defaults", primitive.Defaults(), nil},
+		{"everything-vwgreedy", primitive.Everything(), nil},
+		{"everything-roundrobin", primitive.Everything(), func(n int) core.Chooser { return core.NewRoundRobin(n) }},
+		{"branchset-epsgreedy", primitive.BranchSet(), nil},
+	}
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			var want string
+			for ci, cfg := range configs {
+				s := newSession(t, cfg.opts, cfg.chooser)
+				tab, err := q.Run(testDB, s)
+				if err != nil {
+					t.Fatalf("%s under %s failed: %v", q.Name, cfg.name, err)
+				}
+				got := tableFingerprint(tab)
+				if ci == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: config %s produced different results", q.Name, cfg.name)
+				}
+			}
+		})
+	}
+}
+
+// TestQ1Values cross-checks Q1 aggregates against a straightforward Go
+// reimplementation of the query.
+func TestQ1Values(t *testing.T) {
+	s := newSession(t, primitive.Everything(), nil)
+	tab, err := Q1(testDB, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference computation.
+	li := testDB.Lineitem
+	cutoff := Date(1998, 9, 2)
+	type acc struct {
+		qty, base, disc, charge, count int64
+	}
+	ref := map[string]*acc{}
+	ship := li.Col("l_shipdate").I32()
+	rf := li.Col("l_returnflag").Str()
+	ls := li.Col("l_linestatus").Str()
+	qty := li.Col("l_quantity").I32()
+	price := li.Col("l_extendedprice").I64()
+	disc := li.Col("l_discount").I64()
+	tax := li.Col("l_tax").I64()
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] > cutoff {
+			continue
+		}
+		k := rf[i] + "|" + ls[i]
+		a := ref[k]
+		if a == nil {
+			a = &acc{}
+			ref[k] = a
+		}
+		dp := price[i] * (100 - disc[i]) / 100
+		ch := dp * (100 + tax[i]) / 100
+		a.qty += int64(qty[i])
+		a.base += price[i]
+		a.disc += dp
+		a.charge += ch
+		a.count++
+	}
+	if tab.Rows() != len(ref) {
+		t.Fatalf("Q1 groups = %d, want %d", tab.Rows(), len(ref))
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		k := tab.Col("l_returnflag").GetStr(r) + "|" + tab.Col("l_linestatus").GetStr(r)
+		a := ref[k]
+		if a == nil {
+			t.Fatalf("unexpected group %q", k)
+		}
+		if got := tab.Col("sum_qty").GetI64(r); got != a.qty {
+			t.Errorf("group %s sum_qty = %d, want %d", k, got, a.qty)
+		}
+		if got := tab.Col("sum_base_price").GetI64(r); got != a.base {
+			t.Errorf("group %s sum_base = %d, want %d", k, got, a.base)
+		}
+		if got := tab.Col("sum_disc_price").GetI64(r); got != a.disc {
+			t.Errorf("group %s sum_disc_price = %d, want %d", k, got, a.disc)
+		}
+		if got := tab.Col("sum_charge").GetI64(r); got != a.charge {
+			t.Errorf("group %s sum_charge = %d, want %d", k, got, a.charge)
+		}
+		if got := tab.Col("count_order").GetI64(r); got != a.count {
+			t.Errorf("group %s count = %d, want %d", k, got, a.count)
+		}
+	}
+}
+
+// TestQ6Value cross-checks the Q6 scalar.
+func TestQ6Value(t *testing.T) {
+	s := newSession(t, primitive.Everything(), nil)
+	tab, err := Q6(testDB, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := testDB.Lineitem
+	ship := li.Col("l_shipdate").I32()
+	disc := li.Col("l_discount").I64()
+	qty := li.Col("l_quantity").I32()
+	price := li.Col("l_extendedprice").I64()
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)
+	var want int64
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] >= lo && ship[i] < hi && disc[i] >= 5 && disc[i] <= 7 && qty[i] < 24 {
+			want += price[i] * disc[i] / 100
+		}
+	}
+	if got := tab.Col("revenue").GetI64(0); got != want {
+		t.Errorf("Q6 revenue = %d, want %d", got, want)
+	}
+}
+
+// TestQ12Values cross-checks Q12 counts.
+func TestQ12Values(t *testing.T) {
+	s := newSession(t, primitive.Everything(), nil)
+	tab, err := Q12(testDB, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := testDB.Lineitem
+	ord := testDB.Orders
+	prio := ord.Col("o_orderpriority").Str()
+	mode := li.Col("l_shipmode").Str()
+	okey := li.Col("l_orderkey").I32()
+	shipd := li.Col("l_shipdate").I32()
+	commitd := li.Col("l_commitdate").I32()
+	receiptd := li.Col("l_receiptdate").I32()
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)
+	want := map[string][2]int64{}
+	for i := 0; i < li.Rows(); i++ {
+		if (mode[i] != "MAIL" && mode[i] != "SHIP") ||
+			commitd[i] >= receiptd[i] || shipd[i] >= commitd[i] ||
+			receiptd[i] < lo || receiptd[i] >= hi {
+			continue
+		}
+		p := prio[okey[i]-1]
+		hl := want[mode[i]]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			hl[0]++
+		} else {
+			hl[1]++
+		}
+		want[mode[i]] = hl
+	}
+	if tab.Rows() != len(want) {
+		t.Fatalf("Q12 groups = %d, want %d", tab.Rows(), len(want))
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		m := tab.Col("l_shipmode").GetStr(r)
+		if got := tab.Col("high_line_count").GetI64(r); got != want[m][0] {
+			t.Errorf("%s high = %d, want %d", m, got, want[m][0])
+		}
+		if got := tab.Col("low_line_count").GetI64(r); got != want[m][1] {
+			t.Errorf("%s low = %d, want %d", m, got, want[m][1])
+		}
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if Date(1992, 1, 1) != 0 {
+		t.Errorf("epoch day = %d, want 0", Date(1992, 1, 1))
+	}
+	if Date(1992, 12, 31) != 365 {
+		t.Errorf("1992-12-31 = %d, want 365 (leap year)", Date(1992, 12, 31))
+	}
+	if got := Date(1993, 1, 1); got != 366 {
+		t.Errorf("1993-01-01 = %d, want 366", got)
+	}
+	if got := YearOf(int64(Date(1995, 6, 17))); got != 1995 {
+		t.Errorf("YearOf(1995-06-17) = %d", got)
+	}
+	for _, d := range []struct{ y, m, day int }{{1994, 1, 1}, {1996, 2, 29}, {1998, 8, 2}} {
+		day := Date(d.y, d.m, d.day)
+		want := fmt.Sprintf("%04d-%02d-%02d", d.y, d.m, d.day)
+		if got := DateString(day); got != want {
+			t.Errorf("DateString(%d) = %s, want %s", day, got, want)
+		}
+	}
+	if got := AddMonths(Date(1995, 10, 1), 3); got != Date(1996, 1, 1) {
+		t.Errorf("AddMonths(1995-10-01, 3) = %s", DateString(got))
+	}
+}

@@ -1,0 +1,163 @@
+// Package microadapt is a from-scratch Go reproduction of "Micro
+// Adaptivity in Vectorwise" (Răducanu, Boncz, Żukowski; SIGMOD 2013).
+//
+// Micro Adaptivity keeps many functionally equivalent implementations
+// ("flavors") of every vectorized query-execution primitive and picks one
+// at each call with a multi-armed-bandit learning algorithm — vw-greedy —
+// guided by the costs observed so far. This package is the public facade
+// over the full system: the flavor framework and bandit algorithms
+// (internal/core), the primitive library with every flavor axis the paper
+// studies (internal/primitive), the vectorized engine and TPC-H workload
+// (internal/engine, internal/tpch), the virtual-hardware substitution for
+// compilers and machines (internal/hw), and the experiment harness that
+// regenerates every table and figure of the paper (internal/bench).
+//
+// Quickstart:
+//
+//	sess := microadapt.NewSession(microadapt.AllFlavors(), microadapt.Machine1())
+//	db := microadapt.GenerateTPCH(0.01, 42)
+//	result, err := microadapt.RunQuery(db, sess, 12)
+//
+// See examples/ for runnable programs and cmd/madapt for the CLI.
+package microadapt
+
+import (
+	"io"
+	"math/rand"
+
+	"microadapt/internal/bench"
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/heuristics"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/tpch"
+)
+
+// Re-exported core types. See the internal packages for full API docs.
+type (
+	// Session owns a primitive dictionary, a machine profile, a flavor-
+	// selection policy and the primitive instances of executed plans.
+	Session = core.Session
+	// Chooser is a flavor-selection policy (a bandit over flavors).
+	Chooser = core.Chooser
+	// ChooserFactory builds a fresh Chooser for an n-flavor instance.
+	ChooserFactory = core.ChooserFactory
+	// VWParams are the vw-greedy tuning knobs (§3.2 of the paper).
+	VWParams = core.VWParams
+	// Machine is a virtual machine profile (Table 2 of the paper).
+	Machine = hw.Machine
+	// FlavorOptions selects which flavor axes get registered.
+	FlavorOptions = primitive.Options
+	// DB is a generated TPC-H database.
+	DB = tpch.DB
+	// Table is an in-memory column-store relation (also query results).
+	Table = engine.Table
+	// ExperimentConfig parameterizes the paper-experiment harness.
+	ExperimentConfig = bench.Config
+	// Report is a rendered experiment result.
+	Report = bench.Report
+)
+
+// Machine profiles of the paper's Table 2.
+func Machine1() *Machine { return hw.Machine1() }
+
+// Machine2 is the Intel Core2 box.
+func Machine2() *Machine { return hw.Machine2() }
+
+// Machine3 is the AMD Egypt box.
+func Machine3() *Machine { return hw.Machine3() }
+
+// Machine4 is the Intel Sandy Bridge box.
+func Machine4() *Machine { return hw.Machine4() }
+
+// DefaultFlavors registers one flavor per primitive (the baseline build).
+func DefaultFlavors() FlavorOptions { return primitive.Defaults() }
+
+// AllFlavors registers every flavor on every axis: three compilers x
+// branching x full-computation x loop-fission x hand-unrolling.
+func AllFlavors() FlavorOptions { return primitive.Everything() }
+
+// BranchFlavors widens only the branching axis of selection primitives
+// (the flavor set of Table 6).
+func BranchFlavors() FlavorOptions { return primitive.BranchSet() }
+
+// CompilerFlavors widens only the compiler axis (Table 7).
+func CompilerFlavors() FlavorOptions { return primitive.CompilerSet() }
+
+// DefaultVWParams returns the parameters the paper's trace study found
+// best: (EXPLORE_PERIOD, EXPLOIT_PERIOD, EXPLORE_LENGTH) = (1024, 8, 2).
+func DefaultVWParams() VWParams { return core.DefaultVWParams() }
+
+// NewSession builds a session with vw-greedy flavor selection.
+func NewSession(o FlavorOptions, m *Machine, opts ...core.SessionOption) *Session {
+	return core.NewSession(primitive.NewDictionary(o), m, opts...)
+}
+
+// WithVectorSize sets tuples per vector (default 1024).
+func WithVectorSize(n int) core.SessionOption { return core.WithVectorSize(n) }
+
+// WithSeed sets the session's deterministic seed.
+func WithSeed(seed int64) core.SessionOption { return core.WithSeed(seed) }
+
+// WithChooser overrides the flavor-selection policy.
+func WithChooser(f ChooserFactory) core.SessionOption { return core.WithChooser(f) }
+
+// VWGreedyChooser returns a policy factory for vw-greedy with the given
+// parameters and seed.
+func VWGreedyChooser(p VWParams, seed int64) ChooserFactory {
+	rng := rand.New(rand.NewSource(seed))
+	return func(n int) Chooser { return core.NewVWGreedy(n, p, rng) }
+}
+
+// HeuristicsChooser returns the hard-coded threshold policy of §4.2,
+// tuned for the given machine.
+func HeuristicsChooser(m *Machine) ChooserFactory {
+	return heuristics.Factory(m, heuristics.Default())
+}
+
+// FixedChooser pins every instance to one flavor index (clamped).
+func FixedChooser(arm int) ChooserFactory { return bench.FixedChooser(arm) }
+
+// GenerateTPCH builds the deterministic TPC-H database at a scale factor.
+func GenerateTPCH(sf float64, seed int64) *DB { return tpch.Generate(sf, seed) }
+
+// RunQuery executes TPC-H query n (1-22) and returns its result table.
+func RunQuery(db *DB, s *Session, n int) (*Table, error) {
+	return tpch.Query(n).Run(db, s)
+}
+
+// RunAllQueries executes the full 22-query suite in one session.
+func RunAllQueries(db *DB, s *Session) error { return bench.RunTPCH(db, s) }
+
+// FormatTable renders up to maxRows of a result table.
+func FormatTable(t *Table, maxRows int) string { return engine.TableString(t, maxRows) }
+
+// DefaultExperimentConfig returns the standard experiment configuration.
+func DefaultExperimentConfig() ExperimentConfig { return bench.DefaultConfig() }
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig2", "table11"); see ExperimentIDs.
+func RunExperiment(cfg ExperimentConfig, id string) (*Report, error) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return e.Run(cfg)
+}
+
+// RunAllExperiments regenerates every table and figure, writing reports
+// to w.
+func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
+	return bench.RunAll(cfg, w)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return bench.IDs() }
+
+// UnknownExperimentError reports a bad experiment id.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "microadapt: unknown experiment " + e.ID
+}

@@ -1,0 +1,93 @@
+package microadapt_test
+
+import (
+	"strings"
+	"testing"
+
+	"microadapt"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sess := microadapt.NewSession(
+		microadapt.AllFlavors(),
+		microadapt.Machine1(),
+		microadapt.WithVectorSize(64),
+		microadapt.WithSeed(1),
+	)
+	db := microadapt.GenerateTPCH(0.002, 1)
+	tab, err := microadapt.RunQuery(db, sess, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 1 {
+		t.Fatalf("Q6 rows = %d", tab.Rows())
+	}
+	out := microadapt.FormatTable(tab, 5)
+	if !strings.Contains(out, "revenue") {
+		t.Errorf("formatted output: %q", out)
+	}
+	if sess.Ctx.PrimCycles <= 0 {
+		t.Error("no primitive cycles recorded")
+	}
+	if len(sess.Instances()) == 0 {
+		t.Error("no instances created")
+	}
+}
+
+func TestFacadeChoosers(t *testing.T) {
+	for _, factory := range []microadapt.ChooserFactory{
+		microadapt.VWGreedyChooser(microadapt.DefaultVWParams(), 1),
+		microadapt.HeuristicsChooser(microadapt.Machine1()),
+		microadapt.FixedChooser(0),
+	} {
+		ch := factory(3)
+		if ch == nil || ch.Name() == "" {
+			t.Error("factory produced an invalid chooser")
+		}
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []*microadapt.Machine{
+		microadapt.Machine1(), microadapt.Machine2(), microadapt.Machine3(), microadapt.Machine4(),
+	} {
+		names[m.Name] = true
+	}
+	if len(names) != 4 {
+		t.Error("four distinct machines expected")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := microadapt.ExperimentIDs()
+	if len(ids) != 17 {
+		t.Errorf("experiment ids = %d, want 17", len(ids))
+	}
+	cfg := microadapt.DefaultExperimentConfig()
+	cfg.SF = 0.002
+	rep, err := microadapt.RunExperiment(cfg, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig5" {
+		t.Error("wrong report")
+	}
+	if _, err := microadapt.RunExperiment(cfg, "bogus"); err == nil {
+		t.Error("bogus experiment should error")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Error("error should name the id")
+	}
+}
+
+func TestFacadeRunAllQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in -short mode")
+	}
+	sess := microadapt.NewSession(microadapt.DefaultFlavors(), microadapt.Machine4(),
+		microadapt.WithVectorSize(64), microadapt.WithSeed(2))
+	db := microadapt.GenerateTPCH(0.002, 3)
+	if err := microadapt.RunAllQueries(db, sess); err != nil {
+		t.Fatal(err)
+	}
+}
