@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"microadapt/internal/bench"
@@ -39,6 +40,8 @@ func main() {
 		err = cmdExp(os.Args[2:])
 	case "tpch":
 		err = cmdTPCH(os.Args[2:])
+	case "bench-concurrent":
+		err = cmdBenchConcurrent(os.Args[2:])
 	case "flavors":
 		err = cmdFlavors(os.Args[2:])
 	case "list":
@@ -59,6 +62,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
   madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy vwgreedy|heuristics|fixed]
+  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-cold-only]
   madapt flavors
   madapt list`)
 }
@@ -186,6 +190,79 @@ func cmdTPCH(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// cmdBenchConcurrent drives the concurrent adaptive query service: a
+// worker pool running a TPC-H mix over one shared database, cold sessions
+// first and then sessions warm-started from the shared flavor-knowledge
+// cache, reporting throughput, latency percentiles and the exploration tax
+// each phase paid.
+func cmdBenchConcurrent(args []string) error {
+	fs := flag.NewFlagSet("bench-concurrent", flag.ExitOnError)
+	cfg, finish := benchFlags(fs)
+	workers := fs.Int("workers", 4, "worker pool size")
+	jobs := fs.Int("jobs", 64, "queries per phase (0 = time-bounded by -duration)")
+	duration := fs.Duration("duration", 0, "per-phase wall cap when -jobs 0")
+	mixFlag := fs.String("mix", "1,6,12", "comma-separated TPC-H query numbers, or \"all\"")
+	flavors := fs.String("flavors", "everything", "flavor configuration")
+	coldOnly := fs.Bool("cold-only", false, "skip the warm-start phase")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	opts, err := flavorOptions(*flavors)
+	if err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	if *jobs <= 0 && *duration <= 0 {
+		return fmt.Errorf("need -jobs > 0 or -duration > 0")
+	}
+	rep, err := bench.BenchConcurrent(*cfg, bench.ConcurrentOptions{
+		Workers:  *workers,
+		Jobs:     *jobs,
+		Duration: *duration,
+		Mix:      mix,
+		Flavors:  opts,
+		ColdOnly: *coldOnly,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	return nil
+}
+
+// parseMix turns "1,6,12" or "all" into a query-number list.
+func parseMix(s string) ([]int, error) {
+	if s == "all" {
+		mix := make([]int, 22)
+		for i := range mix {
+			mix[i] = i + 1
+		}
+		return mix, nil
+	}
+	var mix []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.Atoi(part)
+		if err != nil || q < 1 || q > 22 {
+			return nil, fmt.Errorf("bad query %q in mix (want 1-22)", part)
+		}
+		mix = append(mix, q)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty query mix")
+	}
+	return mix, nil
 }
 
 func cmdFlavors(args []string) error {

@@ -1,0 +1,3 @@
+module microadapt
+
+go 1.22

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"microadapt/internal/core"
 	"microadapt/internal/hw"
@@ -73,17 +74,27 @@ func (r *Report) String() string {
 	return fmt.Sprintf("%s\n%s\n%s\n", r.Title, line, r.Body)
 }
 
-// dbCache memoizes generated databases per (sf, seed).
-var dbCache = map[[2]int64]*tpch.DB{}
+// dbCache memoizes generated databases per (sf, seed); the mutex makes it
+// safe for concurrent experiment runs (generation may happen twice under a
+// race, but both results are identical — Generate is deterministic).
+var (
+	dbCacheMu sync.Mutex
+	dbCache   = map[[2]int64]*tpch.DB{}
+)
 
 // DB returns the (cached) database for the configuration.
 func (cfg Config) DB() *tpch.DB {
 	key := [2]int64{int64(cfg.SF * 1e6), cfg.Seed}
-	if db, ok := dbCache[key]; ok {
+	dbCacheMu.Lock()
+	db, ok := dbCache[key]
+	dbCacheMu.Unlock()
+	if ok {
 		return db
 	}
-	db := tpch.Generate(cfg.SF, cfg.Seed)
+	db = tpch.Generate(cfg.SF, cfg.Seed)
+	dbCacheMu.Lock()
 	dbCache[key] = db
+	dbCacheMu.Unlock()
 	return db
 }
 

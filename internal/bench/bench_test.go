@@ -36,6 +36,9 @@ func TestExperimentRegistry(t *testing.T) {
 
 // TestMicroExperimentsRun smoke-tests the non-TPC-H experiments.
 func TestMicroExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro experiments take ~10s; skipped in -short mode")
+	}
 	cfg := tinyConfig()
 	for _, id := range []string{"fig1", "fig5", "fig6", "table4", "fig8"} {
 		e, _ := ByID(id)
@@ -84,6 +87,9 @@ func TestFig1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig6CrossoverOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweeps four machines over seven filter sizes (~11s); skipped in -short mode")
+	}
 	cfg := tinyConfig()
 	rep, err := Fig6(cfg)
 	if err != nil {
@@ -113,6 +119,33 @@ func TestFig6CrossoverOrdering(t *testing.T) {
 	}
 	if m4Cross != "4M" {
 		t.Errorf("machine4 cross-over = %q, want 4M", m4Cross)
+	}
+}
+
+// TestBenchConcurrent smoke-tests the concurrent-service benchmark: both
+// phases must run, and the report must show the warm-start comparison.
+func TestBenchConcurrent(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := BenchConcurrent(cfg, ConcurrentOptions{
+		Workers: 2,
+		Jobs:    8,
+		Mix:     []int{6, 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cold", "warm", "off-best", "jobs/s"} {
+		if !strings.Contains(rep.Body, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Body)
+		}
+	}
+	// Cold-only skips the warm phase.
+	rep, err = BenchConcurrent(cfg, ConcurrentOptions{Workers: 2, Jobs: 4, Mix: []int{6}, ColdOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Body, "warm start:") {
+		t.Error("cold-only report should not include the warm-start summary")
 	}
 }
 

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"microadapt/internal/primitive"
+	"microadapt/internal/service"
+	"microadapt/internal/stats"
+)
+
+// ConcurrentOptions parameterizes the bench-concurrent run: a worker pool
+// hammering one shared database with a query mix, first with cold sessions
+// (every query pays the full vw-greedy exploration tax) and then with
+// warm-started sessions seeded from the shared flavor-knowledge cache.
+type ConcurrentOptions struct {
+	Workers  int
+	Jobs     int           // total queries per phase (0 = use Duration)
+	Duration time.Duration // per-phase wall cap when Jobs == 0
+	Mix      []int         // TPC-H query numbers, cycled round-robin
+	Flavors  primitive.Options
+	ColdOnly bool // skip the warm phase (pure throughput measurement)
+}
+
+// DefaultConcurrentOptions returns a quick but representative run.
+func DefaultConcurrentOptions() ConcurrentOptions {
+	return ConcurrentOptions{
+		Workers: 4,
+		Jobs:    64,
+		Mix:     []int{1, 6, 12},
+		Flavors: primitive.Everything(),
+	}
+}
+
+// BenchConcurrent runs the concurrent query service under the configured
+// load and reports throughput, the latency distribution, and — unless
+// ColdOnly — how much of the exploration tax the cross-session warm start
+// removes. The database and virtual machine come from cfg, with caches
+// scaled exactly like every other whole-workload experiment.
+func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
+	if len(o.Mix) == 0 {
+		o.Mix = DefaultConcurrentOptions().Mix
+	}
+	if o.Workers < 1 {
+		o.Workers = DefaultConcurrentOptions().Workers
+	}
+	if len(o.Flavors.Compilers) == 0 {
+		o.Flavors = primitive.Everything()
+	}
+
+	db := cfg.DB()
+	base := service.Config{
+		Workers:    o.Workers,
+		Flavors:    o.Flavors,
+		Machine:    cfg.Machine.ScaledCaches(cfg.cacheScale()),
+		VectorSize: cfg.VectorSize,
+		VW:         cfg.VW,
+		Seed:       cfg.Seed,
+	}
+	load := service.LoadConfig{Mix: o.Mix, Jobs: o.Jobs, Duration: o.Duration}
+
+	coldCfg := base
+	coldCfg.WarmStart = false
+	coldSvc := service.New(db, coldCfg)
+	cold, err := coldSvc.RunLoad(load)
+	if err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+
+	var b strings.Builder
+	mixNames := make([]string, len(o.Mix))
+	for i, q := range o.Mix {
+		mixNames[i] = fmt.Sprintf("Q%02d", q)
+	}
+	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, flavors as configured\n\n",
+		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name)
+
+	rows := [][]string{{"phase", "jobs", "wall", "jobs/s", "p50", "p95", "p99", "max", "off-best/job", "off-best%"}}
+	rows = append(rows, metricsRow("cold", cold))
+
+	warm := cold
+	if !o.ColdOnly {
+		warmCfg := base
+		warmCfg.WarmStart = true
+		warmSvc := service.New(db, warmCfg)
+		// Priming pass: one execution of each mix query populates the
+		// shared cache, the way earlier traffic would in a long-running
+		// service. It is reported separately and excluded from the
+		// steady-state warm numbers.
+		prime, err := warmSvc.RunLoad(service.LoadConfig{Mix: o.Mix, Jobs: len(o.Mix)})
+		if err != nil {
+			return nil, fmt.Errorf("priming pass: %w", err)
+		}
+		warm, err = warmSvc.RunLoad(load)
+		if err != nil {
+			return nil, fmt.Errorf("warm phase: %w", err)
+		}
+		rows = append(rows, metricsRow("prime", prime))
+		rows = append(rows, metricsRow("warm", warm))
+	}
+	b.WriteString(stats.FormatTable(rows))
+
+	if !o.ColdOnly {
+		fmt.Fprintf(&b, "\nwarm start: off-best calls/job %.1f -> %.1f (%.1fx fewer); %d/%d instances seeded from cache\n",
+			cold.OffBestPerJob(), warm.OffBestPerJob(),
+			safeRatio(cold.OffBestPerJob(), warm.OffBestPerJob()),
+			warm.SeededInstances, warm.SeededInstances+warm.ColdInstances)
+	}
+
+	return &Report{
+		ID:    "bench-concurrent",
+		Title: "Concurrent adaptive query service (cross-session flavor warm-start)",
+		Body:  b.String(),
+	}, nil
+}
+
+func metricsRow(phase string, m service.Metrics) []string {
+	return []string{
+		phase,
+		fmt.Sprintf("%d", m.Jobs),
+		m.Wall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", m.JobsPerSec),
+		m.P50.Round(time.Microsecond).String(),
+		m.P95.Round(time.Microsecond).String(),
+		m.P99.Round(time.Microsecond).String(),
+		m.MaxLatency.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.1f", m.OffBestPerJob()),
+		fmt.Sprintf("%.1f", 100*m.OffBestFraction()),
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

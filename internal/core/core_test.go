@@ -173,6 +173,38 @@ func TestSessionOptions(t *testing.T) {
 	}
 }
 
+// TestWithInstanceChooser: the instance-aware factory receives the
+// signature and label of each new instance and takes precedence over the
+// plain factory — the hook warm-started sessions hang their cache lookup on.
+func TestWithInstanceChooser(t *testing.T) {
+	d := NewDictionary()
+	d.AddFlavor("p1", hw.ClassMapArith, testFlavor("a", 1, 5))
+	d.AddFlavor("p1", hw.ClassMapArith, testFlavor("b", 2, 3))
+	var gotSig, gotLabel string
+	var gotN int
+	s := NewSession(d, hw.Machine1(),
+		WithChooser(func(n int) Chooser { t.Error("plain factory must not be used"); return NewFixed(0) }),
+		WithInstanceChooser(func(sig, label string, n int) Chooser {
+			gotSig, gotLabel, gotN = sig, label, n
+			return NewFixed(1)
+		}))
+	inst := s.Instance("p1", "Q99/p1#0")
+	if gotSig != "p1" || gotLabel != "Q99/p1#0" || gotN != 2 {
+		t.Errorf("factory saw (%q, %q, %d), want (p1, Q99/p1#0, 2)", gotSig, gotLabel, gotN)
+	}
+	if inst.Chooser().Choose() != 1 {
+		t.Error("instance should use the chooser the instance factory built")
+	}
+	// Memoized instances do not re-invoke the factory.
+	gotLabel = ""
+	if s.Instance("p1", "Q99/p1#0") != inst {
+		t.Error("memoization broken")
+	}
+	if gotLabel != "" {
+		t.Error("factory re-invoked for a memoized instance")
+	}
+}
+
 func TestInstanceWithNoFlavorsPanics(t *testing.T) {
 	d := NewDictionary()
 	d.Register("empty", hw.ClassMapArith)

@@ -11,6 +11,12 @@ import (
 // ChooserFactory builds a fresh Chooser for an instance with n flavors.
 type ChooserFactory func(n int) Chooser
 
+// InstanceChooserFactory builds a Chooser knowing which primitive instance
+// it is for: the dictionary signature and the plan-unique label. This is
+// the hook warm-started sessions use to look up prior per-flavor knowledge
+// under the instance's stable identity before the first call runs.
+type InstanceChooserFactory func(sig, label string, n int) Chooser
+
 // Session ties together everything a query execution needs: the primitive
 // dictionary, the machine profile (virtual hardware), the flavor-selection
 // policy, and the registry of primitive instances created by plans, from
@@ -22,9 +28,10 @@ type Session struct {
 	Ctx        *ExecCtx
 	Rand       *rand.Rand
 
-	newChooser ChooserFactory
-	instances  []*Instance
-	byLabel    map[string]*Instance
+	newChooser     ChooserFactory
+	newInstChooser InstanceChooserFactory
+	instances      []*Instance
+	byLabel        map[string]*Instance
 }
 
 // SessionOption configures NewSession.
@@ -39,6 +46,14 @@ func WithVectorSize(n int) SessionOption {
 // vw-greedy with the paper's best parameters (1024, 8, 2).
 func WithChooser(f ChooserFactory) SessionOption {
 	return func(s *Session) { s.newChooser = f }
+}
+
+// WithInstanceChooser sets an instance-aware policy factory that receives
+// the primitive signature and plan label of each instance; it takes
+// precedence over WithChooser. Warm-started sessions use it to seed
+// choosers from cross-session knowledge.
+func WithInstanceChooser(f InstanceChooserFactory) SessionOption {
+	return func(s *Session) { s.newInstChooser = f }
 }
 
 // WithSeed sets the session's deterministic random seed (default 1).
@@ -78,7 +93,13 @@ func (s *Session) Instance(sig, label string) *Instance {
 	if len(prim.Flavors) == 0 {
 		panic("core: primitive has no flavors: " + sig)
 	}
-	inst := NewInstance(prim, label, s.newChooser(len(prim.Flavors)))
+	var chooser Chooser
+	if s.newInstChooser != nil {
+		chooser = s.newInstChooser(sig, label, len(prim.Flavors))
+	} else {
+		chooser = s.newChooser(len(prim.Flavors))
+	}
+	inst := NewInstance(prim, label, chooser)
 	s.instances = append(s.instances, inst)
 	s.byLabel[label] = inst
 	return inst

@@ -89,15 +89,32 @@ type VWGreedy struct {
 	prevTuples  int64
 	prevCycles  float64
 
-	// Knowledge: last measured average cost per flavor.
+	// Knowledge: last measured average cost per flavor. measured marks
+	// arms with any knowledge (including seeded priors); live marks arms
+	// this chooser measured itself after construction — the distinction
+	// that keeps knowledge caches from re-ingesting their own priors.
 	avgCost  []float64
 	measured []bool
+	live     []bool
 
-	sweepNext int // next arm of the initial sweep; >= n when done
+	sweep []int // arms the initial sweep still has to visit
 }
 
 // NewVWGreedy builds a vw-greedy chooser over n flavors.
 func NewVWGreedy(n int, p VWParams, rng *rand.Rand) *VWGreedy {
+	return NewVWGreedyWarm(n, p, rng, nil)
+}
+
+// NewVWGreedyWarm builds a vw-greedy chooser seeded with prior per-flavor
+// cost estimates (cycles/tuple) observed elsewhere — by an earlier session,
+// another worker, or a previous run of the same query. priors[i] < +Inf
+// marks arm i as already measured at that cost: the chooser starts on the
+// cheapest known arm and the initial sweep visits only arms with no prior.
+// A nil or all-Inf priors slice yields the cold-start behavior of
+// NewVWGreedy. Priors are only a starting point: the first measurement
+// window on an arm overwrites its prior, so a stale or wrong prior costs at
+// most one exploit period (the same bound as flavor deterioration, §3.2).
+func NewVWGreedyWarm(n int, p VWParams, rng *rand.Rand, priors []float64) *VWGreedy {
 	if p.ExplorePeriod < 1 {
 		p = DefaultVWParams()
 	}
@@ -116,14 +133,24 @@ func NewVWGreedy(n int, p VWParams, rng *rand.Rand) *VWGreedy {
 		rng:      rng,
 		avgCost:  make([]float64, n),
 		measured: make([]bool, n),
+		live:     make([]bool, n),
 	}
 	for i := range v.avgCost {
 		v.avgCost[i] = math.Inf(1)
 	}
-	v.cur = 0
-	v.sweepNext = 1
-	if !p.InitialSweep {
-		v.sweepNext = n
+	for i := 0; i < n && i < len(priors); i++ {
+		if !math.IsInf(priors[i], 1) && !math.IsNaN(priors[i]) && priors[i] >= 0 {
+			v.avgCost[i] = priors[i]
+			v.measured[i] = true
+		}
+	}
+	v.cur = v.best()
+	if p.InitialSweep {
+		for i := 0; i < n; i++ {
+			if i != v.cur && !v.measured[i] {
+				v.sweep = append(v.sweep, i)
+			}
+		}
 	}
 	v.nextExplore = p.ExplorePeriod
 	v.calcStart = v.warmup()
@@ -155,6 +182,24 @@ func (v *VWGreedy) Current() int { return v.cur }
 // arm has not been measured yet).
 func (v *VWGreedy) AvgCost(arm int) float64 { return v.avgCost[arm] }
 
+// Snapshot exports the chooser's learned knowledge: the most recent
+// windowed average cost (cycles/tuple) of every arm, +Inf for arms never
+// measured. The slice is a copy — it stays valid after the chooser moves
+// on — and is the exact shape NewVWGreedyWarm accepts as priors, so
+// knowledge harvested from one session can seed the next.
+func (v *VWGreedy) Snapshot() []float64 {
+	out := make([]float64, v.n)
+	copy(out, v.avgCost)
+	return out
+}
+
+// SessionMeasured reports whether the chooser itself measured the arm
+// after construction. Seeded priors leave it false until the arm's first
+// live measurement window completes; knowledge harvesters must skip
+// non-live arms, or a warm-started chooser would echo the cache's own
+// priors back into the cache as if they were fresh observations.
+func (v *VWGreedy) SessionMeasured(arm int) bool { return v.live[arm] }
+
 // Choose implements Chooser: vw-greedy switches flavors only at phase
 // boundaries, handled in Observe, so Choose just returns the current one.
 func (v *VWGreedy) Choose() int { return v.cur }
@@ -173,14 +218,16 @@ func (v *VWGreedy) Observe(arm, tuples int, cycles float64) {
 		if dt > 0 {
 			v.avgCost[v.cur] = (v.totCycles - v.prevCycles) / float64(dt)
 			v.measured[v.cur] = true
+			v.live[v.cur] = true
 		}
 
 		var phaseLen int
 		switch {
-		case v.sweepNext < v.n:
-			// Initial exploration: test every available flavor once.
-			v.cur = v.sweepNext
-			v.sweepNext++
+		case len(v.sweep) > 0:
+			// Initial exploration: test every flavor not yet known (all of
+			// them on a cold start, only unseeded ones on a warm start).
+			v.cur = v.sweep[0]
+			v.sweep = v.sweep[1:]
 			phaseLen = v.p.ExploreLength
 		case v.calls > v.nextExplore:
 			// Perform exploration.

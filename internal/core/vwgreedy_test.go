@@ -202,6 +202,100 @@ func TestVWGreedyAvgCostExposed(t *testing.T) {
 	}
 }
 
+func TestVWGreedyWarmStartsAtBestPrior(t *testing.T) {
+	p := VWParams{ExplorePeriod: 256, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
+	ch := NewVWGreedyWarm(3, p, rand.New(rand.NewSource(1)), []float64{5, 2, 9})
+	if ch.Current() != 1 {
+		t.Fatalf("warm chooser starts at arm %d, want 1 (cheapest prior)", ch.Current())
+	}
+	// With all arms seeded there is nothing to sweep: the first exploit
+	// window should stay on the known-best arm.
+	use, _ := simulate(ch, 64, func(arm, call int) float64 {
+		return []float64{5, 2, 9}[arm]
+	})
+	if use[1] < 56 {
+		t.Errorf("seeded best arm used %d/64 times, want near-total", use[1])
+	}
+}
+
+func TestVWGreedyWarmSweepsOnlyUnknownArms(t *testing.T) {
+	p := VWParams{ExplorePeriod: 1 << 20, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
+	ch := NewVWGreedyWarm(4, p, rand.New(rand.NewSource(2)), []float64{3, math.Inf(1), 2, math.NaN()})
+	if ch.Current() != 2 {
+		t.Fatalf("start arm = %d, want 2", ch.Current())
+	}
+	seen := make(map[int]bool)
+	for call := 0; call < 64; call++ {
+		arm := ch.Choose()
+		seen[arm] = true
+		ch.Observe(arm, 100, float64(arm+1)*100)
+	}
+	// Unseeded arms 1 and 3 must still get their initial look...
+	if !seen[1] || !seen[3] {
+		t.Errorf("sweep skipped unknown arms: seen=%v", seen)
+	}
+	// ...but the seeded non-best arm 0 has a prior and needs no sweep
+	// (with exploration pushed out of reach, visiting it means the sweep
+	// re-tested known knowledge).
+	if seen[0] {
+		t.Errorf("sweep re-tested seeded arm 0: seen=%v", seen)
+	}
+	// SessionMeasured distinguishes live measurements from seeded priors:
+	// arm 0 was never run here, the start arm and swept arms were.
+	if ch.SessionMeasured(0) {
+		t.Error("seeded-but-unvisited arm must not count as session-measured")
+	}
+	for _, arm := range []int{1, 2, 3} {
+		if !ch.SessionMeasured(arm) {
+			t.Errorf("arm %d was measured this session", arm)
+		}
+	}
+}
+
+func TestVWGreedyWarmNilPriorsIsCold(t *testing.T) {
+	p := VWParams{ExplorePeriod: 64, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
+	warm := NewVWGreedyWarm(3, p, rand.New(rand.NewSource(3)), nil)
+	cold := NewVWGreedy(3, p, rand.New(rand.NewSource(3)))
+	if warm.Current() != cold.Current() {
+		t.Error("nil priors should behave exactly like a cold start")
+	}
+	for call := 0; call < 512; call++ {
+		wa, ca := warm.Choose(), cold.Choose()
+		if wa != ca {
+			t.Fatalf("call %d: warm(nil) chose %d, cold chose %d", call, wa, ca)
+		}
+		warm.Observe(wa, 100, float64(wa+1)*100)
+		cold.Observe(ca, 100, float64(ca+1)*100)
+	}
+}
+
+func TestVWGreedySnapshotRoundTrip(t *testing.T) {
+	p := VWParams{ExplorePeriod: 32, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
+	ch := NewVWGreedy(3, p, rand.New(rand.NewSource(4)))
+	simulate(ch, 256, func(arm, call int) float64 { return []float64{4, 2, 6}[arm] })
+	snap := ch.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for a := 0; a < 3; a++ {
+		if snap[a] != ch.AvgCost(a) {
+			t.Errorf("snapshot[%d] = %v, AvgCost = %v", a, snap[a], ch.AvgCost(a))
+		}
+	}
+	// The snapshot is a copy: later observations must not mutate it.
+	before := snap[0]
+	simulate(ch, 64, func(arm, call int) float64 { return 50 })
+	if snap[0] != before {
+		t.Error("snapshot aliases live chooser state")
+	}
+	// Round trip: seeding a fresh chooser with the snapshot starts it on
+	// the arm the first chooser found best.
+	warm := NewVWGreedyWarm(3, p, rand.New(rand.NewSource(5)), snap)
+	if warm.Current() != 1 {
+		t.Errorf("round-tripped chooser starts at %d, want 1", warm.Current())
+	}
+}
+
 func TestVWGreedyZeroTupleWindows(t *testing.T) {
 	// Windows with zero tuples (empty selections) must not poison the
 	// averages with NaN.

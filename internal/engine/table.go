@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"microadapt/internal/core"
 	"microadapt/internal/vector"
@@ -159,17 +161,21 @@ func Materialize(op Operator) (*Table, error) {
 	return NewTable("materialized", sch, cols), nil
 }
 
-// TableString renders up to maxRows rows of a table for debugging and the
-// example programs.
+// TableString renders up to maxRows rows of a table (maxRows <= 0 renders
+// all of them) for debugging, the example programs, and the result
+// fingerprints of the equivalence tests and the concurrent service. It uses
+// a strings.Builder throughout: naive string concatenation is quadratic in
+// the rendered size, which turned whole-table fingerprints of generated
+// lineitem tables into a multi-minute operation.
 func TableString(t *Table, maxRows int) string {
-	out := ""
+	var out strings.Builder
 	for i := range t.Sch {
 		if i > 0 {
-			out += "\t"
+			out.WriteByte('\t')
 		}
-		out += t.Sch[i].Name
+		out.WriteString(t.Sch[i].Name)
 	}
-	out += "\n"
+	out.WriteByte('\n')
 	n := t.Rows()
 	if maxRows > 0 && n > maxRows {
 		n = maxRows
@@ -177,21 +183,21 @@ func TableString(t *Table, maxRows int) string {
 	for r := 0; r < n; r++ {
 		for i, c := range t.Cols {
 			if i > 0 {
-				out += "\t"
+				out.WriteByte('\t')
 			}
 			switch c.Type() {
 			case vector.I16, vector.I32, vector.I64:
-				out += fmt.Sprintf("%d", c.GetI64(r))
+				out.WriteString(strconv.FormatInt(c.GetI64(r), 10))
 			case vector.F64:
-				out += fmt.Sprintf("%.4f", c.GetF64(r))
+				out.WriteString(strconv.FormatFloat(c.GetF64(r), 'f', 4, 64))
 			case vector.Str:
-				out += c.GetStr(r)
+				out.WriteString(c.GetStr(r))
 			}
 		}
-		out += "\n"
+		out.WriteByte('\n')
 	}
 	if t.Rows() > n {
-		out += fmt.Sprintf("... (%d rows total)\n", t.Rows())
+		fmt.Fprintf(&out, "... (%d rows total)\n", t.Rows())
 	}
-	return out
+	return out.String()
 }

@@ -1,0 +1,32 @@
+package primitive
+
+import "microadapt/internal/core"
+
+// InstanceKey builds the stable cross-session identity of a primitive
+// instance: the dictionary signature of the primitive plus the plan-unique
+// label of the instance, joined with '@'. Plans construct labels
+// deterministically ("Q12/select_..."), so two sessions executing the same
+// query produce instances with equal keys — the property the concurrent
+// service's shared flavor-knowledge cache relies on. The key deliberately
+// excludes flavor indices: different sessions may register different flavor
+// sets for the same signature, so cross-session knowledge is exchanged by
+// flavor *name* (see Flavor.Name), never by arm position.
+func InstanceKey(sig, label string) string {
+	return sig + "@" + label
+}
+
+// InstanceKeyOf returns the stable key of a live instance.
+func InstanceKeyOf(inst *core.Instance) string {
+	return InstanceKey(inst.Prim.Sig, inst.Label)
+}
+
+// FlavorNames lists the registered flavor names of an instance's primitive
+// in arm order — the translation table between this session's arm indices
+// and the name-keyed cross-session knowledge cache.
+func FlavorNames(p *core.Primitive) []string {
+	names := make([]string, len(p.Flavors))
+	for i, f := range p.Flavors {
+		names[i] = f.Name
+	}
+	return names
+}

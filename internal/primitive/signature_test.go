@@ -1,0 +1,55 @@
+package primitive
+
+import (
+	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// TestInstanceKeyStability: the cache key must be identical across sessions
+// for the same plan position and must not collide across labels or
+// signatures.
+func TestInstanceKeyStability(t *testing.T) {
+	if InstanceKey("select_<_sint_col_sint_val", "Q12/sel#0") != "select_<_sint_col_sint_val@Q12/sel#0" {
+		t.Error("key format changed — this breaks every populated knowledge cache")
+	}
+	if InstanceKey("a", "b") == InstanceKey("a", "c") {
+		t.Error("labels must distinguish keys")
+	}
+	if InstanceKey("a", "b") == InstanceKey("c", "b") {
+		t.Error("signatures must distinguish keys")
+	}
+
+	// Two independent sessions over equal dictionaries produce instances
+	// with equal keys for the same plan label.
+	mk := func() *core.Instance {
+		d := NewDictionary(BranchSet())
+		s := core.NewSession(d, hw.Machine1())
+		return s.Instance("select_<_sint_col_sint_val", "Q06/shipdate#0")
+	}
+	if InstanceKeyOf(mk()) != InstanceKeyOf(mk()) {
+		t.Error("instance keys differ across sessions")
+	}
+}
+
+// TestFlavorNamesOrder: FlavorNames must follow arm order — it is the
+// translation table between arm indices and name-keyed cached knowledge.
+func TestFlavorNamesOrder(t *testing.T) {
+	d := NewDictionary(BranchSet())
+	p := d.MustLookup("select_<_sint_col_sint_val")
+	names := FlavorNames(p)
+	if len(names) != len(p.Flavors) {
+		t.Fatalf("names = %d, flavors = %d", len(names), len(p.Flavors))
+	}
+	for i, f := range p.Flavors {
+		if names[i] != f.Name {
+			t.Errorf("names[%d] = %q, flavor = %q", i, names[i], f.Name)
+		}
+	}
+	// BranchSet gives selections exactly the branch/nobranch pair, so the
+	// names must be distinct (a collapsed name would merge cache entries).
+	if len(names) != 2 || names[0] == names[1] {
+		t.Errorf("branch-set selection flavors = %v", names)
+	}
+}

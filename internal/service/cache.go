@@ -1,0 +1,169 @@
+// Package service runs many TPC-H queries concurrently over one shared
+// immutable database, one session per query, with a shared flavor-knowledge
+// cache that lets fresh sessions warm-start their vw-greedy choosers from
+// per-flavor costs observed by earlier queries — the cross-run sharing of
+// adaptive-tuning state that Cuttlefish (Kaftan et al., 2018) showed
+// amortizes the bandit's cold-start exploration tax.
+package service
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"microadapt/internal/core"
+	"microadapt/internal/primitive"
+)
+
+// ewmaAlpha is the weight of the newest observation when merging knowledge
+// into the cache. It is deliberately recent-biased for the same reason
+// vw-greedy ranks arms by their latest measurement window instead of an
+// all-history mean (§3.2): flavor costs are non-stationary, so a stale
+// global mean would anchor new sessions to obsolete choices.
+const ewmaAlpha = 0.5
+
+// flavorKnowledge is the cached estimate for one flavor of one instance.
+type flavorKnowledge struct {
+	cost    float64 // EWMA cycles/tuple
+	samples int64   // sessions that contributed
+}
+
+// FlavorCache is the shared cross-session knowledge store: for every
+// primitive-instance key (see primitive.InstanceKey) it remembers the
+// recently observed cost of each flavor, keyed by flavor *name* so sessions
+// with different registered flavor sets can still exchange knowledge.
+//
+// Concurrency: a single RWMutex guards the two-level map. Readers (session
+// construction) and writers (post-query harvest) are both rare relative to
+// primitive calls — a session touches the cache once per instance, not once
+// per call — so a plain mutex is cheap; the adaptive hot path inside
+// sessions never takes it.
+type FlavorCache struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]*flavorKnowledge
+}
+
+// NewFlavorCache returns an empty cache.
+func NewFlavorCache() *FlavorCache {
+	return &FlavorCache{entries: make(map[string]map[string]*flavorKnowledge)}
+}
+
+// Observe merges one measured flavor cost (cycles/tuple) into the cache.
+func (c *FlavorCache) Observe(key, flavor string, cost float64) {
+	if math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = make(map[string]*flavorKnowledge)
+		c.entries[key] = e
+	}
+	k := e[flavor]
+	if k == nil {
+		e[flavor] = &flavorKnowledge{cost: cost, samples: 1}
+		return
+	}
+	k.cost = (1-ewmaAlpha)*k.cost + ewmaAlpha*cost
+	k.samples++
+}
+
+// Priors returns per-arm prior costs for an instance whose flavors are
+// named flavorNames (in arm order), in the exact shape
+// core.NewVWGreedyWarm accepts: cached cost where known, +Inf where the
+// cache has nothing. The second result says whether any arm had a prior.
+func (c *FlavorCache) Priors(key string, flavorNames []string) ([]float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e := c.entries[key]
+	if e == nil {
+		return nil, false
+	}
+	priors := make([]float64, len(flavorNames))
+	any := false
+	for i, name := range flavorNames {
+		if k, ok := e[name]; ok {
+			priors[i] = k.cost
+			any = true
+		} else {
+			priors[i] = math.Inf(1)
+		}
+	}
+	return priors, any
+}
+
+// Harvest extracts the flavor knowledge a finished session learned and
+// merges it into the cache. Instances with a single flavor carry no choice
+// and are skipped. For vw-greedy choosers the windowed Snapshot costs are
+// used (the algorithm's own notion of current truth); for any other policy
+// the per-flavor profiling means serve as a fallback, making the cache
+// chooser-agnostic.
+func (c *FlavorCache) Harvest(s *core.Session) {
+	for _, inst := range s.Instances() {
+		if len(inst.Prim.Flavors) <= 1 {
+			continue
+		}
+		key := primitive.InstanceKeyOf(inst)
+		var costs []float64
+		if vw, ok := inst.Chooser().(*core.VWGreedy); ok {
+			costs = vw.Snapshot()
+			// Only publish arms this session measured itself: a seeded
+			// arm the sweep skipped still carries its prior in the
+			// snapshot, and re-observing it would EWMA the cache's own
+			// (possibly stale) value back in.
+			for i := range costs {
+				if !vw.SessionMeasured(i) {
+					costs[i] = math.Inf(1)
+				}
+			}
+		} else {
+			costs = make([]float64, len(inst.PerFlavor))
+			for i, fs := range inst.PerFlavor {
+				if fs.Tuples > 0 {
+					costs[i] = fs.CyclesPerTuple()
+				} else {
+					costs[i] = math.Inf(1)
+				}
+			}
+		}
+		for i, cost := range costs {
+			if i < len(inst.Prim.Flavors) {
+				c.Observe(key, inst.Prim.Flavors[i].Name, cost)
+			}
+		}
+	}
+}
+
+// Len returns the number of instance keys known to the cache.
+func (c *FlavorCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Keys returns the known instance keys, sorted (for reports and tests).
+func (c *FlavorCache) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BestFlavor returns the cheapest known flavor name for an instance key
+// and its cached cost, or ("", +Inf) when the key is unknown.
+func (c *FlavorCache) BestFlavor(key string) (string, float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best, bestCost := "", math.Inf(1)
+	for name, k := range c.entries[key] {
+		if k.cost < bestCost || (k.cost == bestCost && name < best) {
+			best, bestCost = name, k.cost
+		}
+	}
+	return best, bestCost
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"microadapt/internal/stats"
+)
+
+// LoadConfig describes one load-generation run against a Service.
+type LoadConfig struct {
+	// Mix is the query mix: jobs cycle through these TPC-H query numbers
+	// round-robin, so every run sees the same deterministic job sequence
+	// regardless of worker count.
+	Mix []int
+	// Jobs is the total number of queries to execute. When 0, the run is
+	// time-bounded by Duration instead.
+	Jobs int
+	// Duration caps a time-bounded run (used when Jobs == 0): no new job
+	// starts after the deadline; in-flight jobs drain.
+	Duration time.Duration
+}
+
+// Metrics aggregates a load run: throughput, the latency distribution, and
+// the adaptation-overhead counters that make warm-start effects visible.
+type Metrics struct {
+	Jobs    int
+	Errors  int
+	Workers int
+	Wall    time.Duration
+
+	JobsPerSec    float64
+	P50, P95, P99 time.Duration
+	MaxLatency    time.Duration
+
+	// AdaptiveCalls counts primitive calls into multi-flavor instances
+	// across all jobs; OffBestCalls is the subset spent on a flavor other
+	// than the one the session ultimately found best — the exploration tax.
+	AdaptiveCalls int64
+	OffBestCalls  int64
+	// SeededInstances / ColdInstances count multi-flavor instances built
+	// with vs. without cache priors during this run.
+	SeededInstances int64
+	ColdInstances   int64
+}
+
+// OffBestPerJob is the mean exploration tax of one query.
+func (m Metrics) OffBestPerJob() float64 {
+	if m.Jobs == 0 {
+		return 0
+	}
+	return float64(m.OffBestCalls) / float64(m.Jobs)
+}
+
+// OffBestFraction is the share of adaptive calls spent off the best flavor.
+func (m Metrics) OffBestFraction() float64 {
+	if m.AdaptiveCalls == 0 {
+		return 0
+	}
+	return float64(m.OffBestCalls) / float64(m.AdaptiveCalls)
+}
+
+// String renders a one-run summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"%d jobs, %d workers, %v wall (%.1f jobs/s); latency p50=%v p95=%v p99=%v max=%v; off-best %.1f calls/job (%.1f%% of adaptive)",
+		m.Jobs, m.Workers, m.Wall.Round(time.Millisecond), m.JobsPerSec,
+		m.P50.Round(time.Microsecond), m.P95.Round(time.Microsecond),
+		m.P99.Round(time.Microsecond), m.MaxLatency.Round(time.Microsecond),
+		m.OffBestPerJob(), 100*m.OffBestFraction())
+}
+
+// RunLoad executes the configured load over the service's worker pool and
+// returns aggregate metrics. Result tables are discarded — correctness is
+// the domain of Execute and the tests; RunLoad measures performance.
+func (svc *Service) RunLoad(lc LoadConfig) (Metrics, error) {
+	if len(lc.Mix) == 0 {
+		return Metrics{}, fmt.Errorf("service: empty query mix")
+	}
+	for _, q := range lc.Mix {
+		if q < 1 || q > 22 {
+			return Metrics{}, fmt.Errorf("service: bad query %d in mix", q)
+		}
+	}
+	if lc.Jobs <= 0 && lc.Duration <= 0 {
+		return Metrics{}, fmt.Errorf("service: load needs Jobs or Duration")
+	}
+
+	seededBefore, coldBefore := svc.SeededInstances()
+
+	jobs := make(chan int)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		m         Metrics
+		firstErr  error
+	)
+	m.Workers = svc.cfg.Workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < svc.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range jobs {
+				_, st, err := svc.Execute(q)
+				mu.Lock()
+				m.Jobs++
+				if err != nil {
+					m.Errors++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					latencies = append(latencies, float64(st.Latency))
+					if st.Latency > m.MaxLatency {
+						m.MaxLatency = st.Latency
+					}
+					m.AdaptiveCalls += st.AdaptiveCalls
+					m.OffBestCalls += st.OffBestCalls
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	var expired <-chan time.Time
+	if lc.Jobs <= 0 {
+		timer := time.NewTimer(lc.Duration)
+		defer timer.Stop()
+		expired = timer.C
+	}
+produce:
+	for i := 0; lc.Jobs <= 0 || i < lc.Jobs; i++ {
+		if expired == nil {
+			jobs <- lc.Mix[i%len(lc.Mix)]
+			continue
+		}
+		// Time-bounded: the deadline must also interrupt a blocked send,
+		// or a job could start long after it (all workers busy at expiry).
+		select {
+		case jobs <- lc.Mix[i%len(lc.Mix)]:
+		case <-expired:
+			break produce
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	m.Wall = time.Since(start)
+
+	if m.Wall > 0 {
+		m.JobsPerSec = float64(m.Jobs-m.Errors) / m.Wall.Seconds()
+	}
+	m.P50 = time.Duration(stats.Percentile(latencies, 50))
+	m.P95 = time.Duration(stats.Percentile(latencies, 95))
+	m.P99 = time.Duration(stats.Percentile(latencies, 99))
+	seededAfter, coldAfter := svc.SeededInstances()
+	m.SeededInstances = seededAfter - seededBefore
+	m.ColdInstances = coldAfter - coldBefore
+	return m, firstErr
+}

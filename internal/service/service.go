@@ -1,0 +1,204 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/tpch"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the size of the worker pool (default: GOMAXPROCS).
+	Workers int
+	// Flavors selects the registered flavor sets (default: Everything).
+	Flavors primitive.Options
+	// Machine is the virtual machine profile queries run on.
+	Machine *hw.Machine
+	// VectorSize is tuples per vector (default 128, the bench default).
+	VectorSize int
+	// VW are the vw-greedy parameters of every session.
+	VW core.VWParams
+	// WarmStart seeds fresh sessions' choosers from the shared cache.
+	WarmStart bool
+	// Seed is the base of the deterministic per-session seed sequence.
+	Seed int64
+}
+
+// DefaultConfig returns a ready-to-run service configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:    runtime.GOMAXPROCS(0),
+		Flavors:    primitive.Everything(),
+		Machine:    hw.Machine1(),
+		VectorSize: 128,
+		VW:         core.VWParams{ExplorePeriod: 512, ExploitPeriod: 8, ExploreLength: 1, WarmupSkip: 2, InitialSweep: true},
+		WarmStart:  true,
+		Seed:       1,
+	}
+}
+
+// Service executes TPC-H queries concurrently over one shared immutable
+// database. Each query runs in a fresh single-threaded core.Session (the
+// engine and choosers are not thread-safe, so sessions are never shared
+// across goroutines); what *is* shared is read-only or explicitly guarded:
+//
+//   - db: immutable after generation, read concurrently by all scans;
+//   - dict: the primitive dictionary, RWMutex-guarded and read-only here;
+//   - cache: the flavor-knowledge store, RWMutex-guarded, touched once per
+//     instance at session construction (priors) and once per query at the
+//     end (harvest) — never on the per-call hot path.
+//
+// The session-per-query model mirrors a query stream from many clients:
+// without warm start every query pays the vw-greedy cold-start exploration
+// tax on each of its primitive instances; with warm start the cache
+// amortizes that tax across the whole stream.
+type Service struct {
+	cfg   Config
+	db    *tpch.DB
+	dict  *core.Dictionary
+	cache *FlavorCache
+
+	seq         atomic.Int64 // per-session seed sequence
+	seededInsts atomic.Int64 // instances that got >= 1 finite prior
+	coldInsts   atomic.Int64 // multi-flavor instances built with no priors
+}
+
+// New builds a service over an already generated database.
+func New(db *tpch.DB, cfg Config) *Service {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.VectorSize < 1 {
+		cfg.VectorSize = 128
+	}
+	if cfg.Machine == nil {
+		cfg.Machine = hw.Machine1()
+	}
+	if cfg.VW.ExplorePeriod < 1 {
+		cfg.VW = DefaultConfig().VW
+	}
+	if len(cfg.Flavors.Compilers) == 0 {
+		// A zero-value Options registers no flavors and every query would
+		// panic on its first primitive lookup; default like the other
+		// fields so a hand-built Config works.
+		cfg.Flavors = primitive.Everything()
+	}
+	return &Service{
+		cfg:   cfg,
+		db:    db,
+		dict:  primitive.NewDictionary(cfg.Flavors),
+		cache: NewFlavorCache(),
+	}
+}
+
+// Cache exposes the shared knowledge store (reports, tests).
+func (svc *Service) Cache() *FlavorCache { return svc.cache }
+
+// Config returns the active configuration.
+func (svc *Service) Config() Config { return svc.cfg }
+
+// SeededInstances returns how many multi-flavor instances were constructed
+// with at least one cached prior vs. completely cold.
+func (svc *Service) SeededInstances() (seeded, cold int64) {
+	return svc.seededInsts.Load(), svc.coldInsts.Load()
+}
+
+// newSession builds a fresh session for one query. Sessions draw distinct
+// deterministic seeds from the service's sequence, so concurrent runs are
+// reproducible in aggregate even though job interleaving is not.
+func (svc *Service) newSession() *core.Session {
+	seed := svc.cfg.Seed + svc.seq.Add(1)
+	opts := []core.SessionOption{
+		core.WithVectorSize(svc.cfg.VectorSize),
+		core.WithSeed(seed),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vw := svc.cfg.VW
+	if svc.cfg.WarmStart {
+		opts = append(opts, core.WithInstanceChooser(func(sig, label string, n int) core.Chooser {
+			prim := svc.dict.MustLookup(sig)
+			priors, any := svc.cache.Priors(primitive.InstanceKey(sig, label), primitive.FlavorNames(prim))
+			if n > 1 {
+				if any {
+					svc.seededInsts.Add(1)
+				} else {
+					svc.coldInsts.Add(1)
+				}
+			}
+			return core.NewVWGreedyWarm(n, vw, rng, priors)
+		}))
+	} else {
+		opts = append(opts, core.WithChooser(func(n int) core.Chooser {
+			return core.NewVWGreedy(n, vw, rng)
+		}))
+	}
+	return core.NewSession(svc.dict, svc.cfg.Machine, opts...)
+}
+
+// JobStats summarizes one executed query for the load generator.
+type JobStats struct {
+	Query         int
+	Latency       time.Duration
+	PrimCycles    float64
+	Instances     int   // primitive instances the plan created
+	AdaptiveCalls int64 // calls into instances with > 1 flavor
+	OffBestCalls  int64 // adaptive calls that used a non-best flavor
+}
+
+// Execute runs one TPC-H query (1-22) in a fresh session, harvests the
+// learned flavor knowledge into the shared cache, and returns the result
+// table plus per-job statistics. It is safe to call from many goroutines.
+func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
+	if q < 1 || q > 22 {
+		return nil, JobStats{}, fmt.Errorf("service: no TPC-H query %d", q)
+	}
+	s := svc.newSession()
+	start := time.Now()
+	tab, err := tpch.Query(q).Run(svc.db, s)
+	st := JobStats{Query: q, Latency: time.Since(start)}
+	if err != nil {
+		return nil, st, fmt.Errorf("service: Q%02d: %w", q, err)
+	}
+	svc.cache.Harvest(s)
+	st.PrimCycles = s.Ctx.PrimCycles
+	st.Instances = len(s.Instances())
+	st.AdaptiveCalls, st.OffBestCalls = adaptationCost(s)
+	return tab, st, nil
+}
+
+// adaptationCost measures how much of a session's work went into calls
+// that did not use the flavor the session ultimately found best: the
+// exploration (plus wrong-exploitation) overhead a warm start is meant to
+// shrink. For every multi-flavor instance the best arm is the measured
+// per-flavor mean-cost minimum; calls on any other arm count as off-best.
+func adaptationCost(s *core.Session) (adaptive, offBest int64) {
+	for _, inst := range s.Instances() {
+		if len(inst.Prim.Flavors) <= 1 {
+			continue
+		}
+		adaptive += int64(inst.Calls)
+		best, bestCost := -1, 0.0
+		for i := range inst.PerFlavor {
+			fs := &inst.PerFlavor[i]
+			if fs.Tuples == 0 {
+				continue
+			}
+			c := fs.CyclesPerTuple()
+			if best < 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if best >= 0 {
+			offBest += int64(inst.Calls - inst.PerFlavor[best].Calls)
+		}
+	}
+	return adaptive, offBest
+}

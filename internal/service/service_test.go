@@ -1,0 +1,297 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/hw"
+	"microadapt/internal/primitive"
+	"microadapt/internal/tpch"
+)
+
+// testDB is shared across tests; generation dominates test wall time.
+var testDB = tpch.Generate(0.002, 42)
+
+func testConfig(warm bool) Config {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.WarmStart = warm
+	cfg.Seed = 7
+	return cfg
+}
+
+// fingerprint canonicalizes a result table for equivalence checks.
+func fingerprint(t *engine.Table) string {
+	return engine.TableString(t, 0) + fmt.Sprintf("rows=%d", t.Rows())
+}
+
+// baselineFingerprints runs each query single-threaded on a single-flavor
+// build — the ground truth concurrent adaptive execution must reproduce.
+func baselineFingerprints(t *testing.T, queries []int) map[int]string {
+	t.Helper()
+	out := make(map[int]string)
+	for _, q := range queries {
+		dict := primitive.NewDictionary(primitive.Defaults())
+		s := core.NewSession(dict, hw.Machine1(), core.WithVectorSize(128), core.WithSeed(3))
+		tab, err := tpch.Query(q).Run(testDB, s)
+		if err != nil {
+			t.Fatalf("baseline Q%02d: %v", q, err)
+		}
+		out[q] = fingerprint(tab)
+	}
+	return out
+}
+
+// TestConcurrentResultsMatchBaseline is the core correctness property under
+// concurrency: many workers over one shared DB and flavor cache, with
+// adaptive flavor choice, must produce exactly the single-threaded
+// single-flavor results. Run with -race this also exercises the shared
+// dictionary, DB and cache for data races.
+func TestConcurrentResultsMatchBaseline(t *testing.T) {
+	queries := []int{1, 3, 6, 12, 14}
+	want := baselineFingerprints(t, queries)
+
+	svc := New(testDB, testConfig(true))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Each query executes several times concurrently so warm-started and
+	// cold sessions are both in flight.
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				tab, st, err := svc.Execute(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := fingerprint(tab); got != want[q] {
+					errs <- fmt.Errorf("Q%02d: concurrent result differs from baseline", q)
+				}
+				if st.AdaptiveCalls == 0 {
+					errs <- fmt.Errorf("Q%02d: no adaptive calls recorded", q)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if svc.Cache().Len() == 0 {
+		t.Error("cache empty after concurrent runs")
+	}
+}
+
+// TestWarmStartConvergesFaster is the acceptance property of the warm
+// start: a session seeded from the cache reaches its steady-state flavor
+// choices with measurably fewer off-best calls than the cold session that
+// populated the cache.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	for _, q := range []int{1, 6, 12} {
+		svc := New(testDB, testConfig(true))
+		_, cold, err := svc.Execute(q) // empty cache: fully cold
+		if err != nil {
+			t.Fatalf("Q%02d cold: %v", q, err)
+		}
+		_, warm, err := svc.Execute(q) // seeded from the first run
+		if err != nil {
+			t.Fatalf("Q%02d warm: %v", q, err)
+		}
+		if cold.OffBestCalls == 0 {
+			t.Fatalf("Q%02d: cold run paid no exploration tax; test is vacuous", q)
+		}
+		if warm.OffBestCalls >= cold.OffBestCalls {
+			t.Errorf("Q%02d: warm off-best calls = %d, want < cold %d",
+				q, warm.OffBestCalls, cold.OffBestCalls)
+		}
+		seeded, _ := svc.SeededInstances()
+		if seeded == 0 {
+			t.Errorf("Q%02d: no instances were seeded from the cache", q)
+		}
+	}
+}
+
+// TestWarmStartDisabled: with WarmStart off the cache still accumulates
+// knowledge (harvest is unconditional) but no instance gets seeded.
+func TestWarmStartDisabled(t *testing.T) {
+	svc := New(testDB, testConfig(false))
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	seeded, cold := svc.SeededInstances()
+	if seeded != 0 || cold != 0 {
+		t.Errorf("cold service should not consult the cache: seeded=%d cold=%d", seeded, cold)
+	}
+	if svc.Cache().Len() == 0 {
+		t.Error("harvest should fill the cache even when warm start is off")
+	}
+}
+
+func TestRunLoadMetrics(t *testing.T) {
+	svc := New(testDB, testConfig(true))
+	m, err := svc.RunLoad(LoadConfig{Mix: []int{6, 12}, Jobs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 12 || m.Errors != 0 {
+		t.Errorf("jobs=%d errors=%d, want 12/0", m.Jobs, m.Errors)
+	}
+	if m.JobsPerSec <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if m.P50 > m.P95 || m.P95 > m.MaxLatency {
+		t.Errorf("latency percentiles out of order: p50=%v p95=%v max=%v", m.P50, m.P95, m.MaxLatency)
+	}
+	if m.AdaptiveCalls <= 0 {
+		t.Error("no adaptive calls measured")
+	}
+	if s := m.String(); len(s) < 40 {
+		t.Errorf("summary too short: %q", s)
+	}
+}
+
+func TestRunLoadDurationBound(t *testing.T) {
+	svc := New(testDB, testConfig(true))
+	m, err := svc.RunLoad(LoadConfig{Mix: []int{6}, Duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs == 0 {
+		t.Error("time-bounded load ran no jobs")
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	svc := New(testDB, testConfig(true))
+	if _, err := svc.RunLoad(LoadConfig{Jobs: 1}); err == nil {
+		t.Error("empty mix should error")
+	}
+	if _, err := svc.RunLoad(LoadConfig{Mix: []int{99}, Jobs: 1}); err == nil {
+		t.Error("bad query number should error")
+	}
+	if _, err := svc.RunLoad(LoadConfig{Mix: []int{1}}); err == nil {
+		t.Error("missing Jobs and Duration should error")
+	}
+	if _, _, err := svc.Execute(0); err == nil {
+		t.Error("Execute(0) should error")
+	}
+}
+
+// TestZeroValueConfigWorks: a hand-built Config (not derived from
+// DefaultConfig) must not panic on the first query.
+func TestZeroValueConfigWorks(t *testing.T) {
+	svc := New(testDB, Config{Workers: 1})
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHarvestDoesNotEchoPriors: a warm-started session must publish only
+// costs it measured itself. If the snapshot leaked seeded priors back
+// through Harvest, the cache would EWMA-merge its own stale values on
+// every warm query and the sample counts would grow without new evidence.
+func TestHarvestDoesNotEchoPriors(t *testing.T) {
+	svc := New(testDB, testConfig(true))
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	cache := svc.Cache()
+	// Pick a cached multi-flavor instance and poison one of its flavors
+	// with an absurd cost the virtual hardware can never produce.
+	keys := cache.Keys()
+	if len(keys) == 0 {
+		t.Fatal("no cached knowledge after a query")
+	}
+	const poison = 123456789.0
+	key := keys[0]
+	cache.mu.Lock()
+	var poisoned string
+	for name, k := range cache.entries[key] {
+		k.cost = poison
+		poisoned = name
+		break
+	}
+	cache.mu.Unlock()
+	// A warm session seeds the poisoned prior; because that arm now looks
+	// maximally expensive the sweep skips it and the session never
+	// measures it — so harvest must leave the cache entry untouched
+	// rather than echo 123456789 back as a fresh observation.
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	cache.mu.Lock()
+	got := cache.entries[key][poisoned]
+	cache.mu.Unlock()
+	if got.cost != poison || got.samples != 1 {
+		t.Errorf("unmeasured prior was re-harvested: cost=%v samples=%d, want %v/1",
+			got.cost, got.samples, poison)
+	}
+}
+
+func TestFlavorCacheBasics(t *testing.T) {
+	c := NewFlavorCache()
+	if _, any := c.Priors("k", []string{"a", "b"}); any {
+		t.Error("empty cache should have no priors")
+	}
+	c.Observe("k", "a", 4)
+	c.Observe("k", "b", 2)
+	priors, any := c.Priors("k", []string{"a", "b", "missing"})
+	if !any {
+		t.Fatal("expected priors")
+	}
+	if priors[0] != 4 || priors[1] != 2 || !math.IsInf(priors[2], 1) {
+		t.Errorf("priors = %v", priors)
+	}
+	if name, cost := c.BestFlavor("k"); name != "b" || cost != 2 {
+		t.Errorf("best = %s/%.1f, want b/2", name, cost)
+	}
+	// EWMA is recent-biased: a new observation moves the estimate halfway.
+	c.Observe("k", "a", 8)
+	priors, _ = c.Priors("k", []string{"a"})
+	if priors[0] != 6 {
+		t.Errorf("EWMA cost = %v, want 6", priors[0])
+	}
+	// Junk costs are ignored.
+	c.Observe("k", "a", math.Inf(1))
+	c.Observe("k", "a", math.NaN())
+	c.Observe("k", "a", -1)
+	priors, _ = c.Priors("k", []string{"a"})
+	if priors[0] != 6 {
+		t.Errorf("junk observation changed cost to %v", priors[0])
+	}
+	if c.Len() != 1 || len(c.Keys()) != 1 {
+		t.Errorf("cache shape: len=%d keys=%v", c.Len(), c.Keys())
+	}
+}
+
+// TestCacheConcurrentAccess hammers the cache from many goroutines; it is
+// meaningful mainly under -race.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewFlavorCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%4)
+			for i := 0; i < 500; i++ {
+				c.Observe(key, "a", float64(i%7+1))
+				c.Priors(key, []string{"a", "b"})
+				c.BestFlavor(key)
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -66,6 +67,32 @@ func Sum(xs []float64) float64 {
 		s += x
 	}
 	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs by linear
+// interpolation between closest ranks; 0 if xs is empty. xs is not
+// modified. The latency reporting of the concurrent query service uses it
+// for p50/p95/p99.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Resample linearly resamples xs to n points (n >= 2). It is used to

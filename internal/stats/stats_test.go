@@ -51,6 +51,31 @@ func TestMeanMinMaxSum(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // unsorted on purpose
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("p100 = %v, want 40", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Errorf("p50 = %v, want 25 (interpolated)", got)
+	}
+	if got := Percentile(xs, 75); got != 32.5 {
+		t.Errorf("p75 = %v, want 32.5", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 95) != 7 {
+		t.Error("single element percentile")
+	}
+	if xs[0] != 40 {
+		t.Error("Percentile must not mutate its input")
+	}
+}
+
 func TestResample(t *testing.T) {
 	up := Resample([]float64{0, 10}, 5)
 	want := []float64{0, 2.5, 5, 7.5, 10}

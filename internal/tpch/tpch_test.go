@@ -90,6 +90,9 @@ func TestLineitemSuppkeysExistInPartsupp(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates three databases; skipped in -short mode")
+	}
 	a := Generate(0.002, 7)
 	b := Generate(0.002, 7)
 	if got, want := tableFingerprint(a.Lineitem), tableFingerprint(b.Lineitem); got != want {
@@ -139,6 +142,9 @@ func TestQueriesFlavorEquivalence(t *testing.T) {
 		{"everything-vwgreedy", primitive.Everything(), nil},
 		{"everything-roundrobin", primitive.Everything(), func(n int) core.Chooser { return core.NewRoundRobin(n) }},
 		{"branchset-epsgreedy", primitive.BranchSet(), nil},
+	}
+	if testing.Short() {
+		t.Skip("22 queries x 4 flavor configurations; skipped in -short mode")
 	}
 	for _, q := range Queries() {
 		q := q

@@ -31,6 +31,7 @@ import (
 	"microadapt/internal/heuristics"
 	"microadapt/internal/hw"
 	"microadapt/internal/primitive"
+	"microadapt/internal/service"
 	"microadapt/internal/tpch"
 )
 
@@ -57,6 +58,15 @@ type (
 	ExperimentConfig = bench.Config
 	// Report is a rendered experiment result.
 	Report = bench.Report
+	// Service executes TPC-H queries concurrently over one shared database
+	// with a cross-session flavor-knowledge cache (see internal/service).
+	Service = service.Service
+	// ServiceConfig parameterizes a Service.
+	ServiceConfig = service.Config
+	// LoadConfig describes a load-generation run against a Service.
+	LoadConfig = service.LoadConfig
+	// LoadMetrics aggregates throughput, latency and adaptation overhead.
+	LoadMetrics = service.Metrics
 )
 
 // Machine profiles of the paper's Table 2.
@@ -154,6 +164,15 @@ func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
 
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return bench.IDs() }
+
+// DefaultServiceConfig returns a ready-to-run concurrent-service
+// configuration (GOMAXPROCS workers, all flavors, warm start on).
+func DefaultServiceConfig() ServiceConfig { return service.DefaultConfig() }
+
+// NewService builds a concurrent adaptive query service over db. Sessions
+// are created fresh per query; with cfg.WarmStart they seed their choosers
+// from the per-flavor costs earlier queries observed.
+func NewService(db *DB, cfg ServiceConfig) *Service { return service.New(db, cfg) }
 
 // UnknownExperimentError reports a bad experiment id.
 type UnknownExperimentError struct{ ID string }

@@ -80,6 +80,24 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeService(t *testing.T) {
+	db := microadapt.GenerateTPCH(0.002, 3)
+	cfg := microadapt.DefaultServiceConfig()
+	cfg.Workers = 2
+	cfg.Seed = 5
+	svc := microadapt.NewService(db, cfg)
+	m, err := svc.RunLoad(microadapt.LoadConfig{Mix: []int{6, 12}, Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 8 || m.Errors != 0 {
+		t.Errorf("jobs=%d errors=%d", m.Jobs, m.Errors)
+	}
+	if svc.Cache().Len() == 0 {
+		t.Error("service cache should hold learned flavor knowledge")
+	}
+}
+
 func TestFacadeRunAllQueries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite skipped in -short mode")
