@@ -111,9 +111,9 @@ func (sc abScenario) cost(arm, call int) float64 {
 func (sc abScenario) run(ch core.Chooser) float64 {
 	var total float64
 	for call := 0; call < sc.calls; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(core.ChooseContext{})
 		c := sc.cost(arm, call)
-		ch.Observe(arm, 100, c*100)
+		ch.Observe(core.Observation{Arm: arm, Tuples: 100, Cycles: c * 100})
 		total += c
 	}
 	return total / (3 * float64(sc.calls)) // OPT = 3 per call

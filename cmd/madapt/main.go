@@ -1,14 +1,16 @@
 // Command madapt runs the Micro Adaptivity reproduction: any of the
 // paper's experiments (tables and figures), the TPC-H workload under a
-// chosen flavor configuration and policy, or a listing of the registered
-// primitive flavors.
+// chosen flavor configuration and policy, or listings of the registered
+// primitive flavors and selection policies.
 //
 // Usage:
 //
 //	madapt exp all                     # every table and figure
 //	madapt exp fig2 table11            # specific experiments
 //	madapt exp -sf 0.05 -vecsize 256 table7
-//	madapt tpch -q 12 -flavors everything -policy vwgreedy
+//	madapt tpch -q 12 -flavors everything -policy ucb1:c=2
+//	madapt bench-concurrent -policy thompson -workers 8
+//	madapt policies                    # list the policy registry
 //	madapt flavors                     # dump the primitive dictionary
 //	madapt list                        # list experiment ids
 package main
@@ -21,12 +23,12 @@ import (
 	"strings"
 
 	"microadapt/internal/bench"
-	"microadapt/internal/core"
 	"microadapt/internal/engine"
-	"microadapt/internal/heuristics"
-	"microadapt/internal/hw"
+	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/tpch"
+
+	"microadapt/internal/hw"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 		err = cmdTPCH(os.Args[2:])
 	case "bench-concurrent":
 		err = cmdBenchConcurrent(os.Args[2:])
+	case "policies":
+		err = cmdPolicies()
 	case "flavors":
 		err = cmdFlavors(os.Args[2:])
 	case "list":
@@ -61,10 +65,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
-  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy vwgreedy|heuristics|fixed]
-  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-cold-only]
+  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy SPEC]
+  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-cold-only]
+  madapt policies
   madapt flavors
-  madapt list`)
+  madapt list
+
+policy SPEC is a registry name with optional parameters, e.g. vw-greedy,
+ucb1:c=2, eps-greedy:eps=0.05, fixed:arm=1 (see: madapt policies)`)
 }
 
 // benchFlags registers the shared configuration flags; call the returned
@@ -144,8 +152,8 @@ func cmdTPCH(args []string) error {
 	cfg, finish := benchFlags(fs)
 	q := fs.Int("q", 0, "query number (0 = all)")
 	flavors := fs.String("flavors", "everything", "flavor configuration")
-	policy := fs.String("policy", "vwgreedy", "selection policy: vwgreedy|heuristics|fixed")
-	arm := fs.Int("arm", 0, "arm for -policy fixed")
+	spec := fs.String("policy", "vw-greedy", "selection policy spec (see: madapt policies)")
+	arm := fs.Int("arm", 0, "shorthand for -policy fixed:arm=N")
 	rows := fs.Int("rows", 10, "result rows to print")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,16 +165,14 @@ func cmdTPCH(args []string) error {
 	if err != nil {
 		return err
 	}
-	var chooser core.ChooserFactory
-	switch *policy {
-	case "vwgreedy":
-		chooser = nil
-	case "heuristics":
-		chooser = heuristics.Factory(cfg.Machine, heuristics.Default())
-	case "fixed":
-		chooser = bench.FixedChooser(*arm)
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+	cfg.Policy = *spec
+	if *spec == "fixed" && *arm > 0 {
+		cfg.Policy = fmt.Sprintf("fixed:arm=%d", *arm)
+	}
+	// Validate the spec up front: Session panics on wiring bugs, but a CLI
+	// typo deserves a flag-style error.
+	if _, err := policy.NewFactory(cfg.Policy, cfg.PolicyEnv()); err != nil {
+		return err
 	}
 
 	db := cfg.DB()
@@ -176,14 +182,14 @@ func cmdTPCH(args []string) error {
 	} else {
 		queries = []tpch.Spec{tpch.Query(*q)}
 	}
-	for _, spec := range queries {
-		s := cfg.Session(opts, chooser)
-		tab, err := spec.Run(db, s)
+	for _, qs := range queries {
+		s := cfg.Session(opts, nil)
+		tab, err := qs.Run(db, s)
 		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
+			return fmt.Errorf("%s: %w", qs.Name, err)
 		}
 		fmt.Printf("-- %s: %d rows, %.0f virtual cycles (%.0f in primitives, %d instances)\n",
-			spec.Name, tab.Rows(), s.Ctx.TotalCycles(), s.Ctx.PrimCycles, len(s.Instances()))
+			qs.Name, tab.Rows(), s.Ctx.TotalCycles(), s.Ctx.PrimCycles, len(s.Instances()))
 		if *rows > 0 {
 			fmt.Print(engine.TableString(tab, *rows))
 		}
@@ -205,6 +211,7 @@ func cmdBenchConcurrent(args []string) error {
 	duration := fs.Duration("duration", 0, "per-phase wall cap when -jobs 0")
 	mixFlag := fs.String("mix", "1,6,12", "comma-separated TPC-H query numbers, or \"all\"")
 	flavors := fs.String("flavors", "everything", "flavor configuration")
+	spec := fs.String("policy", "vw-greedy", "selection policy spec (see: madapt policies)")
 	coldOnly := fs.Bool("cold-only", false, "skip the warm-start phase")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -214,6 +221,9 @@ func cmdBenchConcurrent(args []string) error {
 	}
 	opts, err := flavorOptions(*flavors)
 	if err != nil {
+		return err
+	}
+	if _, err := policy.NewFactory(*spec, cfg.PolicyEnv()); err != nil {
 		return err
 	}
 	mix, err := parseMix(*mixFlag)
@@ -229,6 +239,7 @@ func cmdBenchConcurrent(args []string) error {
 		Duration: *duration,
 		Mix:      mix,
 		Flavors:  opts,
+		Policy:   *spec,
 		ColdOnly: *coldOnly,
 	})
 	if err != nil {
@@ -263,6 +274,26 @@ func parseMix(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty query mix")
 	}
 	return mix, nil
+}
+
+// cmdPolicies lists the policy registry: every name -policy accepts, the
+// parameters each takes, and whether it participates in cross-session
+// warm-start.
+func cmdPolicies() error {
+	fmt.Printf("%-16s %-10s %-36s %s\n", "NAME", "WARM-START", "PARAMETERS", "SUMMARY")
+	for _, d := range policy.Definitions() {
+		warm := "no"
+		if d.WarmStart {
+			warm = "yes"
+		}
+		params := d.ParamDoc
+		if params == "" {
+			params = "-"
+		}
+		fmt.Printf("%-16s %-10s %-36s %s\n", d.Name, warm, params, d.Summary)
+	}
+	fmt.Println("\nspec syntax: name[:key=value,...], e.g. vw-greedy:explore=1024,exploit=8,len=2")
+	return nil
 }
 
 func cmdFlavors(args []string) error {

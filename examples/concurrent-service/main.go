@@ -29,9 +29,11 @@ func main() {
 	}
 	fmt.Println("cold:", coldMetrics)
 
-	// Phase 2: same load, but sessions seed their vw-greedy choosers from
-	// the shared cache. The first pass over the mix populates it; the
-	// measured load then runs warm.
+	// Phase 2: same load, but sessions seed their choosers from the shared
+	// cache through the WarmStarter capability — the same code path works
+	// for any registry policy (try cold.Policy = "ucb1" or "thompson").
+	// The first pass over the mix populates the cache; the measured load
+	// then runs warm.
 	warm := cold
 	warm.WarmStart = true
 	svc := microadapt.NewService(db, warm)

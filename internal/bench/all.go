@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 	exps = append(exps,
 		Experiment{"fig11", "Figure 11: micro adaptive APHs", Fig11},
 		Experiment{"table11", "Table 11: TPC-H overall", Table11},
+		Experiment{"policycmp", "Policy comparison: cold vs. warm per policy", PolicyComparison},
 	)
 	return exps
 }

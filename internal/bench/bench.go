@@ -7,13 +7,13 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 
 	"microadapt/internal/core"
 	"microadapt/internal/hw"
+	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/stats"
 	"microadapt/internal/tpch"
@@ -27,7 +27,11 @@ type Config struct {
 	Seed       int64
 	VectorSize int
 	Machine    *hw.Machine
-	VW         core.VWParams
+	// Policy is the default flavor-selection policy spec (registry syntax,
+	// e.g. "ucb1:c=2"); empty means "vw-greedy" with the VW parameters.
+	Policy string
+	// VW are the base vw-greedy parameters (spec parameters override).
+	VW core.VWParams
 	// ChartWidth/Height controls ASCII figure rendering.
 	ChartWidth, ChartHeight int
 }
@@ -98,29 +102,33 @@ func (cfg Config) DB() *tpch.DB {
 	return db
 }
 
+// PolicyEnv is the registry environment of this configuration.
+func (cfg Config) PolicyEnv() policy.Env {
+	return policy.Env{Machine: cfg.Machine, VW: cfg.VW, Seed: cfg.Seed}
+}
+
 // Session builds a session over a fresh dictionary with the given flavor
-// options and chooser (nil = vw-greedy with cfg.VW).
+// options and chooser (nil = cfg.Policy via the registry, defaulting to
+// vw-greedy with cfg.VW). An invalid cfg.Policy spec panics: experiment
+// configurations are wired by code, and the CLI validates specs up front.
 func (cfg Config) Session(o primitive.Options, chooser core.ChooserFactory) *core.Session {
 	dict := primitive.NewDictionary(o)
 	opts := []core.SessionOption{core.WithVectorSize(cfg.VectorSize), core.WithSeed(cfg.Seed)}
 	if chooser == nil {
-		vw := cfg.VW
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		chooser = func(n int) core.Chooser { return core.NewVWGreedy(n, vw, rng) }
+		spec := cfg.Policy
+		if spec == "" {
+			spec = "vw-greedy"
+		}
+		chooser = policy.MustFactory(spec, cfg.PolicyEnv())
 	}
 	opts = append(opts, core.WithChooser(chooser))
 	return core.NewSession(dict, cfg.Machine, opts...)
 }
 
-// FixedChooser pins every instance to min(arm, flavors-1).
-func FixedChooser(arm int) core.ChooserFactory {
-	return func(n int) core.Chooser {
-		a := arm
-		if a >= n {
-			a = n - 1
-		}
-		return core.NewFixed(a)
-	}
+// fixedArm resolves the registry's "fixed:arm=N" spec: every instance
+// pinned to min(arm, flavors-1).
+func fixedArm(arm int) core.ChooserFactory {
+	return policy.MustFactory(fmt.Sprintf("fixed:arm=%d", arm), policy.Env{})
 }
 
 // RunTPCH executes all 22 queries in one session.

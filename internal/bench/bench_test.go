@@ -3,6 +3,9 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/policy"
 )
 
 // tinyConfig keeps experiment smoke tests fast.
@@ -15,12 +18,12 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Errorf("experiments = %d, want 17 (every table and figure)", len(exps))
+	if len(exps) != 18 {
+		t.Errorf("experiments = %d, want 18 (every table and figure + policycmp)", len(exps))
 	}
 	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4",
 		"fig8", "fig10", "table5", "table6", "table7", "table8", "table9",
-		"table10", "fig11", "table11"}
+		"table10", "fig11", "table11", "policycmp"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -161,12 +164,34 @@ func TestDBCaching(t *testing.T) {
 	}
 }
 
-func TestFixedChooserClamps(t *testing.T) {
-	f := FixedChooser(5)
-	if f(2).Choose() != 1 {
-		t.Error("fixed chooser should clamp to the last arm")
+func TestFixedArmClamps(t *testing.T) {
+	f := fixedArm(5)
+	if f(2).Choose(core.ChooseContext{}) != 1 {
+		t.Error("fixed policy should clamp to the last arm")
 	}
-	if f(8).Choose() != 5 {
-		t.Error("fixed chooser should use the requested arm when available")
+	if f(8).Choose(core.ChooseContext{}) != 5 {
+		t.Error("fixed policy should use the requested arm when available")
+	}
+}
+
+// TestPolicyComparisonRuns smoke-tests the policycmp experiment: every
+// warm-startable registry policy must survive both phases and appear in
+// the report.
+func TestPolicyComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policycmp runs two service phases per policy; skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	rep, err := PolicyComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range policy.Definitions() {
+		if def.WarmStart && !strings.Contains(rep.Body, def.Name) {
+			t.Errorf("report missing policy %s:\n%s", def.Name, rep.Body)
+		}
+	}
+	if !strings.Contains(rep.Body, "off-best") {
+		t.Error("report should explain the off-best metric")
 	}
 }

@@ -20,7 +20,8 @@ type ConcurrentOptions struct {
 	Duration time.Duration // per-phase wall cap when Jobs == 0
 	Mix      []int         // TPC-H query numbers, cycled round-robin
 	Flavors  primitive.Options
-	ColdOnly bool // skip the warm phase (pure throughput measurement)
+	Policy   string // registry policy spec ("" = vw-greedy)
+	ColdOnly bool   // skip the warm phase (pure throughput measurement)
 }
 
 // DefaultConcurrentOptions returns a quick but representative run.
@@ -55,6 +56,7 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 		Flavors:    o.Flavors,
 		Machine:    cfg.Machine.ScaledCaches(cfg.cacheScale()),
 		VectorSize: cfg.VectorSize,
+		Policy:     o.Policy,
 		VW:         cfg.VW,
 		Seed:       cfg.Seed,
 	}
@@ -73,8 +75,12 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 	for i, q := range o.Mix {
 		mixNames[i] = fmt.Sprintf("Q%02d", q)
 	}
-	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, flavors as configured\n\n",
-		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name)
+	pol := o.Policy
+	if pol == "" {
+		pol = "vw-greedy"
+	}
+	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, policy %s\n\n",
+		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name, pol)
 
 	rows := [][]string{{"phase", "jobs", "wall", "jobs/s", "p50", "p95", "p99", "max", "off-best/job", "off-best%"}}
 	rows = append(rows, metricsRow("cold", cold))

@@ -77,7 +77,7 @@ func selPrimBench(cfg Config, s *core.Session, arm int, label string, selPct int
 // Fig1 reproduces Figure 1: branching vs no-branching selection cost as a
 // function of selectivity, with the misprediction hump at 50%.
 func Fig1(cfg Config) (*Report, error) {
-	s := cfg.Session(primitive.BranchSet(), FixedChooser(0))
+	s := cfg.Session(primitive.BranchSet(), fixedArm(0))
 	var xs []string
 	var branch, nobranch []float64
 	for sel := 0; sel <= 100; sel += 5 {
@@ -125,7 +125,7 @@ func Fig5(cfg Config) (*Report, error) {
 	for _, m := range machines {
 		mcfg := cfg
 		mcfg.Machine = m
-		s := mcfg.Session(primitive.CompilerSet(), FixedChooser(0))
+		s := mcfg.Session(primitive.CompilerSet(), fixedArm(0))
 		var cyc []float64
 		for arm := range compilers {
 			cyc = append(cyc, mergejoinBench(mcfg, s, arm, fmt.Sprintf("fig5/%s/%d", m.Name, arm)))
@@ -186,7 +186,7 @@ func Fig6(cfg Config) (*Report, error) {
 	for _, m := range hw.Machines() {
 		mcfg := cfg
 		mcfg.Machine = m
-		s := mcfg.Session(primitive.FissionSet(), FixedChooser(0))
+		s := mcfg.Session(primitive.FissionSet(), fixedArm(0))
 		var speedups []float64
 		for i, sz := range sizes {
 			nof := bloomBench(mcfg, s, 0, fmt.Sprintf("fig6/%s/n%d", m.Name, i), sz)
@@ -315,7 +315,7 @@ func Fig8(cfg Config) (*Report, error) {
 	for _, cv := range curves {
 		mcfg := cfg
 		mcfg.Machine = cv.m
-		s := mcfg.Session(primitive.ComputeSet(), FixedChooser(0))
+		s := mcfg.Session(primitive.ComputeSet(), fixedArm(0))
 		var sp []float64
 		for sel := 0; sel <= 100; sel += 10 {
 			selective := mapMulBench(mcfg, s, cv.t, 0, fmt.Sprintf("fig8/%s/s%d", cv.name, sel), sel)

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"microadapt/internal/policy"
+	"microadapt/internal/primitive"
+	"microadapt/internal/service"
+	"microadapt/internal/stats"
+)
+
+// PolicyComparison runs every warm-startable policy in the registry over
+// the same concurrent TPC-H mix twice — cold sessions against an empty
+// knowledge cache, then sessions warm-started from a priming pass — and
+// reports the off-best-call rate (the exploration tax) of each phase. It
+// is the experiment the policy-agnostic warm-start API exists for: the
+// cache speaks to policies only through the Snapshotter/WarmStarter
+// capabilities, so one table covers vw-greedy, the ε-strategies, ucb1 and
+// thompson without a line of policy-specific harness code.
+func PolicyComparison(cfg Config) (*Report, error) {
+	db := cfg.DB()
+	mix := []int{1, 6, 12}
+	const jobs = 18
+
+	base := service.Config{
+		Workers:    2,
+		Flavors:    primitive.Everything(),
+		Machine:    cfg.Machine.ScaledCaches(cfg.cacheScale()),
+		VectorSize: cfg.VectorSize,
+		VW:         cfg.VW,
+		Seed:       cfg.Seed,
+	}
+	load := service.LoadConfig{Mix: mix, Jobs: jobs}
+
+	rows := [][]string{{"policy", "cold off-best/job", "cold off-best%", "warm off-best/job", "warm off-best%", "cold/warm"}}
+	for _, def := range policy.Definitions() {
+		if !def.WarmStart {
+			continue
+		}
+		pcfg := base
+		pcfg.Policy = def.Name
+
+		coldCfg := pcfg
+		coldCfg.WarmStart = false
+		cold, err := service.New(db, coldCfg).RunLoad(load)
+		if err != nil {
+			return nil, fmt.Errorf("policycmp %s cold: %w", def.Name, err)
+		}
+
+		warmCfg := pcfg
+		warmCfg.WarmStart = true
+		svc := service.New(db, warmCfg)
+		// Priming pass: one run of each mix query fills the cache the way
+		// earlier traffic would; excluded from the measured warm phase.
+		if _, err := svc.RunLoad(service.LoadConfig{Mix: mix, Jobs: len(mix)}); err != nil {
+			return nil, fmt.Errorf("policycmp %s prime: %w", def.Name, err)
+		}
+		warm, err := svc.RunLoad(load)
+		if err != nil {
+			return nil, fmt.Errorf("policycmp %s warm: %w", def.Name, err)
+		}
+
+		ratio := "inf"
+		if warm.OffBestPerJob() > 0 {
+			ratio = fmt.Sprintf("%.1fx", cold.OffBestPerJob()/warm.OffBestPerJob())
+		} else if cold.OffBestPerJob() == 0 {
+			ratio = "-"
+		}
+		rows = append(rows, []string{
+			def.Name,
+			fmt.Sprintf("%.1f", cold.OffBestPerJob()),
+			fmt.Sprintf("%.1f", 100*cold.OffBestFraction()),
+			fmt.Sprintf("%.1f", warm.OffBestPerJob()),
+			fmt.Sprintf("%.1f", 100*warm.OffBestFraction()),
+			ratio,
+		})
+	}
+
+	var b strings.Builder
+	mixNames := make([]string, len(mix))
+	for i, q := range mix {
+		mixNames[i] = fmt.Sprintf("Q%02d", q)
+	}
+	fmt.Fprintf(&b, "mix %s, %d jobs per phase, machine %s; off-best = adaptive calls spent on a\n"+
+		"flavor other than the one the session found best (the exploration tax)\n\n",
+		strings.Join(mixNames, ","), jobs, cfg.Machine.Name)
+	b.WriteString(stats.FormatTable(rows))
+	b.WriteString("\nwarm start flows through the Snapshotter/WarmStarter capabilities, so every\n" +
+		"row uses the same cache and harness; only the learning algorithm differs.\n")
+
+	return &Report{
+		ID:    "policycmp",
+		Title: "Policy comparison: cold vs. warm-started exploration tax per registered policy",
+		Body:  b.String(),
+	}, nil
+}

@@ -26,7 +26,7 @@ func Fig2(cfg Config) (*Report, error) {
 	names := []string{"branching", "no branching"}
 	var hists []*aph.History
 	for arm := 0; arm < 2; arm++ {
-		s := cfg.TPCHSession(primitive.BranchSet(), FixedChooser(arm))
+		s := cfg.TPCHSession(primitive.BranchSet(), fixedArm(arm))
 		if _, err := tpch.Q12(db, s); err != nil {
 			return nil, err
 		}
@@ -72,7 +72,7 @@ func Fig4(cfg Config) (*Report, error) {
 	opts.FullCompilerCoverage = true
 	sessions := make([]*core.Session, 3)
 	for arm := 0; arm < 3; arm++ {
-		s := cfg.TPCHSession(opts, FixedChooser(arm))
+		s := cfg.TPCHSession(opts, fixedArm(arm))
 		for _, q := range queries {
 			if _, err := q.Run(db, s); err != nil {
 				return nil, err
@@ -119,7 +119,7 @@ func runFlavorSet(cfg Config, opts primitive.Options, nArms int, armNames []stri
 	db := cfg.DB()
 	r := &flavorSetRun{opts: opts, armNames: armNames}
 	for arm := 0; arm < nArms; arm++ {
-		s := cfg.TPCHSession(opts, FixedChooser(arm))
+		s := cfg.TPCHSession(opts, fixedArm(arm))
 		if err := RunTPCH(db, s); err != nil {
 			return nil, err
 		}

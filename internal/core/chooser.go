@@ -1,34 +1,83 @@
 package core
 
-import "math/rand"
+import "math"
+
+// ChooseContext carries everything a policy may inspect before picking an
+// arm: the primitive instance (profiling totals, flavor metadata) and the
+// live call (selectivity, density, auxiliary state). Both fields may be nil
+// — trace replay and synthetic tests drive choosers without an engine —
+// so policies that read them must tolerate their absence.
+type ChooseContext struct {
+	Inst *Instance
+	Call *Call
+}
+
+// Observation reports the measured outcome of one primitive call: which arm
+// ran, how many live tuples it processed, and what it cost.
+type Observation struct {
+	Arm    int
+	Tuples int
+	Cycles float64
+}
+
+// Cost returns the observation's cycles/tuple, or +Inf when no tuples were
+// processed (a call that paid only invocation overhead carries no per-tuple
+// cost signal).
+func (o Observation) Cost() float64 {
+	if o.Tuples <= 0 {
+		return math.Inf(1)
+	}
+	return o.Cycles / float64(o.Tuples)
+}
 
 // Chooser is a flavor-selection policy for one primitive instance: a
 // multi-armed bandit over the instance's flavors. Choose returns the arm to
-// use for the next call; Observe reports the measured cost of a call that
-// used the arm. Implementations are not safe for concurrent use; each
-// primitive instance owns its chooser.
+// use for the next call; Observe feeds back what the call actually cost.
+// Implementations are not safe for concurrent use; each primitive instance
+// owns its chooser.
+//
+// Policies advertise optional abilities through capability interfaces
+// instead of widening this one: Snapshotter exports learned knowledge,
+// WarmStarter accepts prior knowledge. Callers type-assert on the
+// capability, never on a concrete policy type.
 type Chooser interface {
 	// Name identifies the policy (for reports).
 	Name() string
 	// Choose returns the flavor index to use for the next call.
-	Choose() int
-	// Observe records that a call using flavor arm processed the given
-	// number of tuples in the given number of cycles.
-	Observe(arm int, tuples int, cycles float64)
+	Choose(ChooseContext) int
+	// Observe records the outcome of a call.
+	Observe(Observation)
 }
 
-// ContextChooser is a Chooser that may inspect the live call (selectivity,
-// auxiliary state) before deciding — the interface used by the hard-coded
-// heuristics baseline of §4.2, which e.g. picks no-branching selection
-// between 10% and 90% observed selectivity.
-type ContextChooser interface {
-	Chooser
-	// ChooseCtx returns the flavor index given the instance and call.
-	ChooseCtx(inst *Instance, c *Call) int
+// Snapshotter is the knowledge-export capability: Snapshot returns the
+// policy's current per-arm cost estimates (cycles/tuple, +Inf for arms it
+// knows nothing about) and a mask marking the arms the policy measured
+// *itself* during this session. Seeded priors leave the mask false until
+// the arm's first live measurement, which is what keeps knowledge caches
+// from re-ingesting their own priors as fresh observations. Both slices
+// are copies and stay valid after the chooser moves on.
+type Snapshotter interface {
+	Snapshot() (costs []float64, measured []bool)
+}
+
+// WarmStarter is the knowledge-import capability: SeedPriors hands the
+// policy per-arm prior costs (cycles/tuple) observed elsewhere — an earlier
+// session, another worker. priors[i] = +Inf or NaN means "no knowledge";
+// finite non-negative entries mark the arm as already measured at that
+// cost. Priors are a starting point only: live measurements overwrite
+// them. SeedPriors must be called before the first Observe.
+type WarmStarter interface {
+	SeedPriors(priors []float64)
+}
+
+// usablePrior reports whether a prior value carries knowledge.
+func usablePrior(p float64) bool {
+	return !math.IsInf(p, 1) && !math.IsNaN(p) && p >= 0
 }
 
 // Fixed always picks the same arm; it is how "always flavor X" baseline
-// runs and trace recording are expressed.
+// runs and trace recording are expressed. Build clamped instances through
+// the policy registry's "fixed:arm=N" spec.
 type Fixed struct {
 	Arm int
 }
@@ -40,10 +89,10 @@ func NewFixed(arm int) *Fixed { return &Fixed{Arm: arm} }
 func (f *Fixed) Name() string { return "fixed" }
 
 // Choose implements Chooser.
-func (f *Fixed) Choose() int { return f.Arm }
+func (f *Fixed) Choose(ChooseContext) int { return f.Arm }
 
 // Observe implements Chooser.
-func (f *Fixed) Observe(int, int, float64) {}
+func (f *Fixed) Observe(Observation) {}
 
 // RoundRobin cycles deterministically through the arms; it is used by tests
 // and as a worst-case reference policy.
@@ -59,29 +108,70 @@ func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
 func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Choose implements Chooser.
-func (r *RoundRobin) Choose() int {
+func (r *RoundRobin) Choose(ChooseContext) int {
 	arm := r.next
 	r.next = (r.next + 1) % r.n
 	return arm
 }
 
 // Observe implements Chooser.
-func (r *RoundRobin) Observe(int, int, float64) {}
+func (r *RoundRobin) Observe(Observation) {}
 
 // armMeans tracks the all-history mean cycles/tuple per arm, the knowledge
-// state of the classic ε-strategies.
+// state of the classic ε-strategies. live marks arms with at least one real
+// observation this session; seeded priors enter as a one-tuple
+// pseudo-observation and leave live false.
 type armMeans struct {
 	tuples []float64
 	cycles []float64
+	live   []bool
 }
 
 func newArmMeans(n int) armMeans {
-	return armMeans{tuples: make([]float64, n), cycles: make([]float64, n)}
+	return armMeans{
+		tuples: make([]float64, n),
+		cycles: make([]float64, n),
+		live:   make([]bool, n),
+	}
 }
 
 func (a *armMeans) observe(arm, tuples int, cycles float64) {
+	if tuples <= 0 {
+		// An empty-vector call carries no per-tuple cost signal; folding
+		// its overhead cycles into the mean would corrupt it outright when
+		// the denominator is a seeded 1-tuple pseudo-observation — and a
+		// live-marked corrupted mean would then be harvested into the
+		// shared flavor cache as fresh evidence.
+		return
+	}
 	a.tuples[arm] += float64(tuples)
 	a.cycles[arm] += cycles
+	a.live[arm] = true
+}
+
+// seed installs priors as one-tuple pseudo-observations on arms with no
+// history; a single real vector-sized observation immediately dominates.
+func (a *armMeans) seed(priors []float64) {
+	for i := 0; i < len(a.tuples) && i < len(priors); i++ {
+		if usablePrior(priors[i]) && a.tuples[i] == 0 {
+			a.tuples[i] = 1
+			a.cycles[i] = priors[i]
+		}
+	}
+}
+
+// snapshot exports mean costs (+Inf for unknown arms) and the live mask.
+func (a *armMeans) snapshot() ([]float64, []bool) {
+	costs := make([]float64, len(a.tuples))
+	live := append([]bool(nil), a.live...)
+	for i := range costs {
+		if a.tuples[i] > 0 {
+			costs[i] = a.cycles[i] / a.tuples[i]
+		} else {
+			costs[i] = math.Inf(1)
+		}
+	}
+	return costs, live
 }
 
 // best returns the arm with the lowest mean cost; unobserved arms are
@@ -104,120 +194,4 @@ func (a *armMeans) best() int {
 		}
 	}
 	return best
-}
-
-// EpsGreedy is the classic ε-greedy strategy: with probability eps explore
-// a uniformly random arm, otherwise exploit the arm with the best
-// all-history mean. Its regret grows linearly (§3.2).
-type EpsGreedy struct {
-	eps  float64
-	n    int
-	rng  *rand.Rand
-	mean armMeans
-}
-
-// NewEpsGreedy returns an ε-greedy policy over n arms.
-func NewEpsGreedy(n int, eps float64, rng *rand.Rand) *EpsGreedy {
-	return &EpsGreedy{eps: eps, n: n, rng: rng, mean: newArmMeans(n)}
-}
-
-// Name implements Chooser.
-func (e *EpsGreedy) Name() string { return "eps-greedy" }
-
-// Choose implements Chooser.
-func (e *EpsGreedy) Choose() int {
-	if e.rng.Float64() < e.eps {
-		return e.rng.Intn(e.n)
-	}
-	return e.mean.best()
-}
-
-// Observe implements Chooser.
-func (e *EpsGreedy) Observe(arm, tuples int, cycles float64) {
-	e.mean.observe(arm, tuples, cycles)
-}
-
-// EpsFirst explores uniformly for the first eps*horizon calls and then
-// commits to the best mean for the rest of the query ("it only tests all
-// flavors at the beginning and then sticks to its choice", §3.2).
-type EpsFirst struct {
-	n            int
-	exploreCalls int
-	calls        int
-	rng          *rand.Rand
-	mean         armMeans
-	committed    int
-}
-
-// NewEpsFirst returns an ε-first policy over n arms. horizon is the
-// expected number of calls in a query (the paper's traces have 16K-32K).
-func NewEpsFirst(n int, eps float64, horizon int, rng *rand.Rand) *EpsFirst {
-	ex := int(eps * float64(horizon))
-	if ex < n {
-		ex = n // at least one look at each arm
-	}
-	return &EpsFirst{n: n, exploreCalls: ex, rng: rng, mean: newArmMeans(n), committed: -1}
-}
-
-// Name implements Chooser.
-func (e *EpsFirst) Name() string { return "eps-first" }
-
-// Choose implements Chooser.
-func (e *EpsFirst) Choose() int {
-	if e.calls < e.exploreCalls {
-		// Deterministic sweep guarantees coverage of all arms even for
-		// short exploration budgets; ties with the paper's description
-		// of "testing all flavors at the beginning".
-		return e.calls % e.n
-	}
-	if e.committed < 0 {
-		e.committed = e.mean.best()
-	}
-	return e.committed
-}
-
-// Observe implements Chooser.
-func (e *EpsFirst) Observe(arm, tuples int, cycles float64) {
-	e.calls++
-	e.mean.observe(arm, tuples, cycles)
-}
-
-// EpsDecreasing is ε-greedy with ε_t = min(1, c/t): exploration decays at
-// rate 1/n, which achieves logarithmic regret for stationary rewards
-// (Auer et al., cited as [2] in the paper).
-type EpsDecreasing struct {
-	c     float64
-	n     int
-	calls int
-	rng   *rand.Rand
-	mean  armMeans
-}
-
-// NewEpsDecreasing returns an ε-decreasing policy over n arms with scale c.
-func NewEpsDecreasing(n int, c float64, rng *rand.Rand) *EpsDecreasing {
-	return &EpsDecreasing{c: c, n: n, rng: rng, mean: newArmMeans(n)}
-}
-
-// Name implements Chooser.
-func (e *EpsDecreasing) Name() string { return "eps-decreasing" }
-
-// Choose implements Chooser.
-func (e *EpsDecreasing) Choose() int {
-	eps := 1.0
-	if e.calls > 0 {
-		eps = e.c / float64(e.calls)
-		if eps > 1 {
-			eps = 1
-		}
-	}
-	if e.rng.Float64() < eps {
-		return e.rng.Intn(e.n)
-	}
-	return e.mean.best()
-}
-
-// Observe implements Chooser.
-func (e *EpsDecreasing) Observe(arm, tuples int, cycles float64) {
-	e.calls++
-	e.mean.observe(arm, tuples, cycles)
 }

@@ -8,10 +8,10 @@ import (
 func TestFixedChooser(t *testing.T) {
 	f := NewFixed(2)
 	for i := 0; i < 10; i++ {
-		if f.Choose() != 2 {
+		if f.Choose(ChooseContext{}) != 2 {
 			t.Fatal("fixed chooser moved")
 		}
-		f.Observe(2, 10, 100)
+		f.Observe(Observation{Arm: 2, Tuples: 10, Cycles: 100})
 	}
 	if f.Name() != "fixed" {
 		t.Error("name wrong")
@@ -22,10 +22,10 @@ func TestRoundRobinCycles(t *testing.T) {
 	r := NewRoundRobin(3)
 	want := []int{0, 1, 2, 0, 1, 2}
 	for i, w := range want {
-		if got := r.Choose(); got != w {
+		if got := r.Choose(ChooseContext{}); got != w {
 			t.Fatalf("call %d = %d, want %d", i, got, w)
 		}
-		r.Observe(w, 1, 1)
+		r.Observe(Observation{Arm: w, Tuples: 1, Cycles: 1})
 	}
 	if r.Name() != "round-robin" {
 		t.Error("name wrong")
@@ -36,10 +36,10 @@ func TestEpsGreedyExploitsBestArm(t *testing.T) {
 	ch := NewEpsGreedy(3, 0.05, rand.New(rand.NewSource(1)))
 	use := make([]int, 3)
 	for i := 0; i < 3000; i++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		use[a]++
 		cost := []float64{9, 2, 7}[a]
-		ch.Observe(a, 100, cost*100)
+		ch.Observe(Observation{Arm: a, Tuples: 100, Cycles: cost * 100})
 	}
 	if use[1] < 2500 {
 		t.Errorf("best arm used %d/3000, want dominant", use[1])
@@ -56,9 +56,9 @@ func TestEpsGreedyTriesUnseenArmsFirst(t *testing.T) {
 	ch := NewEpsGreedy(4, 0.0, rand.New(rand.NewSource(2)))
 	seen := map[int]bool{}
 	for i := 0; i < 4; i++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		seen[a] = true
-		ch.Observe(a, 10, 10)
+		ch.Observe(Observation{Arm: a, Tuples: 10, Cycles: 10})
 	}
 	if len(seen) != 4 {
 		t.Errorf("first four choices covered %d arms, want 4", len(seen))
@@ -69,16 +69,16 @@ func TestEpsFirstCommits(t *testing.T) {
 	ch := NewEpsFirst(2, 0.01, 1000, rand.New(rand.NewSource(3)))
 	// Exploration phase: eps*horizon = 10 calls.
 	for i := 0; i < 10; i++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		cost := []float64{8, 3}[a]
-		ch.Observe(a, 100, cost*100)
+		ch.Observe(Observation{Arm: a, Tuples: 100, Cycles: cost * 100})
 	}
 	// Committed phase: always the best arm.
 	for i := 0; i < 100; i++ {
-		if got := ch.Choose(); got != 1 {
+		if got := ch.Choose(ChooseContext{}); got != 1 {
 			t.Fatalf("eps-first did not commit to the best arm (got %d)", got)
 		}
-		ch.Observe(1, 100, 300)
+		ch.Observe(Observation{Arm: 1, Tuples: 100, Cycles: 300})
 	}
 	if ch.Name() != "eps-first" {
 		t.Error("name wrong")
@@ -90,16 +90,16 @@ func TestEpsFirstCommits(t *testing.T) {
 func TestEpsFirstCannotAdapt(t *testing.T) {
 	ch := NewEpsFirst(2, 0.01, 1000, rand.New(rand.NewSource(4)))
 	for call := 0; call < 2000; call++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		var cost float64
 		if call < 500 {
 			cost = []float64{2, 6}[a]
 		} else {
 			cost = []float64{6, 2}[a]
 		}
-		ch.Observe(a, 100, cost*100)
+		ch.Observe(Observation{Arm: a, Tuples: 100, Cycles: cost * 100})
 	}
-	if ch.Choose() != 0 {
+	if ch.Choose(ChooseContext{}) != 0 {
 		t.Error("eps-first should still be stuck on the early winner")
 	}
 }
@@ -108,9 +108,9 @@ func TestEpsFirstMinimumExploration(t *testing.T) {
 	ch := NewEpsFirst(8, 0.0, 100, rand.New(rand.NewSource(5)))
 	seen := map[int]bool{}
 	for i := 0; i < 8; i++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		seen[a] = true
-		ch.Observe(a, 1, float64(a))
+		ch.Observe(Observation{Arm: a, Tuples: 1, Cycles: float64(a)})
 	}
 	if len(seen) != 8 {
 		t.Errorf("exploration must cover all arms at least once, got %d", len(seen))
@@ -121,9 +121,9 @@ func TestEpsDecreasingExploresLessOverTime(t *testing.T) {
 	ch := NewEpsDecreasing(2, 5.0, rand.New(rand.NewSource(6)))
 	early, late := 0, 0
 	for call := 0; call < 4000; call++ {
-		a := ch.Choose()
+		a := ch.Choose(ChooseContext{})
 		cost := []float64{2, 8}[a]
-		ch.Observe(a, 100, cost*100)
+		ch.Observe(Observation{Arm: a, Tuples: 100, Cycles: cost * 100})
 		if a == 1 { // suboptimal choice = exploration
 			if call < 200 {
 				early++
@@ -138,6 +138,27 @@ func TestEpsDecreasingExploresLessOverTime(t *testing.T) {
 	}
 	if ch.Name() != "eps-decreasing" {
 		t.Error("name wrong")
+	}
+}
+
+// TestArmMeansIgnoresZeroTupleCalls: an empty-vector call must not fold
+// its overhead cycles into a mean — with a seeded 1-tuple pseudo-
+// observation as denominator, one such call would multiply the arm's
+// apparent cost, flip best(), and (being live-marked) poison the shared
+// flavor cache on harvest.
+func TestArmMeansIgnoresZeroTupleCalls(t *testing.T) {
+	m := newArmMeans(2)
+	m.seed([]float64{3, 5}) // arm 0 is the known-best
+	m.observe(0, 0, 50)     // empty vector: 50 overhead cycles, no tuples
+	if m.best() != 0 {
+		t.Errorf("best flipped to %d after a zero-tuple call", m.best())
+	}
+	costs, live := m.snapshot()
+	if costs[0] != 3 {
+		t.Errorf("seeded cost corrupted: %v", costs[0])
+	}
+	if live[0] {
+		t.Error("zero-tuple call must not mark the arm session-measured")
 	}
 }
 

@@ -192,7 +192,7 @@ func TestWithInstanceChooser(t *testing.T) {
 	if gotSig != "p1" || gotLabel != "Q99/p1#0" || gotN != 2 {
 		t.Errorf("factory saw (%q, %q, %d), want (p1, Q99/p1#0, 2)", gotSig, gotLabel, gotN)
 	}
-	if inst.Chooser().Choose() != 1 {
+	if inst.Chooser().Choose(ChooseContext{}) != 1 {
 		t.Error("instance should use the chooser the instance factory built")
 	}
 	// Memoized instances do not re-invoke the factory.
@@ -257,7 +257,7 @@ func TestCallLiveAndDensity(t *testing.T) {
 	}
 }
 
-func TestContextChooserIsConsulted(t *testing.T) {
+func TestChooserSeesCallContext(t *testing.T) {
 	d := NewDictionary()
 	d.AddFlavor("p", hw.ClassMapArith, testFlavor("a", 1, 5))
 	d.AddFlavor("p", hw.ClassMapArith, testFlavor("b", 2, 5))
@@ -280,11 +280,10 @@ func TestContextChooserIsConsulted(t *testing.T) {
 
 type densityChooser struct{}
 
-func (d *densityChooser) Name() string              { return "density" }
-func (d *densityChooser) Choose() int               { return 0 }
-func (d *densityChooser) Observe(int, int, float64) {}
-func (d *densityChooser) ChooseCtx(_ *Instance, c *Call) int {
-	if c.Density() > 0.5 {
+func (d *densityChooser) Name() string        { return "density" }
+func (d *densityChooser) Observe(Observation) {}
+func (d *densityChooser) Choose(cc ChooseContext) int {
+	if cc.Call != nil && cc.Call.Density() > 0.5 {
 		return 1
 	}
 	return 0

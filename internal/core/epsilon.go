@@ -1,0 +1,152 @@
+package core
+
+import "math/rand"
+
+// EpsGreedy is the classic ε-greedy strategy: with probability eps explore
+// a uniformly random arm, otherwise exploit the arm with the best
+// all-history mean. Its regret grows linearly (§3.2).
+type EpsGreedy struct {
+	eps  float64
+	n    int
+	rng  *rand.Rand
+	mean armMeans
+}
+
+// NewEpsGreedy returns an ε-greedy policy over n arms.
+func NewEpsGreedy(n int, eps float64, rng *rand.Rand) *EpsGreedy {
+	return &EpsGreedy{eps: eps, n: n, rng: rng, mean: newArmMeans(n)}
+}
+
+// Name implements Chooser.
+func (e *EpsGreedy) Name() string { return "eps-greedy" }
+
+// Choose implements Chooser.
+func (e *EpsGreedy) Choose(ChooseContext) int {
+	if e.rng.Float64() < e.eps {
+		return e.rng.Intn(e.n)
+	}
+	return e.mean.best()
+}
+
+// Observe implements Chooser.
+func (e *EpsGreedy) Observe(o Observation) {
+	e.mean.observe(o.Arm, o.Tuples, o.Cycles)
+}
+
+// SeedPriors implements WarmStarter.
+func (e *EpsGreedy) SeedPriors(priors []float64) { e.mean.seed(priors) }
+
+// Snapshot implements Snapshotter.
+func (e *EpsGreedy) Snapshot() ([]float64, []bool) { return e.mean.snapshot() }
+
+// EpsFirst explores uniformly for the first eps*horizon calls and then
+// commits to the best mean for the rest of the query ("it only tests all
+// flavors at the beginning and then sticks to its choice", §3.2).
+type EpsFirst struct {
+	n            int
+	exploreCalls int
+	calls        int
+	rng          *rand.Rand
+	mean         armMeans
+	committed    int
+}
+
+// NewEpsFirst returns an ε-first policy over n arms. horizon is the
+// expected number of calls in a query (the paper's traces have 16K-32K).
+func NewEpsFirst(n int, eps float64, horizon int, rng *rand.Rand) *EpsFirst {
+	ex := int(eps * float64(horizon))
+	if ex < n {
+		ex = n // at least one look at each arm
+	}
+	return &EpsFirst{n: n, exploreCalls: ex, rng: rng, mean: newArmMeans(n), committed: -1}
+}
+
+// Name implements Chooser.
+func (e *EpsFirst) Name() string { return "eps-first" }
+
+// Choose implements Chooser.
+func (e *EpsFirst) Choose(ChooseContext) int {
+	if e.calls < e.exploreCalls {
+		// Deterministic sweep guarantees coverage of all arms even for
+		// short exploration budgets; ties with the paper's description
+		// of "testing all flavors at the beginning".
+		return e.calls % e.n
+	}
+	if e.committed < 0 {
+		e.committed = e.mean.best()
+	}
+	return e.committed
+}
+
+// Observe implements Chooser.
+func (e *EpsFirst) Observe(o Observation) {
+	e.calls++
+	e.mean.observe(o.Arm, o.Tuples, o.Cycles)
+}
+
+// SeedPriors implements WarmStarter. ε-first explores only to gather the
+// knowledge it commits to; when every arm arrives with a prior there is
+// nothing left to gather, so the exploration phase is skipped outright —
+// the policy's whole exploration budget is exactly the cold-start tax a
+// warm start exists to remove.
+func (e *EpsFirst) SeedPriors(priors []float64) {
+	e.mean.seed(priors)
+	if e.calls > 0 {
+		return
+	}
+	for i := 0; i < e.n; i++ {
+		if e.mean.tuples[i] == 0 {
+			return // an arm is still unknown: keep exploring
+		}
+	}
+	e.exploreCalls = 0
+}
+
+// Snapshot implements Snapshotter.
+func (e *EpsFirst) Snapshot() ([]float64, []bool) { return e.mean.snapshot() }
+
+// EpsDecreasing is ε-greedy with ε_t = min(1, c/t): exploration decays at
+// rate 1/n, which achieves logarithmic regret for stationary rewards
+// (Auer et al., cited as [2] in the paper).
+type EpsDecreasing struct {
+	c     float64
+	n     int
+	calls int
+	rng   *rand.Rand
+	mean  armMeans
+}
+
+// NewEpsDecreasing returns an ε-decreasing policy over n arms with scale c.
+func NewEpsDecreasing(n int, c float64, rng *rand.Rand) *EpsDecreasing {
+	return &EpsDecreasing{c: c, n: n, rng: rng, mean: newArmMeans(n)}
+}
+
+// Name implements Chooser.
+func (e *EpsDecreasing) Name() string { return "eps-decreasing" }
+
+// Choose implements Chooser.
+func (e *EpsDecreasing) Choose(ChooseContext) int {
+	eps := 1.0
+	if e.calls > 0 {
+		eps = e.c / float64(e.calls)
+		if eps > 1 {
+			eps = 1
+		}
+	}
+	if e.rng.Float64() < eps {
+		return e.rng.Intn(e.n)
+	}
+	return e.mean.best()
+}
+
+// Observe implements Chooser.
+func (e *EpsDecreasing) Observe(o Observation) {
+	e.calls++
+	e.mean.observe(o.Arm, o.Tuples, o.Cycles)
+}
+
+// SeedPriors implements WarmStarter.
+func (e *EpsDecreasing) SeedPriors(priors []float64) { e.mean.seed(priors) }
+
+// Snapshot implements Snapshotter.
+func (e *EpsDecreasing) Snapshot() ([]float64, []bool) { return e.mean.snapshot() }

@@ -84,10 +84,9 @@ func (inst *Instance) Run(ctx *ExecCtx, c *Call) int {
 	c.Inst = inst
 	arm := 0
 	if len(inst.Prim.Flavors) > 1 {
-		if cc, ok := inst.chooser.(ContextChooser); ok {
-			arm = cc.ChooseCtx(inst, c)
-		} else {
-			arm = inst.chooser.Choose()
+		arm = inst.chooser.Choose(ChooseContext{Inst: inst, Call: c})
+		if arm < 0 || arm >= len(inst.Prim.Flavors) {
+			arm = 0 // a misbehaving policy must not crash the engine
 		}
 	}
 	fl := inst.Prim.Flavors[arm]
@@ -104,7 +103,7 @@ func (inst *Instance) Run(ctx *ExecCtx, c *Call) int {
 	fs.Tuples += int64(tuples)
 	fs.Cycles += cycles
 	inst.hist.Add(tuples, cycles)
-	inst.chooser.Observe(arm, tuples, cycles)
+	inst.chooser.Observe(Observation{Arm: arm, Tuples: tuples, Cycles: cycles})
 	ctx.PrimCycles += cycles
 	return produced
 }

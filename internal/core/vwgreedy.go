@@ -100,21 +100,8 @@ type VWGreedy struct {
 	sweep []int // arms the initial sweep still has to visit
 }
 
-// NewVWGreedy builds a vw-greedy chooser over n flavors.
+// NewVWGreedy builds a cold-start vw-greedy chooser over n flavors.
 func NewVWGreedy(n int, p VWParams, rng *rand.Rand) *VWGreedy {
-	return NewVWGreedyWarm(n, p, rng, nil)
-}
-
-// NewVWGreedyWarm builds a vw-greedy chooser seeded with prior per-flavor
-// cost estimates (cycles/tuple) observed elsewhere — by an earlier session,
-// another worker, or a previous run of the same query. priors[i] < +Inf
-// marks arm i as already measured at that cost: the chooser starts on the
-// cheapest known arm and the initial sweep visits only arms with no prior.
-// A nil or all-Inf priors slice yields the cold-start behavior of
-// NewVWGreedy. Priors are only a starting point: the first measurement
-// window on an arm overwrites its prior, so a stale or wrong prior costs at
-// most one exploit period (the same bound as flavor deterioration, §3.2).
-func NewVWGreedyWarm(n int, p VWParams, rng *rand.Rand, priors []float64) *VWGreedy {
 	if p.ExplorePeriod < 1 {
 		p = DefaultVWParams()
 	}
@@ -138,24 +125,56 @@ func NewVWGreedyWarm(n int, p VWParams, rng *rand.Rand, priors []float64) *VWGre
 	for i := range v.avgCost {
 		v.avgCost[i] = math.Inf(1)
 	}
-	for i := 0; i < n && i < len(priors); i++ {
-		if !math.IsInf(priors[i], 1) && !math.IsNaN(priors[i]) && priors[i] >= 0 {
+	v.plan()
+	return v
+}
+
+// NewVWGreedyWarm builds a vw-greedy chooser seeded with prior per-flavor
+// cost estimates (cycles/tuple) observed elsewhere — by an earlier session,
+// another worker, or a previous run of the same query. It is shorthand for
+// NewVWGreedy followed by SeedPriors; see SeedPriors for the semantics.
+func NewVWGreedyWarm(n int, p VWParams, rng *rand.Rand, priors []float64) *VWGreedy {
+	v := NewVWGreedy(n, p, rng)
+	v.SeedPriors(priors)
+	return v
+}
+
+// SeedPriors implements WarmStarter. priors[i] < +Inf marks arm i as
+// already measured at that cost: the chooser starts on the cheapest known
+// arm and the initial sweep visits only arms with no prior. A nil or
+// all-Inf priors slice leaves the cold-start behavior unchanged. Priors are
+// only a starting point: the first measurement window on an arm overwrites
+// its prior, so a stale or wrong prior costs at most one exploit period
+// (the same bound as flavor deterioration, §3.2). Like every WarmStarter
+// in the registry, priors never displace knowledge the chooser measured
+// itself, so a late call (after observations) fills unknown arms at most.
+func (v *VWGreedy) SeedPriors(priors []float64) {
+	for i := 0; i < v.n && i < len(priors); i++ {
+		if usablePrior(priors[i]) && !v.live[i] {
 			v.avgCost[i] = priors[i]
 			v.measured[i] = true
 		}
 	}
+	if v.calls == 0 {
+		v.plan()
+	}
+}
+
+// plan (re)derives the start-of-query schedule from current knowledge:
+// begin on the best-known arm, sweep only the arms with no knowledge.
+func (v *VWGreedy) plan() {
 	v.cur = v.best()
-	if p.InitialSweep {
-		for i := 0; i < n; i++ {
+	v.sweep = v.sweep[:0]
+	if v.p.InitialSweep {
+		for i := 0; i < v.n; i++ {
 			if i != v.cur && !v.measured[i] {
 				v.sweep = append(v.sweep, i)
 			}
 		}
 	}
-	v.nextExplore = p.ExplorePeriod
+	v.nextExplore = v.p.ExplorePeriod
 	v.calcStart = v.warmup()
-	v.calcEnd = v.calcStart + p.ExploreLength
-	return v
+	v.calcEnd = v.calcStart + v.p.ExploreLength
 }
 
 func (v *VWGreedy) warmup() int {
@@ -182,15 +201,16 @@ func (v *VWGreedy) Current() int { return v.cur }
 // arm has not been measured yet).
 func (v *VWGreedy) AvgCost(arm int) float64 { return v.avgCost[arm] }
 
-// Snapshot exports the chooser's learned knowledge: the most recent
-// windowed average cost (cycles/tuple) of every arm, +Inf for arms never
-// measured. The slice is a copy — it stays valid after the chooser moves
-// on — and is the exact shape NewVWGreedyWarm accepts as priors, so
-// knowledge harvested from one session can seed the next.
-func (v *VWGreedy) Snapshot() []float64 {
-	out := make([]float64, v.n)
-	copy(out, v.avgCost)
-	return out
+// Snapshot implements Snapshotter: the most recent windowed average cost
+// (cycles/tuple) of every arm, +Inf for arms never measured, plus the mask
+// of arms this chooser measured itself after construction. Both slices are
+// copies — they stay valid after the chooser moves on — and the costs are
+// the exact shape SeedPriors accepts, so knowledge harvested from one
+// session can seed the next.
+func (v *VWGreedy) Snapshot() ([]float64, []bool) {
+	costs := append([]float64(nil), v.avgCost...)
+	live := append([]bool(nil), v.live...)
+	return costs, live
 }
 
 // SessionMeasured reports whether the chooser itself measured the arm
@@ -202,14 +222,14 @@ func (v *VWGreedy) SessionMeasured(arm int) bool { return v.live[arm] }
 
 // Choose implements Chooser: vw-greedy switches flavors only at phase
 // boundaries, handled in Observe, so Choose just returns the current one.
-func (v *VWGreedy) Choose() int { return v.cur }
+func (v *VWGreedy) Choose(ChooseContext) int { return v.cur }
 
 // Observe implements Chooser. It is a faithful port of the vw-greedy
 // function of Listing 8, extended with the initial sweep.
-func (v *VWGreedy) Observe(arm, tuples int, cycles float64) {
+func (v *VWGreedy) Observe(o Observation) {
 	// Classical primitive profiling.
-	v.totCycles += cycles
-	v.totTuples += int64(tuples)
+	v.totCycles += o.Cycles
+	v.totTuples += int64(o.Tuples)
 	v.calls++
 
 	if v.calls == v.calcEnd {

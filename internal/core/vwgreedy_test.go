@@ -17,9 +17,9 @@ func simulate(ch Chooser, calls int, cost func(arm, call int) float64) (armUse [
 	_ = nArms
 	armUse = make([]int, 16)
 	for t := 0; t < calls; t++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		c := cost(arm, t)
-		ch.Observe(arm, 100, c*100)
+		ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: c * 100})
 		armUse[arm]++
 		total += c
 	}
@@ -51,9 +51,9 @@ func TestVWGreedyAdaptsToChange(t *testing.T) {
 	}
 	lateUse := make([]int, 2)
 	for call := 0; call < 2*half; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		c := costFn(arm, call)
-		ch.Observe(arm, 100, c*100)
+		ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: c * 100})
 		if call >= half+512 { // allow switching time
 			lateUse[arm]++
 		}
@@ -72,9 +72,9 @@ func TestVWGreedyDetectsDeteriorationFast(t *testing.T) {
 	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(3)))
 	// Warm up on arm 0 best.
 	for call := 0; call < 512; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		c := []float64{2, 4}[arm]
-		ch.Observe(arm, 100, c*100)
+		ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: c * 100})
 	}
 	if ch.Current() != 0 {
 		t.Fatalf("expected arm 0 before the change, got %d", ch.Current())
@@ -82,9 +82,9 @@ func TestVWGreedyDetectsDeteriorationFast(t *testing.T) {
 	// Arm 0 deteriorates hard (the Figure 2 branching collapse).
 	switched := -1
 	for call := 0; call < 256; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		c := []float64{40, 4}[arm]
-		ch.Observe(arm, 100, c*100)
+		ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: c * 100})
 		if arm == 1 && switched < 0 {
 			switched = call
 		}
@@ -102,9 +102,9 @@ func TestVWGreedyInitialSweepTriesAllArms(t *testing.T) {
 	ch := NewVWGreedy(5, p, rand.New(rand.NewSource(4)))
 	seen := make(map[int]bool)
 	for call := 0; call < 5*(4+2)+8; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		seen[arm] = true
-		ch.Observe(arm, 10, 10)
+		ch.Observe(Observation{Arm: arm, Tuples: 10, Cycles: 10})
 	}
 	for a := 0; a < 5; a++ {
 		if !seen[a] {
@@ -139,15 +139,15 @@ func TestVWGreedyWindowedMeanIgnoresAncientHistory(t *testing.T) {
 	}
 	lateVW, lateEps := 0, 0
 	for call := 0; call < 8000; call++ {
-		a := vw.Choose()
+		a := vw.Choose(ChooseContext{})
 		c := cost(a, call)
-		vw.Observe(a, 100, c*100)
+		vw.Observe(Observation{Arm: a, Tuples: 100, Cycles: c * 100})
 		if call > 4000 && a == 1 {
 			lateVW++
 		}
-		a = eps.Choose()
+		a = eps.Choose(ChooseContext{})
 		c = cost(a, call)
-		eps.Observe(a, 100, c*100)
+		eps.Observe(Observation{Arm: a, Tuples: 100, Cycles: c * 100})
 		if call > 4000 && a == 1 {
 			lateEps++
 		}
@@ -226,9 +226,9 @@ func TestVWGreedyWarmSweepsOnlyUnknownArms(t *testing.T) {
 	}
 	seen := make(map[int]bool)
 	for call := 0; call < 64; call++ {
-		arm := ch.Choose()
+		arm := ch.Choose(ChooseContext{})
 		seen[arm] = true
-		ch.Observe(arm, 100, float64(arm+1)*100)
+		ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: float64(arm+1) * 100})
 	}
 	// Unseeded arms 1 and 3 must still get their initial look...
 	if !seen[1] || !seen[3] {
@@ -260,12 +260,12 @@ func TestVWGreedyWarmNilPriorsIsCold(t *testing.T) {
 		t.Error("nil priors should behave exactly like a cold start")
 	}
 	for call := 0; call < 512; call++ {
-		wa, ca := warm.Choose(), cold.Choose()
+		wa, ca := warm.Choose(ChooseContext{}), cold.Choose(ChooseContext{})
 		if wa != ca {
 			t.Fatalf("call %d: warm(nil) chose %d, cold chose %d", call, wa, ca)
 		}
-		warm.Observe(wa, 100, float64(wa+1)*100)
-		cold.Observe(ca, 100, float64(ca+1)*100)
+		warm.Observe(Observation{Arm: wa, Tuples: 100, Cycles: float64(wa+1) * 100})
+		cold.Observe(Observation{Arm: ca, Tuples: 100, Cycles: float64(ca+1) * 100})
 	}
 }
 
@@ -273,9 +273,14 @@ func TestVWGreedySnapshotRoundTrip(t *testing.T) {
 	p := VWParams{ExplorePeriod: 32, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
 	ch := NewVWGreedy(3, p, rand.New(rand.NewSource(4)))
 	simulate(ch, 256, func(arm, call int) float64 { return []float64{4, 2, 6}[arm] })
-	snap := ch.Snapshot()
-	if len(snap) != 3 {
-		t.Fatalf("snapshot len = %d", len(snap))
+	snap, measured := ch.Snapshot()
+	if len(snap) != 3 || len(measured) != 3 {
+		t.Fatalf("snapshot len = %d/%d", len(snap), len(measured))
+	}
+	for a := 0; a < 3; a++ {
+		if measured[a] != ch.SessionMeasured(a) {
+			t.Errorf("snapshot mask[%d] = %v, SessionMeasured = %v", a, measured[a], ch.SessionMeasured(a))
+		}
 	}
 	for a := 0; a < 3; a++ {
 		if snap[a] != ch.AvgCost(a) {
@@ -302,8 +307,8 @@ func TestVWGreedyZeroTupleWindows(t *testing.T) {
 	p := VWParams{ExplorePeriod: 16, ExploitPeriod: 4, ExploreLength: 2, WarmupSkip: 0, InitialSweep: true}
 	ch := NewVWGreedy(2, p, rand.New(rand.NewSource(8)))
 	for call := 0; call < 256; call++ {
-		arm := ch.Choose()
-		ch.Observe(arm, 0, 50) // only call overhead, no tuples
+		arm := ch.Choose(ChooseContext{})
+		ch.Observe(Observation{Arm: arm, Tuples: 0, Cycles: 50}) // only call overhead, no tuples
 	}
 	for a := 0; a < 2; a++ {
 		if math.IsNaN(ch.AvgCost(a)) {

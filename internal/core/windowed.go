@@ -1,0 +1,101 @@
+package core
+
+import "math"
+
+// seedPseudoPlays is how much evidence a cached prior counts for when
+// seeding a windowed policy: enough that confidence bounds and posterior
+// draws trust the cache, little enough that live measurements overturn a
+// stale prior within a handful of observations.
+const seedPseudoPlays = 4
+
+// windowedArms is the shared per-arm bookkeeping of the windowed-cost
+// policies (ucb1, thompson): an exponentially windowed mean cost
+// (cycles/tuple, +Inf = unknown), a play count, and the session-measured
+// mask the Snapshotter capability exports. It is the windowed counterpart
+// of armMeans, which keeps all-history means for the ε-strategies.
+type windowedArms struct {
+	alpha float64
+	cost  []float64
+	plays []float64
+	live  []bool
+}
+
+func newWindowedArms(n int, alpha float64) windowedArms {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	w := windowedArms{
+		alpha: alpha,
+		cost:  make([]float64, n),
+		plays: make([]float64, n),
+		live:  make([]bool, n),
+	}
+	for i := range w.cost {
+		w.cost[i] = math.Inf(1)
+	}
+	return w
+}
+
+// unplayed returns the first arm with no plays, or -1. Zero-tuple calls do
+// not count as plays (see observe), so an arm keeps its mandatory first
+// look until a call actually carries cost signal — otherwise one empty
+// vector during the initial sweep would park the arm at +Inf forever and
+// starve it out of every later comparison.
+func (w *windowedArms) unplayed() int {
+	for i := range w.plays {
+		if w.plays[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// totalPlays sums the per-arm plays (including seeded pseudo-plays).
+func (w *windowedArms) totalPlays() float64 {
+	var t float64
+	for _, p := range w.plays {
+		t += p
+	}
+	return t
+}
+
+// observe folds one observation into the window and reports the update
+// delta (new cost - previous estimate; 0 on an arm's first measurement).
+// Calls without tuples carry no per-tuple cost signal and are ignored
+// entirely, ok = false.
+func (w *windowedArms) observe(o Observation) (delta float64, ok bool) {
+	if o.Arm < 0 || o.Arm >= len(w.cost) {
+		return 0, false
+	}
+	per := o.Cost()
+	if math.IsInf(per, 1) {
+		return 0, false
+	}
+	w.plays[o.Arm]++
+	w.live[o.Arm] = true
+	if math.IsInf(w.cost[o.Arm], 1) {
+		w.cost[o.Arm] = per
+		return 0, true
+	}
+	delta = per - w.cost[o.Arm]
+	w.cost[o.Arm] += w.alpha * delta
+	return delta, true
+}
+
+// seed installs priors on arms with no plays, each counting as
+// seedPseudoPlays of evidence; the live mask stays false.
+func (w *windowedArms) seed(priors []float64) {
+	for i := 0; i < len(w.cost) && i < len(priors); i++ {
+		if usablePrior(priors[i]) && w.plays[i] == 0 {
+			w.cost[i] = priors[i]
+			w.plays[i] = seedPseudoPlays
+		}
+	}
+}
+
+// snapshot exports cost estimates and the session-measured mask (copies).
+func (w *windowedArms) snapshot() ([]float64, []bool) {
+	costs := append([]float64(nil), w.cost...)
+	live := append([]bool(nil), w.live...)
+	return costs, live
+}

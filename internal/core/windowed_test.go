@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWindowedPoliciesSurviveZeroTupleFirstLook is the regression test for
+// the starvation bug: if an arm's mandatory first look lands on a
+// zero-tuple call (an empty selection vector), the call carries no cost
+// signal — the arm must keep its first-look eligibility and eventually be
+// measured, not get parked at +Inf and excluded for the session.
+func TestWindowedPoliciesSurviveZeroTupleFirstLook(t *testing.T) {
+	mks := map[string]func() Chooser{
+		"ucb1":     func() Chooser { return NewUCB1(3, 0, 0) },
+		"thompson": func() Chooser { return NewThompson(3, 0, rand.New(rand.NewSource(9))) },
+	}
+	for name, mk := range mks {
+		ch := mk()
+		// The first call into every arm is an empty vector.
+		for i := 0; i < 3; i++ {
+			arm := ch.Choose(ChooseContext{})
+			ch.Observe(Observation{Arm: arm, Tuples: 0, Cycles: 10})
+		}
+		// From here calls carry tuples; arm 0 is clearly cheapest.
+		use := make([]int, 3)
+		for call := 0; call < 600; call++ {
+			arm := ch.Choose(ChooseContext{})
+			use[arm]++
+			ch.Observe(Observation{Arm: arm, Tuples: 100, Cycles: []float64{2, 8, 9}[arm] * 100})
+		}
+		for a := 0; a < 3; a++ {
+			if use[a] == 0 {
+				t.Errorf("%s: arm %d starved after a zero-tuple first look (use=%v)", name, a, use)
+			}
+		}
+		if use[0] < 400 {
+			t.Errorf("%s: cheapest arm used %d/600, want dominant (use=%v)", name, use[0], use)
+		}
+	}
+}
+
+// TestWindowedPoliciesAllZeroTupleStream: a stream with no cost signal at
+// all must stay in range and not panic (the arm choice is arbitrary).
+func TestWindowedPoliciesAllZeroTupleStream(t *testing.T) {
+	for _, ch := range []Chooser{NewUCB1(2, 0, 0), NewThompson(2, 0, rand.New(rand.NewSource(10)))} {
+		for call := 0; call < 200; call++ {
+			arm := ch.Choose(ChooseContext{})
+			if arm < 0 || arm >= 2 {
+				t.Fatalf("%s chose out-of-range arm %d", ch.Name(), arm)
+			}
+			ch.Observe(Observation{Arm: arm, Tuples: 0, Cycles: 5})
+		}
+	}
+}

@@ -31,8 +31,8 @@ func Default() Thresholds {
 	return Thresholds{NoBranchLo: 0.10, NoBranchHi: 0.90, FullCompSel: 0.30}
 }
 
-// Selector is a core.ContextChooser implementing the rules. One Selector
-// serves one primitive instance.
+// Selector is a core.Chooser implementing the rules from live-call context.
+// One Selector serves one primitive instance.
 type Selector struct {
 	machine *hw.Machine
 	th      Thresholds
@@ -56,11 +56,8 @@ func Factory(m *hw.Machine, th Thresholds) core.ChooserFactory {
 // Name implements core.Chooser.
 func (h *Selector) Name() string { return "heuristics" }
 
-// Choose implements core.Chooser (context-free fallback).
-func (h *Selector) Choose() int { return 0 }
-
 // Observe implements core.Chooser; heuristics do not learn.
-func (h *Selector) Observe(int, int, float64) {}
+func (h *Selector) Observe(core.Observation) {}
 
 // resolve finds the arm of each variant among the instance's flavors. The
 // default arm prefers the shipped build: branching, selective, no fission,
@@ -113,8 +110,14 @@ func (h *Selector) resolve(inst *core.Instance) {
 	}
 }
 
-// ChooseCtx implements core.ContextChooser.
-func (h *Selector) ChooseCtx(inst *core.Instance, c *core.Call) int {
+// Choose implements core.Chooser: the rules read the instance's observed
+// selectivity and the live call's density and auxiliary state. Without
+// call context (trace replay, synthetic tests) it falls back to arm 0.
+func (h *Selector) Choose(cc core.ChooseContext) int {
+	inst, c := cc.Inst, cc.Call
+	if inst == nil || c == nil {
+		return 0
+	}
 	if !h.resolved {
 		h.resolve(inst)
 	}

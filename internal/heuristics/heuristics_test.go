@@ -27,22 +27,22 @@ func TestSelectionRule(t *testing.T) {
 
 	// Cold start: the shipped (branching) build.
 	c := &core.Call{N: 100}
-	if got := sel.ChooseCtx(inst, c); got != branchArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: c}); got != branchArm {
 		t.Errorf("cold start arm = %d, want branching %d", got, branchArm)
 	}
 	// Mid selectivity observed: no-branching.
 	inst.Tuples = 1000
 	inst.Produced = 500
-	if got := sel.ChooseCtx(inst, c); got != noBranchArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: c}); got != noBranchArm {
 		t.Error("50% selectivity should pick no-branching")
 	}
 	// Extreme selectivities: branching.
 	inst.Produced = 20
-	if got := sel.ChooseCtx(inst, c); got != branchArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: c}); got != branchArm {
 		t.Error("2% selectivity should pick branching")
 	}
 	inst.Produced = 990
-	if got := sel.ChooseCtx(inst, c); got != branchArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: c}); got != branchArm {
 		t.Error("99% selectivity should pick branching")
 	}
 	_ = s
@@ -55,15 +55,15 @@ func TestFullComputationRule(t *testing.T) {
 	selArm := prim.FlavorByTag("full", "n")
 
 	dense := &core.Call{N: 100, Sel: mkSel(80)}
-	if got := sel.ChooseCtx(inst, dense); got != fullArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: dense}); got != fullArm {
 		t.Error("80% density should pick full computation")
 	}
 	sparse := &core.Call{N: 100, Sel: mkSel(10)}
-	if got := sel.ChooseCtx(inst, sparse); got != selArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: sparse}); got != selArm {
 		t.Error("10% density should pick selective computation")
 	}
 	noSel := &core.Call{N: 100}
-	if got := sel.ChooseCtx(inst, noSel); got != selArm {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: noSel}); got != selArm {
 		t.Error("dense input (no sel) should stay on the default selective build")
 	}
 }
@@ -84,11 +84,11 @@ func TestFissionRule(t *testing.T) {
 	m := hw.Machine1()
 
 	small := &core.Call{N: 100, Aux: bloom.New(m.BloomEffCache/4, 2)}
-	if got := sel.ChooseCtx(inst, small); got != nofis {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: small}); got != nofis {
 		t.Error("cache-resident filter should not use fission")
 	}
 	big := &core.Call{N: 100, Aux: bloom.New(m.BloomEffCache*16, 2)}
-	if got := sel.ChooseCtx(inst, big); got != fis {
+	if got := sel.Choose(core.ChooseContext{Inst: inst, Call: big}); got != fis {
 		t.Error("memory-resident filter should use fission")
 	}
 }
@@ -96,7 +96,7 @@ func TestFissionRule(t *testing.T) {
 func TestNoHeuristicClassesUseDefault(t *testing.T) {
 	_, inst, sel := testInstance(t, primitive.CompilerSet(), "mergejoin_slng_col_slng_col")
 	c := &core.Call{N: 100}
-	arm := sel.ChooseCtx(inst, c)
+	arm := sel.Choose(core.ChooseContext{Inst: inst, Call: c})
 	if got := inst.Prim.Flavors[arm].Tag("compiler"); got != "gcc" {
 		t.Errorf("default compiler = %s, want gcc", got)
 	}
@@ -105,7 +105,7 @@ func TestNoHeuristicClassesUseDefault(t *testing.T) {
 func TestDefaultArmPrefersShippedBuild(t *testing.T) {
 	_, inst, sel := testInstance(t, primitive.Everything(), "select_<_sint_col_sint_val")
 	c := &core.Call{N: 100}
-	arm := sel.ChooseCtx(inst, c)
+	arm := sel.Choose(core.ChooseContext{Inst: inst, Call: c})
 	f := inst.Prim.Flavors[arm]
 	if f.Tag("compiler") != "gcc" || f.Tag("branch") != "y" || f.Tag("unroll") != "u8" {
 		t.Errorf("shipped build = %s, want branching gcc u8", f.Name)
@@ -117,10 +117,10 @@ func TestChooserInterfaceBasics(t *testing.T) {
 	if sel.Name() != "heuristics" {
 		t.Error("name wrong")
 	}
-	if sel.Choose() != 0 {
+	if sel.Choose(core.ChooseContext{}) != 0 {
 		t.Error("context-free choice should be 0")
 	}
-	sel.Observe(0, 1, 1) // must not panic; heuristics do not learn
+	sel.Observe(core.Observation{Arm: 0, Tuples: 1, Cycles: 1}) // must not panic; heuristics do not learn
 	f := Factory(hw.Machine1(), Default())
 	if _, ok := f(3).(*Selector); !ok {
 		t.Error("factory should build Selectors")

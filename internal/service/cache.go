@@ -1,9 +1,13 @@
 // Package service runs many TPC-H queries concurrently over one shared
 // immutable database, one session per query, with a shared flavor-knowledge
-// cache that lets fresh sessions warm-start their vw-greedy choosers from
-// per-flavor costs observed by earlier queries — the cross-run sharing of
+// cache that lets fresh sessions warm-start their choosers from per-flavor
+// costs observed by earlier queries — the cross-run sharing of
 // adaptive-tuning state that Cuttlefish (Kaftan et al., 2018) showed
-// amortizes the bandit's cold-start exploration tax.
+// amortizes the bandit's cold-start exploration tax. Knowledge exchange is
+// policy-agnostic: the cache talks to choosers only through the
+// core.Snapshotter (export) and core.WarmStarter (import) capabilities, so
+// every policy in the registry that implements them — vw-greedy, the
+// ε-strategies, ucb1, thompson — warm-starts the same way.
 package service
 
 import (
@@ -49,8 +53,12 @@ func NewFlavorCache() *FlavorCache {
 }
 
 // Observe merges one measured flavor cost (cycles/tuple) into the cache.
+// Non-finite and negative costs are rejected at the door, and the merged
+// estimate is re-checked after the EWMA: no code path may leave a stored
+// cost non-finite, or every later warm start under this key would seed a
+// poisoned prior (readers guard too, but the invariant belongs here).
 func (c *FlavorCache) Observe(key, flavor string, cost float64) {
-	if math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
+	if !finiteCost(cost) {
 		return
 	}
 	c.mu.Lock()
@@ -65,14 +73,27 @@ func (c *FlavorCache) Observe(key, flavor string, cost float64) {
 		e[flavor] = &flavorKnowledge{cost: cost, samples: 1}
 		return
 	}
-	k.cost = (1-ewmaAlpha)*k.cost + ewmaAlpha*cost
+	merged := (1-ewmaAlpha)*k.cost + ewmaAlpha*cost
+	if !finiteCost(merged) {
+		// A stored MaxFloat64-adjacent estimate can push the EWMA over the
+		// float64 horizon; fall back to the newest observation.
+		merged = cost
+	}
+	k.cost = merged
 	k.samples++
+}
+
+// finiteCost reports whether a cost is storable knowledge.
+func finiteCost(cost float64) bool {
+	return !math.IsNaN(cost) && !math.IsInf(cost, 0) && cost >= 0
 }
 
 // Priors returns per-arm prior costs for an instance whose flavors are
 // named flavorNames (in arm order), in the exact shape
-// core.NewVWGreedyWarm accepts: cached cost where known, +Inf where the
-// cache has nothing. The second result says whether any arm had a prior.
+// core.WarmStarter.SeedPriors accepts: cached cost where known, +Inf where
+// the cache has nothing. Entries whose stored cost is somehow non-finite
+// are treated as unknown rather than handed out as priors. The second
+// result says whether any arm had a prior.
 func (c *FlavorCache) Priors(key string, flavorNames []string) ([]float64, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -83,7 +104,7 @@ func (c *FlavorCache) Priors(key string, flavorNames []string) ([]float64, bool)
 	priors := make([]float64, len(flavorNames))
 	any := false
 	for i, name := range flavorNames {
-		if k, ok := e[name]; ok {
+		if k, ok := e[name]; ok && finiteCost(k.cost) {
 			priors[i] = k.cost
 			any = true
 		} else {
@@ -95,40 +116,27 @@ func (c *FlavorCache) Priors(key string, flavorNames []string) ([]float64, bool)
 
 // Harvest extracts the flavor knowledge a finished session learned and
 // merges it into the cache. Instances with a single flavor carry no choice
-// and are skipped. For vw-greedy choosers the windowed Snapshot costs are
-// used (the algorithm's own notion of current truth); for any other policy
-// the per-flavor profiling means serve as a fallback, making the cache
-// chooser-agnostic.
+// and are skipped. Knowledge flows exclusively through the core.Snapshotter
+// capability — the policy's own notion of current per-arm truth — so any
+// registered policy that snapshots participates; policies without the
+// capability (fixed, round-robin, heuristics) simply contribute nothing.
+// Only arms the session measured itself are published: a seeded arm the
+// policy never ran still carries its prior in the snapshot, and
+// re-observing it would EWMA the cache's own (possibly stale) value back
+// in as if it were fresh evidence.
 func (c *FlavorCache) Harvest(s *core.Session) {
 	for _, inst := range s.Instances() {
 		if len(inst.Prim.Flavors) <= 1 {
 			continue
 		}
-		key := primitive.InstanceKeyOf(inst)
-		var costs []float64
-		if vw, ok := inst.Chooser().(*core.VWGreedy); ok {
-			costs = vw.Snapshot()
-			// Only publish arms this session measured itself: a seeded
-			// arm the sweep skipped still carries its prior in the
-			// snapshot, and re-observing it would EWMA the cache's own
-			// (possibly stale) value back in.
-			for i := range costs {
-				if !vw.SessionMeasured(i) {
-					costs[i] = math.Inf(1)
-				}
-			}
-		} else {
-			costs = make([]float64, len(inst.PerFlavor))
-			for i, fs := range inst.PerFlavor {
-				if fs.Tuples > 0 {
-					costs[i] = fs.CyclesPerTuple()
-				} else {
-					costs[i] = math.Inf(1)
-				}
-			}
+		sn, ok := inst.Chooser().(core.Snapshotter)
+		if !ok {
+			continue
 		}
+		costs, measured := sn.Snapshot()
+		key := primitive.InstanceKeyOf(inst)
 		for i, cost := range costs {
-			if i < len(inst.Prim.Flavors) {
+			if i < len(inst.Prim.Flavors) && i < len(measured) && measured[i] {
 				c.Observe(key, inst.Prim.Flavors[i].Name, cost)
 			}
 		}
@@ -155,13 +163,17 @@ func (c *FlavorCache) Keys() []string {
 }
 
 // BestFlavor returns the cheapest known flavor name for an instance key
-// and its cached cost, or ("", +Inf) when the key is unknown.
+// and its cached cost, or ("", +Inf) when the key is unknown. Entries with
+// a non-finite stored cost are skipped.
 func (c *FlavorCache) BestFlavor(key string) (string, float64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	best, bestCost := "", math.Inf(1)
 	for name, k := range c.entries[key] {
-		if k.cost < bestCost || (k.cost == bestCost && name < best) {
+		if !finiteCost(k.cost) {
+			continue
+		}
+		if k.cost < bestCost || (k.cost == bestCost && (best == "" || name < best)) {
 			best, bestCost = name, k.cost
 		}
 	}

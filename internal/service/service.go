@@ -2,7 +2,6 @@ package service
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -10,6 +9,7 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/hw"
+	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/tpch"
 )
@@ -24,9 +24,16 @@ type Config struct {
 	Machine *hw.Machine
 	// VectorSize is tuples per vector (default 128, the bench default).
 	VectorSize int
-	// VW are the vw-greedy parameters of every session.
+	// Policy is the flavor-selection policy spec every session uses,
+	// resolved through the policy registry (default "vw-greedy"; e.g.
+	// "ucb1:c=2" or "eps-greedy:eps=0.05").
+	Policy string
+	// VW are the base vw-greedy parameters (the "vw-greedy" policy reads
+	// them; spec parameters override individual knobs).
 	VW core.VWParams
-	// WarmStart seeds fresh sessions' choosers from the shared cache.
+	// WarmStart seeds fresh sessions' choosers from the shared cache via
+	// the core.WarmStarter capability; policies without the capability run
+	// cold regardless.
 	WarmStart bool
 	// Seed is the base of the deterministic per-session seed sequence.
 	Seed int64
@@ -39,6 +46,7 @@ func DefaultConfig() Config {
 		Flavors:    primitive.Everything(),
 		Machine:    hw.Machine1(),
 		VectorSize: 128,
+		Policy:     "vw-greedy",
 		VW:         core.VWParams{ExplorePeriod: 512, ExploitPeriod: 8, ExploreLength: 1, WarmupSkip: 2, InitialSweep: true},
 		WarmStart:  true,
 		Seed:       1,
@@ -61,10 +69,12 @@ func DefaultConfig() Config {
 // tax on each of its primitive instances; with warm start the cache
 // amortizes that tax across the whole stream.
 type Service struct {
-	cfg   Config
-	db    *tpch.DB
-	dict  *core.Dictionary
-	cache *FlavorCache
+	cfg        Config
+	db         *tpch.DB
+	dict       *core.Dictionary
+	cache      *FlavorCache
+	policySpec policy.Spec // cfg.Policy, parsed once at construction
+	policyErr  error       // invalid Policy spec, reported by Execute
 
 	seq         atomic.Int64 // per-session seed sequence
 	seededInsts atomic.Int64 // instances that got >= 1 finite prior
@@ -82,6 +92,9 @@ func New(db *tpch.DB, cfg Config) *Service {
 	if cfg.Machine == nil {
 		cfg.Machine = hw.Machine1()
 	}
+	if cfg.Policy == "" {
+		cfg.Policy = "vw-greedy"
+	}
 	if cfg.VW.ExplorePeriod < 1 {
 		cfg.VW = DefaultConfig().VW
 	}
@@ -91,12 +104,25 @@ func New(db *tpch.DB, cfg Config) *Service {
 		// fields so a hand-built Config works.
 		cfg.Flavors = primitive.Everything()
 	}
-	return &Service{
+	svc := &Service{
 		cfg:   cfg,
 		db:    db,
 		dict:  primitive.NewDictionary(cfg.Flavors),
 		cache: NewFlavorCache(),
 	}
+	// Parse and probe-build the policy once: a bad spec is a configuration
+	// error every Execute reports, not a per-session surprise, and valid
+	// sessions reuse the parsed spec instead of re-parsing per query.
+	svc.policySpec, svc.policyErr = policy.ParseSpec(cfg.Policy)
+	if svc.policyErr == nil {
+		_, svc.policyErr = policy.NewFactoryFromSpec(svc.policySpec, svc.policyEnv(cfg.Seed))
+	}
+	return svc
+}
+
+// policyEnv assembles the registry environment for one session seed.
+func (svc *Service) policyEnv(seed int64) policy.Env {
+	return policy.Env{Machine: svc.cfg.Machine, VW: svc.cfg.VW, Seed: seed}
 }
 
 // Cache exposes the shared knowledge store (reports, tests).
@@ -113,17 +139,28 @@ func (svc *Service) SeededInstances() (seeded, cold int64) {
 
 // newSession builds a fresh session for one query. Sessions draw distinct
 // deterministic seeds from the service's sequence, so concurrent runs are
-// reproducible in aggregate even though job interleaving is not.
+// reproducible in aggregate even though job interleaving is not. The
+// session's choosers come from the configured policy spec; with WarmStart
+// on, each chooser that implements core.WarmStarter is seeded from the
+// shared cache under the instance's stable identity before its first call.
 func (svc *Service) newSession() *core.Session {
 	seed := svc.cfg.Seed + svc.seq.Add(1)
 	opts := []core.SessionOption{
 		core.WithVectorSize(svc.cfg.VectorSize),
 		core.WithSeed(seed),
 	}
-	rng := rand.New(rand.NewSource(seed))
-	vw := svc.cfg.VW
+	// The probe in New caught spec errors; this rebuild cannot fail.
+	factory, err := policy.NewFactoryFromSpec(svc.policySpec, svc.policyEnv(seed))
+	if err != nil {
+		panic("service: policy spec validated at New but failed at session build: " + err.Error())
+	}
 	if svc.cfg.WarmStart {
 		opts = append(opts, core.WithInstanceChooser(func(sig, label string, n int) core.Chooser {
+			ch := factory(n)
+			ws, ok := ch.(core.WarmStarter)
+			if !ok {
+				return ch // the policy cannot ingest knowledge: run it cold
+			}
 			prim := svc.dict.MustLookup(sig)
 			priors, any := svc.cache.Priors(primitive.InstanceKey(sig, label), primitive.FlavorNames(prim))
 			if n > 1 {
@@ -133,12 +170,13 @@ func (svc *Service) newSession() *core.Session {
 					svc.coldInsts.Add(1)
 				}
 			}
-			return core.NewVWGreedyWarm(n, vw, rng, priors)
+			if any {
+				ws.SeedPriors(priors)
+			}
+			return ch
 		}))
 	} else {
-		opts = append(opts, core.WithChooser(func(n int) core.Chooser {
-			return core.NewVWGreedy(n, vw, rng)
-		}))
+		opts = append(opts, core.WithChooser(factory))
 	}
 	return core.NewSession(svc.dict, svc.cfg.Machine, opts...)
 }
@@ -159,6 +197,9 @@ type JobStats struct {
 func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
 	if q < 1 || q > 22 {
 		return nil, JobStats{}, fmt.Errorf("service: no TPC-H query %d", q)
+	}
+	if svc.policyErr != nil {
+		return nil, JobStats{}, fmt.Errorf("service: %w", svc.policyErr)
 	}
 	s := svc.newSession()
 	start := time.Now()

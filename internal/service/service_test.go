@@ -119,6 +119,100 @@ func TestWarmStartConvergesFaster(t *testing.T) {
 	}
 }
 
+// TestWarmStartAcrossPolicies is the policy-agnostic warm-start
+// acceptance property: for every learning policy in the registry the same
+// cache, capabilities and harness must (a) produce baseline-identical
+// results under concurrent execution (meaningful under -race: the cache,
+// dictionary and DB are shared), (b) seed instances from the cache, and
+// (c) not increase the exploration tax relative to the cold run that
+// populated the cache.
+func TestWarmStartAcrossPolicies(t *testing.T) {
+	want := baselineFingerprints(t, []int{6})
+	for _, pol := range []string{"vw-greedy", "eps-greedy", "ucb1", "thompson"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			cfg := testConfig(true)
+			cfg.Policy = pol
+			svc := New(testDB, cfg)
+			_, cold, err := svc.Execute(6) // empty cache: fully cold
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			// Concurrent warm executions, all seeded from the first run.
+			var wg sync.WaitGroup
+			stats := make([]JobStats, 6)
+			errs := make([]error, 6)
+			for i := range stats {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					var tab *engine.Table
+					tab, stats[i], errs[i] = svc.Execute(6)
+					if errs[i] == nil && fingerprint(tab) != want[6] {
+						errs[i] = fmt.Errorf("%s: warm concurrent result differs from baseline", pol)
+					}
+				}(i)
+			}
+			wg.Wait()
+			var warmOffBest, warmRuns int64
+			for i, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+				warmOffBest += stats[i].OffBestCalls
+				warmRuns++
+			}
+			seeded, _ := svc.SeededInstances()
+			if seeded == 0 {
+				t.Errorf("%s: no instances were seeded from the cache", pol)
+			}
+			if avg := warmOffBest / warmRuns; avg > cold.OffBestCalls {
+				t.Errorf("%s: warm off-best calls/run = %d, want <= cold %d", pol, avg, cold.OffBestCalls)
+			}
+			if svc.Cache().Len() == 0 {
+				t.Errorf("%s: harvest left the cache empty", pol)
+			}
+		})
+	}
+}
+
+// TestNonSnapshottingPolicyRunsCold: a policy without the capabilities
+// (fixed) must execute correctly, never consult the cache for seeding, and
+// contribute nothing to it.
+func TestNonSnapshottingPolicyRuns(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.Policy = "fixed:arm=0"
+	svc := New(testDB, cfg)
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Cache().Len() != 0 {
+		t.Error("a non-Snapshotter policy must not populate the cache")
+	}
+	seeded, _ := svc.SeededInstances()
+	if seeded != 0 {
+		t.Error("a non-WarmStarter policy must not be seeded")
+	}
+}
+
+// TestInvalidPolicySpecSurfaces: a bad spec is a configuration error every
+// Execute reports, not a panic.
+func TestInvalidPolicySpec(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.Policy = "no-such-policy"
+	svc := New(testDB, cfg)
+	if _, _, err := svc.Execute(6); err == nil {
+		t.Error("invalid policy spec should error on Execute")
+	}
+	cfg.Policy = "ucb1:bogus=1"
+	if _, _, err := New(testDB, cfg).Execute(6); err == nil {
+		t.Error("invalid policy parameter should error on Execute")
+	}
+}
+
 // TestWarmStartDisabled: with WarmStart off the cache still accumulates
 // knowledge (harvest is unconditional) but no instance gets seeded.
 func TestWarmStartDisabled(t *testing.T) {
@@ -294,4 +388,47 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestCacheNeverStoresNonFiniteCosts is the regression test for the
+// finite-cost invariant: under concurrent observes mixing junk (Inf, NaN,
+// negative) with float64-horizon values like MaxFloat64, nothing the cache
+// hands back — priors or best flavor — may ever be non-finite, and EWMA
+// merging at the horizon must not overflow into +Inf. Run with -race this
+// also guards the merge path itself.
+func TestCacheNeverStoresNonFiniteCosts(t *testing.T) {
+	c := NewFlavorCache()
+	junk := []float64{math.Inf(1), math.Inf(-1), math.NaN(), -1, math.MaxFloat64, math.MaxFloat64 / 2, 3.5}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%2)
+			for i := 0; i < 400; i++ {
+				c.Observe(key, "a", junk[(g+i)%len(junk)])
+				c.Observe(key, "b", junk[(g*3+i)%len(junk)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, key := range c.Keys() {
+		priors, any := c.Priors(key, []string{"a", "b"})
+		if !any {
+			t.Fatalf("%s: finite observations were dropped entirely", key)
+		}
+		for i, p := range priors {
+			if math.IsNaN(p) || p < 0 {
+				t.Errorf("%s prior[%d] = %v", key, i, p)
+			}
+			// +Inf is the legal "unknown" marker, but here both flavors saw
+			// finite costs, so the stored estimates must be finite.
+			if math.IsInf(p, 1) {
+				t.Errorf("%s prior[%d] is +Inf after finite observes", key, i)
+			}
+		}
+		if name, cost := c.BestFlavor(key); name == "" || !finiteCost(cost) {
+			t.Errorf("%s best = %q/%v, want a finite best", key, name, cost)
+		}
+	}
 }

@@ -58,11 +58,11 @@ type recorder struct {
 	cycles []float64
 }
 
-func (r *recorder) Name() string { return "recorder" }
-func (r *recorder) Choose() int  { return r.arm }
-func (r *recorder) Observe(_ int, tuples int, cycles float64) {
-	r.tuples = append(r.tuples, tuples)
-	r.cycles = append(r.cycles, cycles)
+func (r *recorder) Name() string                  { return "recorder" }
+func (r *recorder) Choose(core.ChooseContext) int { return r.arm }
+func (r *recorder) Observe(o core.Observation) {
+	r.tuples = append(r.tuples, o.Tuples)
+	r.cycles = append(r.cycles, o.Cycles)
 }
 
 // Workload runs a job against a session (e.g. the full TPC-H suite).
@@ -139,12 +139,12 @@ func Simulate(tr *InstanceTrace, mk func(n int) core.Chooser) float64 {
 	ch := mk(tr.Arms)
 	var total float64
 	for call := range tr.Tuples {
-		arm := ch.Choose()
+		arm := ch.Choose(core.ChooseContext{})
 		if arm < 0 || arm >= tr.Arms {
 			arm = 0
 		}
 		c := tr.Cycles[arm][call]
-		ch.Observe(arm, tr.Tuples[call], c)
+		ch.Observe(core.Observation{Arm: arm, Tuples: tr.Tuples[call], Cycles: c})
 		total += c
 	}
 	return total

@@ -22,6 +22,7 @@
 package microadapt
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -30,6 +31,7 @@ import (
 	"microadapt/internal/engine"
 	"microadapt/internal/heuristics"
 	"microadapt/internal/hw"
+	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/service"
 	"microadapt/internal/tpch"
@@ -42,8 +44,18 @@ type (
 	Session = core.Session
 	// Chooser is a flavor-selection policy (a bandit over flavors).
 	Chooser = core.Chooser
+	// ChooseContext carries the instance and live call a policy may inspect.
+	ChooseContext = core.ChooseContext
+	// Observation reports the measured outcome of one primitive call.
+	Observation = core.Observation
+	// Snapshotter is the knowledge-export capability of learning policies.
+	Snapshotter = core.Snapshotter
+	// WarmStarter is the knowledge-import capability of learning policies.
+	WarmStarter = core.WarmStarter
 	// ChooserFactory builds a fresh Chooser for an n-flavor instance.
 	ChooserFactory = core.ChooserFactory
+	// PolicyDefinition describes one entry of the policy registry.
+	PolicyDefinition = policy.Definition
 	// VWParams are the vw-greedy tuning knobs (§3.2 of the paper).
 	VWParams = core.VWParams
 	// Machine is a virtual machine profile (Table 2 of the paper).
@@ -126,8 +138,31 @@ func HeuristicsChooser(m *Machine) ChooserFactory {
 	return heuristics.Factory(m, heuristics.Default())
 }
 
-// FixedChooser pins every instance to one flavor index (clamped).
-func FixedChooser(arm int) ChooserFactory { return bench.FixedChooser(arm) }
+// FixedChooser pins every instance to one flavor index (clamped); it is
+// the registry's "fixed:arm=N" policy.
+func FixedChooser(arm int) ChooserFactory {
+	if arm < 0 {
+		arm = 0
+	}
+	return policy.MustFactory(fmt.Sprintf("fixed:arm=%d", arm), policy.Env{})
+}
+
+// PolicyChooser resolves a policy-registry spec string — e.g. "vw-greedy",
+// "ucb1:c=2", "eps-greedy:eps=0.05", "fixed:arm=1" — into a chooser
+// factory for the given machine and seed. Each chooser the factory builds
+// gets its own deterministic random stream, so one factory may serve
+// concurrently running sessions (individual choosers stay single-
+// threaded). See Policies for the registry.
+func PolicyChooser(spec string, m *Machine, seed int64) (ChooserFactory, error) {
+	return policy.NewFactory(spec, policy.Env{Machine: m, Seed: seed})
+}
+
+// Policies lists the policy registry: name, parameter documentation, and
+// warm-start capability of every selectable policy.
+func Policies() []PolicyDefinition { return policy.Definitions() }
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string { return policy.Names() }
 
 // GenerateTPCH builds the deterministic TPC-H database at a scale factor.
 func GenerateTPCH(sf float64, seed int64) *DB { return tpch.Generate(sf, seed) }

@@ -61,8 +61,8 @@ func TestFacadeMachines(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := microadapt.ExperimentIDs()
-	if len(ids) != 17 {
-		t.Errorf("experiment ids = %d, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Errorf("experiment ids = %d, want 18", len(ids))
 	}
 	cfg := microadapt.DefaultExperimentConfig()
 	cfg.SF = 0.002
@@ -77,6 +77,49 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Error("bogus experiment should error")
 	} else if !strings.Contains(err.Error(), "bogus") {
 		t.Error("error should name the id")
+	}
+}
+
+func TestFacadePolicyRegistry(t *testing.T) {
+	names := microadapt.PolicyNames()
+	if len(names) != len(microadapt.Policies()) {
+		t.Error("PolicyNames and Policies disagree")
+	}
+	for _, want := range []string{"vw-greedy", "eps-greedy", "ucb1", "thompson", "fixed", "heuristics"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	// Every registered name resolves through PolicyChooser and produces
+	// working choosers.
+	for _, name := range names {
+		f, err := microadapt.PolicyChooser(name, microadapt.Machine1(), 1)
+		if err != nil {
+			t.Fatalf("PolicyChooser(%s): %v", name, err)
+		}
+		ch := f(3)
+		if ch == nil || ch.Name() == "" {
+			t.Errorf("policy %s produced an invalid chooser", name)
+		}
+		if arm := ch.Choose(microadapt.ChooseContext{}); arm < 0 || arm >= 3 {
+			t.Errorf("policy %s chose out-of-range arm %d", name, arm)
+		}
+	}
+	// Parameterized specs and error reporting.
+	if _, err := microadapt.PolicyChooser("vw-greedy:explore=256,exploit=8,len=2", microadapt.Machine1(), 1); err != nil {
+		t.Errorf("parameterized spec rejected: %v", err)
+	}
+	if _, err := microadapt.PolicyChooser("nope", microadapt.Machine1(), 1); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := microadapt.PolicyChooser("ucb1:bogus=1", microadapt.Machine1(), 1); err == nil {
+		t.Error("unknown parameter should error")
 	}
 }
 
