@@ -65,8 +65,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
-  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy SPEC]
-  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-cold-only]
+  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy SPEC] [-pipeline-parallel P]
+  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-pipeline-parallel P] [-cold-only]
   madapt policies
   madapt flavors
   madapt list
@@ -155,6 +155,7 @@ func cmdTPCH(args []string) error {
 	spec := fs.String("policy", "vw-greedy", "selection policy spec (see: madapt policies)")
 	arm := fs.Int("arm", 0, "shorthand for -policy fixed:arm=N")
 	rows := fs.Int("rows", 10, "result rows to print")
+	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +167,7 @@ func cmdTPCH(args []string) error {
 		return err
 	}
 	cfg.Policy = *spec
+	cfg.PipelineParallelism = *pp
 	if *spec == "fixed" && *arm > 0 {
 		cfg.Policy = fmt.Sprintf("fixed:arm=%d", *arm)
 	}
@@ -189,7 +191,7 @@ func cmdTPCH(args []string) error {
 			return fmt.Errorf("%s: %w", qs.Name, err)
 		}
 		fmt.Printf("-- %s: %d rows, %.0f virtual cycles (%.0f in primitives, %d instances)\n",
-			qs.Name, tab.Rows(), s.Ctx.TotalCycles(), s.Ctx.PrimCycles, len(s.Instances()))
+			qs.Name, tab.Rows(), s.Ctx.TotalCycles(), s.Ctx.PrimCycles, len(s.AllInstances()))
 		if *rows > 0 {
 			fmt.Print(engine.TableString(tab, *rows))
 		}
@@ -212,6 +214,7 @@ func cmdBenchConcurrent(args []string) error {
 	mixFlag := fs.String("mix", "1,6,12", "comma-separated TPC-H query numbers, or \"all\"")
 	flavors := fs.String("flavors", "everything", "flavor configuration")
 	spec := fs.String("policy", "vw-greedy", "selection policy spec (see: madapt policies)")
+	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
 	coldOnly := fs.Bool("cold-only", false, "skip the warm-start phase")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,13 +237,14 @@ func cmdBenchConcurrent(args []string) error {
 		return fmt.Errorf("need -jobs > 0 or -duration > 0")
 	}
 	rep, err := bench.BenchConcurrent(*cfg, bench.ConcurrentOptions{
-		Workers:  *workers,
-		Jobs:     *jobs,
-		Duration: *duration,
-		Mix:      mix,
-		Flavors:  opts,
-		Policy:   *spec,
-		ColdOnly: *coldOnly,
+		Workers:             *workers,
+		Jobs:                *jobs,
+		Duration:            *duration,
+		Mix:                 mix,
+		Flavors:             opts,
+		Policy:              *spec,
+		ColdOnly:            *coldOnly,
+		PipelineParallelism: *pp,
 	})
 	if err != nil {
 		return err

@@ -114,26 +114,80 @@ func (h *History) Series() []float64 {
 	return out
 }
 
+// commonSpan returns the smallest span every history can be re-bucketed
+// to: the maximum per-history span. Spans are always powers of two (they
+// start at 1 and only double on merges), so the maximum is a multiple of
+// every span.
+func commonSpan(hs []*History) int {
+	span := 1
+	for _, h := range hs {
+		if h.span > span {
+			span = h.span
+		}
+	}
+	return span
+}
+
+// alignedBuckets re-buckets the history so every bucket spans `span` calls
+// (span must be a multiple of h.span): groups of span/h.span consecutive
+// buckets are summed. Only the last bucket of a history can be partial, so
+// grouping by index keeps groups call-aligned; the trailing group may cover
+// fewer than span calls, exactly like a history's own trailing bucket.
+func (h *History) alignedBuckets(span int) []Bucket {
+	if span <= h.span {
+		return h.buckets
+	}
+	ratio := span / h.span
+	out := make([]Bucket, 0, (len(h.buckets)+ratio-1)/ratio)
+	for i := 0; i < len(h.buckets); i += ratio {
+		var b Bucket
+		for j := i; j < i+ratio && j < len(h.buckets); j++ {
+			b.Calls += h.buckets[j].Calls
+			b.Tuples += h.buckets[j].Tuples
+			b.Cycles += h.buckets[j].Cycles
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// aligned re-buckets all histories to their common span and truncates to
+// the shortest, so bucket i covers the same call range in every history —
+// required before any bucket-by-bucket comparison: histories recorded from
+// identical call sequences can still have merged a different number of
+// times (different bucket budgets, or one just over a merge boundary).
+func aligned(hs []*History) [][]Bucket {
+	span := commonSpan(hs)
+	out := make([][]Bucket, len(hs))
+	n := -1
+	for i, h := range hs {
+		out[i] = h.alignedBuckets(span)
+		if n < 0 || len(out[i]) < n {
+			n = len(out[i])
+		}
+	}
+	for i := range out {
+		out[i] = out[i][:n]
+	}
+	return out
+}
+
 // MinWith returns, bucket by bucket, the minimum cycles/tuple across this
 // history and the others — the OPT lower envelope used in §4.1 of the
-// paper. All histories must have the same bucket layout (same call counts),
-// which holds when they were recorded from runs with identical call
-// sequences; trailing length differences are truncated to the shortest.
+// paper. Histories are first aligned to a common span (see aligned), so
+// comparing runs whose histories merged to different depths never mixes
+// unrelated call ranges; trailing length differences are truncated to the
+// shortest aligned history.
 func MinWith(hs ...*History) []float64 {
 	if len(hs) == 0 {
 		return nil
 	}
-	n := len(hs[0].buckets)
-	for _, h := range hs[1:] {
-		if len(h.buckets) < n {
-			n = len(h.buckets)
-		}
-	}
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		best := hs[0].buckets[i].CyclesPerTuple()
-		for _, h := range hs[1:] {
-			if v := h.buckets[i].CyclesPerTuple(); v < best {
+	bs := aligned(hs)
+	out := make([]float64, len(bs[0]))
+	for i := range out {
+		best := bs[0][i].CyclesPerTuple()
+		for _, hb := range bs[1:] {
+			if v := hb[i].CyclesPerTuple(); v < best {
 				best = v
 			}
 		}
@@ -142,23 +196,18 @@ func MinWith(hs ...*History) []float64 {
 	return out
 }
 
-// OptCycles computes the OPT cycle total of §4.1: for each bucket index the
-// minimum cycles among the histories (assuming aligned layouts), summed.
+// OptCycles computes the OPT cycle total of §4.1: for each span-aligned
+// bucket the minimum cycles among the histories, summed.
 func OptCycles(hs ...*History) float64 {
 	if len(hs) == 0 {
 		return 0
 	}
-	n := len(hs[0].buckets)
-	for _, h := range hs[1:] {
-		if len(h.buckets) < n {
-			n = len(h.buckets)
-		}
-	}
+	bs := aligned(hs)
 	var total float64
-	for i := 0; i < n; i++ {
-		best := hs[0].buckets[i].Cycles
-		for _, h := range hs[1:] {
-			if v := h.buckets[i].Cycles; v < best {
+	for i := range bs[0] {
+		best := bs[0][i].Cycles
+		for _, hb := range bs[1:] {
+			if v := hb[i].Cycles; v < best {
 				best = v
 			}
 		}

@@ -150,6 +150,70 @@ func TestMinWithTruncatesToShortest(t *testing.T) {
 	}
 }
 
+// TestMinWithAlignsDifferentMergeDepths: two histories of the same call
+// sequence whose budgets forced different merge depths must be compared on
+// a common span, not bucket index by bucket index. Before span alignment,
+// bucket 1 of the merged history (calls 3-4) was compared against bucket 1
+// of the unmerged one (call 2) — an OPT envelope over unrelated call
+// ranges.
+func TestMinWithAlignsDifferentMergeDepths(t *testing.T) {
+	costs := []float64{10, 10, 30, 30}
+	merged, flat := NewSize(2), NewSize(8)
+	for _, c := range costs {
+		merged.Add(1, c)
+		flat.Add(1, c)
+	}
+	if merged.Span() == flat.Span() {
+		t.Fatal("test needs histories of different merge depth")
+	}
+	// Both histories recorded the identical sequence, so the envelope is
+	// the sequence itself at the coarser span: [10, 30].
+	got := MinWith(merged, flat)
+	want := []float64{10, 30}
+	if len(got) != len(want) {
+		t.Fatalf("envelope length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("envelope[%d] = %v, want %v (span misalignment)", i, got[i], want[i])
+		}
+	}
+	// OPT cycles likewise: identical sequences mean OPT equals either
+	// history's total, 80 — not a min over mismatched ranges.
+	if opt := OptCycles(merged, flat); opt != 80 {
+		t.Errorf("OptCycles = %v, want 80", opt)
+	}
+	// Alignment holds with the argument order flipped, too.
+	if opt := OptCycles(flat, merged); opt != 80 {
+		t.Errorf("OptCycles (flipped) = %v, want 80", opt)
+	}
+}
+
+// TestAlignedTrailingPartialBucket: a partial trailing bucket groups like a
+// history's own trailing bucket — fewer calls, same call alignment.
+func TestAlignedTrailingPartialBucket(t *testing.T) {
+	merged, flat := NewSize(2), NewSize(8)
+	for _, c := range []float64{4, 4, 8, 8, 2} {
+		merged.Add(1, c)
+		flat.Add(1, c)
+	}
+	// merged reaches span 4: buckets (4,4,8,8) and the partial (2); flat's
+	// five span-1 buckets must group identically — including the trailer.
+	if merged.Span() != 4 {
+		t.Fatalf("merged span = %d, want 4", merged.Span())
+	}
+	got := MinWith(merged, flat)
+	want := []float64{6, 2}
+	if len(got) != len(want) {
+		t.Fatalf("envelope length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("envelope[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestNewSizeValidation(t *testing.T) {
 	for _, n := range []int{0, 1, 3, -2} {
 		func() {

@@ -32,6 +32,9 @@ type Config struct {
 	Policy string
 	// VW are the base vw-greedy parameters (spec parameters override).
 	VW core.VWParams
+	// PipelineParallelism is the intra-query fan-out of partitionable
+	// plans (0/1 = serial), applied to every session the config builds.
+	PipelineParallelism int
 	// ChartWidth/Height controls ASCII figure rendering.
 	ChartWidth, ChartHeight int
 }
@@ -114,15 +117,39 @@ func (cfg Config) PolicyEnv() policy.Env {
 func (cfg Config) Session(o primitive.Options, chooser core.ChooserFactory) *core.Session {
 	dict := primitive.NewDictionary(o)
 	opts := []core.SessionOption{core.WithVectorSize(cfg.VectorSize), core.WithSeed(cfg.Seed)}
-	if chooser == nil {
-		spec := cfg.Policy
-		if spec == "" {
-			spec = "vw-greedy"
+	if cfg.PipelineParallelism > 1 {
+		opts = append(opts, core.WithParallelism(cfg.PipelineParallelism))
+		if chooser == nil {
+			// Registry-built policies get a fresh factory per fragment
+			// session with a partition-derived seed: one shared factory
+			// would hand out its per-chooser random streams in instance-
+			// creation arrival order across concurrently opening fragments,
+			// making cycle traces vary run to run (results never differ —
+			// flavors are equivalent — but experiments must be
+			// reproducible).
+			opts = append(opts, core.WithFragmentSpawner(func(part int) *core.Session {
+				env := cfg.PolicyEnv()
+				env.Seed = cfg.Seed + core.FragmentSeedStride*int64(part+1)
+				return core.NewSession(dict, cfg.Machine,
+					core.WithVectorSize(cfg.VectorSize),
+					core.WithSeed(env.Seed),
+					core.WithChooser(policy.MustFactory(cfg.policySpec(), env)))
+			}))
 		}
-		chooser = policy.MustFactory(spec, cfg.PolicyEnv())
+	}
+	if chooser == nil {
+		chooser = policy.MustFactory(cfg.policySpec(), cfg.PolicyEnv())
 	}
 	opts = append(opts, core.WithChooser(chooser))
 	return core.NewSession(dict, cfg.Machine, opts...)
+}
+
+// policySpec is cfg.Policy with the vw-greedy default applied.
+func (cfg Config) policySpec() string {
+	if cfg.Policy == "" {
+		return "vw-greedy"
+	}
+	return cfg.Policy
 }
 
 // fixedArm resolves the registry's "fixed:arm=N" spec: every instance
@@ -143,9 +170,9 @@ func RunTPCH(db *tpch.DB, s *core.Session) error {
 
 // affectedCycles sums the cycles of instances with more than one flavor
 // (the primitives the active flavor set actually targets) and the total
-// primitive cycles of the session.
+// primitive cycles of the session, fragment sessions included.
 func affectedCycles(s *core.Session) (affected, total float64) {
-	for _, inst := range s.Instances() {
+	for _, inst := range s.AllInstances() {
 		total += inst.Cycles
 		if len(inst.Prim.Flavors) > 1 {
 			affected += inst.Cycles

@@ -6,6 +6,8 @@ import (
 
 	"microadapt/internal/core"
 	"microadapt/internal/policy"
+	"microadapt/internal/primitive"
+	"microadapt/internal/tpch"
 )
 
 // tinyConfig keeps experiment smoke tests fast.
@@ -18,12 +20,12 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Errorf("experiments = %d, want 18 (every table and figure + policycmp)", len(exps))
+	if len(exps) != 19 {
+		t.Errorf("experiments = %d, want 19 (every table and figure + policycmp + scaling)", len(exps))
 	}
 	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4",
 		"fig8", "fig10", "table5", "table6", "table7", "table8", "table9",
-		"table10", "fig11", "table11", "policycmp"}
+		"table10", "fig11", "table11", "policycmp", "scaling"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -149,6 +151,70 @@ func TestBenchConcurrent(t *testing.T) {
 	}
 	if strings.Contains(rep.Body, "warm start:") {
 		t.Error("cold-only report should not include the warm-start summary")
+	}
+	// Pipeline parallelism composes with the worker pool.
+	rep, err = BenchConcurrent(cfg, ConcurrentOptions{
+		Workers: 2, Jobs: 6, Mix: []int{1, 6}, PipelineParallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "pipeline-parallel 4") {
+		t.Errorf("report missing the pipeline-parallel setting:\n%s", rep.Body)
+	}
+}
+
+// TestParallelSessionDeterministic: identical configurations must produce
+// identical virtual-cycle totals across runs even with pipeline
+// parallelism — per-fragment policy factories pin each partition's random
+// streams, so goroutine scheduling cannot leak into the measurements.
+func TestParallelSessionDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PipelineParallelism = 4
+	run := func() (float64, int) {
+		s := cfg.TPCHSession(primitive.Everything(), nil)
+		if _, err := tpch.Query(1).Run(cfg.DB(), s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Ctx.PrimCycles, len(s.AllInstances())
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Errorf("parallel runs differ: %v/%d vs %v/%d cycles/instances", c1, n1, c2, n2)
+	}
+	if n1 <= 20 {
+		t.Errorf("instances = %d; expected fragment fan-out (plan did not parallelize)", n1)
+	}
+}
+
+// TestPaperExperimentsPinSerial: paper-reproduction experiments introspect
+// per-instance histories by serial plan label, so they must run serial even
+// when the caller's config asks for pipeline parallelism (fig2 would panic
+// in mustInstance otherwise).
+func TestPaperExperimentsPinSerial(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PipelineParallelism = 4
+	e, _ := ByID("fig2")
+	if _, err := e.Run(cfg); err != nil {
+		t.Fatalf("fig2 with PipelineParallelism=4: %v", err)
+	}
+}
+
+// TestScalingExperimentRuns smoke-tests the scaling experiment: every
+// (query, P) cell must appear, with the serial row carrying no speedup.
+func TestScalingExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 queries x 3 parallelism degrees x 3 reps; skipped in -short mode")
+	}
+	rep, err := Scaling(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q01", "Q06", "Q12", "off-best%", "cache-keys"} {
+		if !strings.Contains(rep.Body, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Body)
+		}
 	}
 }
 

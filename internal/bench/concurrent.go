@@ -22,6 +22,9 @@ type ConcurrentOptions struct {
 	Flavors  primitive.Options
 	Policy   string // registry policy spec ("" = vw-greedy)
 	ColdOnly bool   // skip the warm phase (pure throughput measurement)
+	// PipelineParallelism fans each query's partitionable pipeline into P
+	// morsel streams (0/1 = serial), on top of the worker-pool concurrency.
+	PipelineParallelism int
 }
 
 // DefaultConcurrentOptions returns a quick but representative run.
@@ -52,13 +55,14 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 
 	db := cfg.DB()
 	base := service.Config{
-		Workers:    o.Workers,
-		Flavors:    o.Flavors,
-		Machine:    cfg.Machine.ScaledCaches(cfg.cacheScale()),
-		VectorSize: cfg.VectorSize,
-		Policy:     o.Policy,
-		VW:         cfg.VW,
-		Seed:       cfg.Seed,
+		Workers:             o.Workers,
+		Flavors:             o.Flavors,
+		Machine:             cfg.Machine.ScaledCaches(cfg.cacheScale()),
+		VectorSize:          cfg.VectorSize,
+		Policy:              o.Policy,
+		VW:                  cfg.VW,
+		PipelineParallelism: o.PipelineParallelism,
+		Seed:                cfg.Seed,
 	}
 	load := service.LoadConfig{Mix: o.Mix, Jobs: o.Jobs, Duration: o.Duration}
 
@@ -79,8 +83,12 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 	if pol == "" {
 		pol = "vw-greedy"
 	}
-	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, policy %s\n\n",
-		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name, pol)
+	pp := ""
+	if o.PipelineParallelism > 1 {
+		pp = fmt.Sprintf(", pipeline-parallel %d", o.PipelineParallelism)
+	}
+	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, policy %s%s\n\n",
+		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name, pol, pp)
 
 	rows := [][]string{{"phase", "jobs", "wall", "jobs/s", "p50", "p95", "p99", "max", "off-best/job", "off-best%"}}
 	rows = append(rows, metricsRow("cold", cold))

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"microadapt/internal/hw"
@@ -17,6 +18,13 @@ type ChooserFactory func(n int) Chooser
 // under the instance's stable identity before the first call runs.
 type InstanceChooserFactory func(sig, label string, n int) Chooser
 
+// FragmentSpawner builds the session one parallel pipeline fragment runs
+// on. It receives the partition index and must return a session that shares
+// the parent's dictionary and machine but owns its chooser state — the
+// engine and choosers stay single-threaded; parallelism comes from running
+// whole fragment sessions on separate goroutines.
+type FragmentSpawner func(part int) *Session
+
 // Session ties together everything a query execution needs: the primitive
 // dictionary, the machine profile (virtual hardware), the flavor-selection
 // policy, and the registry of primitive instances created by plans, from
@@ -30,8 +38,15 @@ type Session struct {
 
 	newChooser     ChooserFactory
 	newInstChooser InstanceChooserFactory
+	defaultPolicy  bool // newChooser is the built-in default (owns s.Rand)
 	instances      []*Instance
 	byLabel        map[string]*Instance
+
+	seed          int64
+	parallelism   int // pipeline partitions a partitionable plan may fan into
+	partition     int // partition index of a fragment session; -1 otherwise
+	spawnFragment FragmentSpawner
+	fragments     []*Session // fragment sessions spawned by this session's plans
 }
 
 // SessionOption configures NewSession.
@@ -58,7 +73,27 @@ func WithInstanceChooser(f InstanceChooserFactory) SessionOption {
 
 // WithSeed sets the session's deterministic random seed (default 1).
 func WithSeed(seed int64) SessionOption {
-	return func(s *Session) { s.Rand = rand.New(rand.NewSource(seed)) }
+	return func(s *Session) {
+		s.seed = seed
+		s.Rand = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithParallelism sets the pipeline parallelism P: partitionable plans
+// (engine.ParallelPipeline) fan their scan-heavy fragments into P morsel
+// streams, each running on its own goroutine with its own fragment session.
+// P <= 1 (the default) keeps every plan serial.
+func WithParallelism(p int) SessionOption {
+	return func(s *Session) { s.parallelism = p }
+}
+
+// WithFragmentSpawner overrides how Fragment builds partition sessions. The
+// concurrent service uses it to warm-start every fragment from the shared
+// flavor cache. The spawner may be invoked once per partition each time a
+// parallel plan opens; the sessions it returns must be freshly built (never
+// shared with another goroutine).
+func WithFragmentSpawner(f FragmentSpawner) SessionOption {
+	return func(s *Session) { s.spawnFragment = f }
 }
 
 // NewSession builds a session on the given machine profile.
@@ -70,6 +105,8 @@ func NewSession(dict *Dictionary, m *hw.Machine, opts ...SessionOption) *Session
 		Ctx:        NewExecCtx(m),
 		Rand:       rand.New(rand.NewSource(1)),
 		byLabel:    make(map[string]*Instance),
+		seed:       1,
+		partition:  -1,
 	}
 	for _, o := range opts {
 		o(s)
@@ -77,15 +114,130 @@ func NewSession(dict *Dictionary, m *hw.Machine, opts ...SessionOption) *Session
 	if s.newChooser == nil {
 		p := DefaultVWParams()
 		s.newChooser = func(n int) Chooser { return NewVWGreedy(n, p, s.Rand) }
+		s.defaultPolicy = true
 	}
 	return s
+}
+
+// Parallelism returns the session's pipeline-parallelism setting (>= 1).
+func (s *Session) Parallelism() int {
+	if s.parallelism < 1 {
+		return 1
+	}
+	return s.parallelism
+}
+
+// Partition returns the fragment's partition index, or -1 for a session
+// that is not a pipeline fragment.
+func (s *Session) Partition() int { return s.partition }
+
+// FragmentSeedStride spaces the derived seeds of fragment sessions; any
+// odd constant keeps partitions distinct without colliding with the
+// +1-per-session sequences callers use. Custom FragmentSpawners (the
+// concurrent service's) reuse it so default- and spawner-built fragments
+// derive seeds the same way.
+const FragmentSeedStride = 1_000_003
+
+// Fragment builds and registers the session a pipeline fragment for
+// partition part runs on. With a configured FragmentSpawner the spawner
+// decides everything but the partition tag; otherwise the fragment shares
+// the parent's dictionary, machine and vector size, draws a
+// partition-derived deterministic seed, and reuses the parent's chooser
+// factory when the caller set one (registry factories are safe for
+// concurrent sessions) or builds its own default vw-greedy over its own
+// random stream. Fragment must be called from the goroutine that owns the
+// parent session — typically while a parallel operator opens — never from
+// inside a running fragment goroutine.
+//
+// Reproducibility note: a single shared factory hands out per-chooser
+// random streams in instance-creation arrival order, which across
+// concurrently opening fragments depends on goroutine scheduling — results
+// are unaffected (flavors are equivalent) but cycle traces can vary run to
+// run. Callers that need bit-reproducible parallel runs should install a
+// FragmentSpawner building a fresh, partition-seeded factory per fragment,
+// as the concurrent service and the bench harness do.
+func (s *Session) Fragment(part int) *Session {
+	var fs *Session
+	if s.spawnFragment != nil {
+		fs = s.spawnFragment(part)
+	} else {
+		opts := []SessionOption{
+			WithVectorSize(s.VectorSize),
+			WithSeed(s.seed + FragmentSeedStride*int64(part+1)),
+		}
+		if s.newInstChooser != nil {
+			opts = append(opts, WithInstanceChooser(s.newInstChooser))
+		} else if !s.defaultPolicy {
+			opts = append(opts, WithChooser(s.newChooser))
+		}
+		fs = NewSession(s.Dict, s.Machine, opts...)
+	}
+	fs.partition = part
+	fs.parallelism = 1 // fragments never fan out further
+	s.fragments = append(s.fragments, fs)
+	return fs
+}
+
+// Fragments returns the fragment sessions spawned by this session's plans,
+// in spawn order.
+func (s *Session) Fragments() []*Session { return s.fragments }
+
+// AllInstances returns the session's instances followed by those of every
+// fragment session it spawned — the full set of bandits one query execution
+// created, which knowledge harvesting and adaptation accounting walk.
+func (s *Session) AllInstances() []*Instance {
+	if len(s.fragments) == 0 {
+		return s.instances
+	}
+	out := append([]*Instance(nil), s.instances...)
+	for _, fs := range s.fragments {
+		out = append(out, fs.AllInstances()...)
+	}
+	return out
+}
+
+// partitionSep introduces the partition tag of fragment-session instance
+// labels: "Q1/sel/select_<=_sint_col_sint_val#0~p2" is partition 2's
+// instance of the plan node the serial plan labels without the suffix.
+const partitionSep = "~p"
+
+// PartitionLabel appends the partition tag to a plan label.
+func PartitionLabel(label string, part int) string {
+	return label + partitionSep + strconv.Itoa(part)
+}
+
+// BaseLabel strips a trailing partition tag, returning the plan label all
+// partitions of one plan node share; labels without a tag pass through.
+// Cross-session identity (primitive.InstanceKey) is built on base labels,
+// which is what makes P per-partition bandits aggregate their knowledge
+// under one cache key.
+func BaseLabel(label string) string {
+	i := strings.LastIndex(label, partitionSep)
+	if i < 0 {
+		return label
+	}
+	digits := label[i+len(partitionSep):]
+	if digits == "" {
+		return label
+	}
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return label
+		}
+	}
+	return label[:i]
 }
 
 // Instance returns the instance registered under label, creating it (bound
 // to the signature's flavors and a fresh chooser) on first use. Each plan
 // node uses a distinct label, so two uses of the same primitive in a plan
-// learn independently, as in the paper.
+// learn independently, as in the paper. Fragment sessions tag the label
+// with their partition so profiling stays per-partition while BaseLabel
+// still collapses all partitions onto the serial plan's label.
 func (s *Session) Instance(sig, label string) *Instance {
+	if s.partition >= 0 {
+		label = PartitionLabel(label, s.partition)
+	}
 	if inst, ok := s.byLabel[label]; ok {
 		return inst
 	}
@@ -124,10 +276,12 @@ func (s *Session) FindInstances(substr string) []*Instance {
 	return out
 }
 
-// ResetInstances drops all instances and their profiling but keeps the
-// dictionary and machine; used between benchmark repetitions.
+// ResetInstances drops all instances and their profiling (including spawned
+// fragment sessions) but keeps the dictionary and machine; used between
+// benchmark repetitions.
 func (s *Session) ResetInstances() {
 	s.instances = nil
 	s.byLabel = make(map[string]*Instance)
+	s.fragments = nil
 	s.Ctx.ResetCycles()
 }

@@ -35,6 +35,23 @@ func DefaultVWParams() VWParams {
 	return VWParams{ExplorePeriod: 1024, ExploitPeriod: 8, ExploreLength: 2, WarmupSkip: 2, InitialSweep: true}
 }
 
+// FilledWith returns the parameters with each unset (< 1) period/length
+// field replaced by the corresponding field of def, leaving every field the
+// caller did set untouched. WarmupSkip and InitialSweep pass through
+// unconditionally: zero/false are meaningful values there, not "unset".
+func (p VWParams) FilledWith(def VWParams) VWParams {
+	if p.ExplorePeriod < 1 {
+		p.ExplorePeriod = def.ExplorePeriod
+	}
+	if p.ExploitPeriod < 1 {
+		p.ExploitPeriod = def.ExploitPeriod
+	}
+	if p.ExploreLength < 1 {
+		p.ExploreLength = def.ExploreLength
+	}
+	return p
+}
+
 // DemoVWParams returns the parameters of the Figure 10 demonstration:
 // (1024, 256, 32).
 func DemoVWParams() VWParams {

@@ -266,6 +266,13 @@ func (h *HashAgg) build() error {
 		if b.Live() == 0 {
 			continue
 		}
+		if b.N > keyScratch.Cap() {
+			// Same guard as Select/HashJoin: an over-wide child batch must
+			// grow the scratch, not write past it.
+			keyScratch = vector.New(vector.I64, b.N)
+			gidVec = vector.New(vector.I32, b.N)
+			widenScratch = vector.New(vector.I64, b.N)
+		}
 
 		// 1. Group ids.
 		var gids *vector.Vector

@@ -168,6 +168,15 @@ func (h *HashJoin) Next() (*vector.Batch, error) {
 		chargeOp(h.sess, perBatchOverhead)
 		return &vector.Batch{N: b.N, Sel: []int32{}, Cols: cols}, nil
 	}
+	if b.N > len(h.selA) {
+		// Probe batches wider than the session's vector size (a child fed
+		// from a materialized table of another session) would overflow the
+		// key/row/selection scratch; grow it to the batch.
+		h.keyScratch = vector.New(vector.I64, b.N)
+		h.rowScratch = vector.New(vector.I32, b.N)
+		h.selA = make([]int32, b.N)
+		h.selB = make([]int32, b.N)
+	}
 	probeSch := h.probe.Schema()
 	keyIdx := probeSch.MustIndexOf(h.probeKey)
 	primitive.WidenToI64(b.Cols[keyIdx], b.Sel, b.N, h.keyScratch)

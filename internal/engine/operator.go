@@ -1,9 +1,12 @@
 // Package engine is the vectorized query executor: pull-based relational
 // operators (Scan, Select, Project, HashAgg, HashJoin, MergeJoin, Sort,
-// TopN, Limit) that move vector.Batch slices of ~1000 tuples and do all
-// data-path work through the adaptive primitive instances of a
-// core.Session, exactly separating control logic (operators) from data
-// processing logic (primitives) as described in §1 of the paper.
+// TopN, Limit, and the Parallel/Exchange pair for partitioned pipelines)
+// that move vector.Batch slices of one vector size — the session's
+// configurable tuples-per-vector, 1024 by default and 128 in the benchmark
+// and service configurations — and do all data-path work through the
+// adaptive primitive instances of a core.Session, exactly separating
+// control logic (operators) from data processing logic (primitives) as
+// described in §1 of the paper.
 package engine
 
 import (

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"microadapt/internal/core"
+	"microadapt/internal/vector"
+)
+
+// Morsel is one partition of a range-partitioned scan: partition Part
+// processes the contiguous rows [Lo, Hi) of the scanned table.
+type Morsel struct {
+	Part int
+	Lo   int
+	Hi   int
+}
+
+// Rows returns the morsel's row count.
+func (m Morsel) Rows() int { return m.Hi - m.Lo }
+
+// FragmentBuilder constructs the pipeline fragment of one partition: the
+// operator tree above a range scan of the morsel's rows, built entirely on
+// the fragment session fs (a NewRangeScan over m.Lo..m.Hi plus whatever
+// Select/Project stack the plan runs below the exchange). Builders must use
+// the same plan labels as the serial plan; fs tags them with the partition
+// so the per-partition bandits stay distinct inside the query while
+// collapsing to one primitive.InstanceKey for cross-session knowledge.
+//
+// ParallelPipeline also invokes the builder for the serial fallback, with
+// the coordinator session itself and the full row range — so one builder
+// expresses both the serial and the partitioned shape of a pipeline.
+type FragmentBuilder func(fs *core.Session, m Morsel) (Operator, error)
+
+// minMorselRows is the smallest partition worth a goroutine and a fragment
+// session; scans smaller than two morsels of this size run serially no
+// matter the configured parallelism.
+const minMorselRows = 512
+
+// fragment pairs one morsel with the session and operator tree processing it.
+type fragment struct {
+	morsel Morsel
+	sess   *core.Session
+	root   Operator
+
+	batches []*vector.Batch
+	err     error
+}
+
+// Parallel is the fan-out half of the engine's Parallel/Exchange pair: a
+// range-partitioned pipeline of P fragments, each owning a morsel of the
+// scanned rows, a fragment session (spawned through core.Session.Fragment,
+// so the coordinator can harvest every partition's learned knowledge
+// afterwards) and the operator tree the FragmentBuilder put above its
+// morsel. Construction is eager and single-threaded; execution — one
+// goroutine per fragment — happens when the Exchange above it opens.
+type Parallel struct {
+	sess  *core.Session
+	frags []*fragment
+}
+
+// NewParallel partitions rows into parts morsels and builds one pipeline
+// fragment per morsel. parts must be >= 2 (use ParallelPipeline for the
+// serial fallback decision); rows are split evenly with the remainder
+// spread over the leading partitions.
+func NewParallel(sess *core.Session, rows, parts int, build FragmentBuilder) (*Parallel, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("engine: NewParallel needs >= 2 partitions, got %d", parts)
+	}
+	p := &Parallel{sess: sess}
+	for i := 0; i < parts; i++ {
+		m := Morsel{Part: i, Lo: rows * i / parts, Hi: rows * (i + 1) / parts}
+		fs := sess.Fragment(i)
+		root, err := build(fs, m)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building fragment %d: %w", i, err)
+		}
+		p.frags = append(p.frags, &fragment{morsel: m, sess: fs, root: root})
+	}
+	return p, nil
+}
+
+// run executes every fragment on its own goroutine and blocks until all
+// finish. Each goroutine opens its root, drains it into compacted batches
+// (the postprocess boundary of the fragment) and closes it; a panic inside
+// a fragment — a primitive bug must not kill the whole service — is
+// converted into that fragment's error.
+func (p *Parallel) run() error {
+	var wg sync.WaitGroup
+	for _, f := range p.frags {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					f.err = fmt.Errorf("engine: fragment %d panicked: %v", f.morsel.Part, r)
+				}
+			}()
+			f.batches, f.err = Run(f.root)
+		}()
+	}
+	wg.Wait()
+	for _, f := range p.frags {
+		if f.err != nil {
+			return f.err
+		}
+	}
+	return nil
+}
+
+// Exchange is the merge half of the pair: an Operator that runs the
+// Parallel's fragments to completion on its Open and then streams their
+// output batches in partition order. Because morsels are contiguous row
+// ranges and fragments preserve order, the merged stream carries exactly
+// the rows, in exactly the order, of the serial pipeline — which is what
+// makes parallel plans bit-identical to serial ones (order-sensitive
+// consumers like merge joins and first-seen group numbering included).
+//
+// The exchange boundary is also where the partitions' learned flavor
+// knowledge merges: fragment sessions are registered on the coordinator
+// session (core.Session.Fragments), so knowledge harvesting walks all P
+// per-partition bandits, and the fragments' virtual cycle accounting is
+// folded into the coordinator's ExecCtx here.
+//
+// Known tradeoff: Open is a barrier — every fragment runs to completion
+// and its output is buffered before downstream consumption starts, so the
+// exchange holds the full filtered/projected partition output in memory
+// and the consumer cannot overlap with the slowest fragment. At the lab
+// scale factors this buys exact partition-order determinism cheaply; a
+// streaming partition-order merge (consume fragment 0 while later
+// fragments still run) is the upgrade path for larger-than-memory scans.
+type Exchange struct {
+	par    *Parallel
+	queue  []*vector.Batch
+	pos    int
+	opened bool
+}
+
+// NewExchange builds the merging operator over a Parallel.
+func NewExchange(p *Parallel) *Exchange { return &Exchange{par: p} }
+
+// Schema implements Operator: fragments share one schema.
+func (e *Exchange) Schema() vector.Schema { return e.par.frags[0].root.Schema() }
+
+// Open implements Operator: it runs all fragments concurrently, merges
+// their cycle accounting into the coordinator session, and queues their
+// batches in partition order.
+func (e *Exchange) Open() error {
+	e.queue, e.pos = nil, 0
+	if err := e.par.run(); err != nil {
+		return err
+	}
+	sess := e.par.sess
+	for _, f := range e.par.frags {
+		// The fragments' work happened on private ExecCtxs; fold it into
+		// the coordinator so whole-query accounting (JobStats, Table 1
+		// breakdowns) sees the sum of all partitions.
+		sess.Ctx.PrimCycles += f.sess.Ctx.PrimCycles
+		sess.Ctx.OperatorCycles += f.sess.Ctx.OperatorCycles
+		e.queue = append(e.queue, f.batches...)
+		chargeOp(sess, perBatchOverhead) // per-partition merge overhead
+	}
+	e.opened = true
+	return nil
+}
+
+// Next implements Operator: it streams the merged batches.
+func (e *Exchange) Next() (*vector.Batch, error) {
+	if !e.opened {
+		return nil, fmt.Errorf("engine: Exchange.Next before Open")
+	}
+	if e.pos >= len(e.queue) {
+		return nil, nil
+	}
+	b := e.queue[e.pos]
+	e.pos++
+	chargeOp(e.par.sess, perBatchOverhead)
+	return b, nil
+}
+
+// Close implements Operator. Fragments were opened and closed by their own
+// goroutines during Open, so there is nothing left to release.
+func (e *Exchange) Close() { e.queue = nil }
+
+// ParallelPipeline builds the scan-heavy prefix of a plan either serially
+// or as a Parallel/Exchange fan-out, depending on the session's pipeline
+// parallelism and the scanned row count. With parallelism P > 1 and at
+// least two minMorselRows-sized morsels, rows are range-partitioned into
+// min(P, rows/minMorselRows) fragments; otherwise the builder runs once
+// with the coordinator session and the full range, producing exactly the
+// serial plan (identical instance labels included).
+func ParallelPipeline(sess *core.Session, rows int, build FragmentBuilder) (Operator, error) {
+	parts := sess.Parallelism()
+	if max := rows / minMorselRows; parts > max {
+		parts = max
+	}
+	if parts < 2 {
+		return build(sess, Morsel{Part: 0, Lo: 0, Hi: rows})
+	}
+	par, err := NewParallel(sess, rows, parts, build)
+	if err != nil {
+		return nil, err
+	}
+	return NewExchange(par), nil
+}

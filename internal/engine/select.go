@@ -146,6 +146,14 @@ func (s *Select) Next() (*vector.Batch, error) {
 		chargeOp(s.sess, perBatchOverhead)
 		return &vector.Batch{N: b.N, Sel: []int32{}, Cols: b.Cols}, nil
 	}
+	if b.N > len(s.selA) {
+		// A child may hand over batches wider than this session's vector
+		// size (e.g. a materialized table streamed by another session);
+		// selection primitives write up to b.N positions into SelOut, so
+		// grow the scratch instead of corrupting memory past it.
+		s.selA = make([]int32, b.N)
+		s.selB = make([]int32, b.N)
+	}
 	cur, spare := s.selA, s.selB
 	sel := b.Sel
 	for i, p := range s.preds {

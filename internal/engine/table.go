@@ -66,18 +66,35 @@ func Rename(t *Table, names map[string]string) *Table {
 	return NewTable(t.Name, sch, t.Cols)
 }
 
-// Scan streams a table in vector-size batches (zero-copy column slices).
+// Scan streams a table — or a contiguous row range of it — in vector-size
+// batches (zero-copy column slices).
 type Scan struct {
-	sess  *core.Session
-	table *Table
-	cols  []int // column indexes to produce; nil = all
-	sch   vector.Schema
-	pos   int
+	sess   *core.Session
+	table  *Table
+	cols   []int // column indexes to produce; nil = all
+	sch    vector.Schema
+	lo, hi int // row range [lo, hi)
+	pos    int
 }
 
 // NewScan builds a scan of the named columns (all columns when empty).
 func NewScan(sess *core.Session, t *Table, cols ...string) *Scan {
-	s := &Scan{sess: sess, table: t}
+	return NewRangeScan(sess, t, 0, t.Rows(), cols...)
+}
+
+// NewRangeScan builds a scan restricted to rows [lo, hi) — the morsel of
+// one pipeline partition. Bounds are clamped to the table.
+func NewRangeScan(sess *core.Session, t *Table, lo, hi int, cols ...string) *Scan {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.Rows() {
+		hi = t.Rows()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	s := &Scan{sess: sess, table: t, lo: lo, hi: hi, pos: lo}
 	if len(cols) == 0 {
 		s.sch = t.Sch
 		for i := range t.Sch {
@@ -98,19 +115,19 @@ func (s *Scan) Schema() vector.Schema { return s.sch }
 
 // Open implements Operator.
 func (s *Scan) Open() error {
-	s.pos = 0
+	s.pos = s.lo
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
-	if s.pos >= s.table.Rows() {
+	if s.pos >= s.hi {
 		return nil, nil
 	}
 	lo := s.pos
 	hi := lo + s.sess.VectorSize
-	if hi > s.table.Rows() {
-		hi = s.table.Rows()
+	if hi > s.hi {
+		hi = s.hi
 	}
 	s.pos = hi
 	cols := make([]*vector.Vector, len(s.cols))

@@ -10,9 +10,12 @@ import "microadapt/internal/core"
 // service's shared flavor-knowledge cache relies on. The key deliberately
 // excludes flavor indices: different sessions may register different flavor
 // sets for the same signature, so cross-session knowledge is exchanged by
-// flavor *name* (see Flavor.Name), never by arm position.
+// flavor *name* (see Flavor.Name), never by arm position. Partition tags of
+// fragment-session labels ("...#0~p2") are stripped, so the P per-partition
+// bandits of a parallel plan — and the serial plan's single bandit —
+// aggregate knowledge under one key.
 func InstanceKey(sig, label string) string {
-	return sig + "@" + label
+	return sig + "@" + core.BaseLabel(label)
 }
 
 // InstanceKeyOf returns the stable key of a live instance.

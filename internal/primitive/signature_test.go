@@ -33,6 +33,26 @@ func TestInstanceKeyStability(t *testing.T) {
 	}
 }
 
+// TestInstanceKeyCollapsesPartitions: the fragment instances of every
+// pipeline partition — and the serial plan's instance — share one key, so
+// P per-partition bandits aggregate knowledge under one cache entry.
+func TestInstanceKeyCollapsesPartitions(t *testing.T) {
+	d := NewDictionary(BranchSet())
+	serial := core.NewSession(d, hw.Machine1())
+	want := InstanceKeyOf(serial.Instance("select_<_sint_col_sint_val", "Q06/sel#0"))
+	parent := core.NewSession(d, hw.Machine1(), core.WithParallelism(2))
+	for part := 0; part < 2; part++ {
+		fs := parent.Fragment(part)
+		inst := fs.Instance("select_<_sint_col_sint_val", "Q06/sel#0")
+		if inst.Label == "Q06/sel#0" {
+			t.Fatalf("partition %d: label %q not partition-tagged", part, inst.Label)
+		}
+		if got := InstanceKeyOf(inst); got != want {
+			t.Errorf("partition %d key %q, want serial key %q", part, got, want)
+		}
+	}
+}
+
 // TestFlavorNamesOrder: FlavorNames must follow arm order — it is the
 // translation table between arm indices and name-keyed cached knowledge.
 func TestFlavorNamesOrder(t *testing.T) {

@@ -123,9 +123,12 @@ func (c *FlavorCache) Priors(key string, flavorNames []string) ([]float64, bool)
 // Only arms the session measured itself are published: a seeded arm the
 // policy never ran still carries its prior in the snapshot, and
 // re-observing it would EWMA the cache's own (possibly stale) value back
-// in as if it were fresh evidence.
+// in as if it were fresh evidence. Harvest walks the session's own
+// instances plus those of every pipeline-fragment session it spawned; the
+// fragments' partition-tagged labels collapse to the serial plan's
+// instance keys, so P partition bandits merge into one cache entry.
 func (c *FlavorCache) Harvest(s *core.Session) {
-	for _, inst := range s.Instances() {
+	for _, inst := range s.AllInstances() {
 		if len(inst.Prim.Flavors) <= 1 {
 			continue
 		}

@@ -35,6 +35,14 @@ type Config struct {
 	// the core.WarmStarter capability; policies without the capability run
 	// cold regardless.
 	WarmStart bool
+	// PipelineParallelism is the intra-query fan-out P: partitionable
+	// plans split their scan-heavy pipeline into P morsel streams, each
+	// running on its own goroutine with its own fragment session and
+	// choosers (engine.ParallelPipeline). 0 or 1 keeps queries serial.
+	// Fragment sessions follow WarmStart exactly like query sessions, and
+	// their learned knowledge harvests into the shared cache under the
+	// same partition-free instance keys as the serial plan's.
+	PipelineParallelism int
 	// Seed is the base of the deterministic per-session seed sequence.
 	Seed int64
 }
@@ -95,8 +103,18 @@ func New(db *tpch.DB, cfg Config) *Service {
 	if cfg.Policy == "" {
 		cfg.Policy = "vw-greedy"
 	}
-	if cfg.VW.ExplorePeriod < 1 {
+	// Default each unset VW field individually: replacing the whole struct
+	// whenever ExplorePeriod was unset silently discarded an
+	// ExploitPeriod/ExploreLength the caller did set. Only an entirely zero
+	// VW takes the full default (WarmupSkip/InitialSweep included — their
+	// zero values are meaningful and must survive when anything was set).
+	if cfg.VW == (core.VWParams{}) {
 		cfg.VW = DefaultConfig().VW
+	} else {
+		cfg.VW = cfg.VW.FilledWith(DefaultConfig().VW)
+	}
+	if cfg.PipelineParallelism < 1 {
+		cfg.PipelineParallelism = 1
 	}
 	if len(cfg.Flavors.Compilers) == 0 {
 		// A zero-value Options registers no flavors and every query would
@@ -143,11 +161,27 @@ func (svc *Service) SeededInstances() (seeded, cold int64) {
 // session's choosers come from the configured policy spec; with WarmStart
 // on, each chooser that implements core.WarmStarter is seeded from the
 // shared cache under the instance's stable identity before its first call.
+// With PipelineParallelism > 1 the session carries a fragment spawner that
+// builds each pipeline partition's session the same way — own seed, own
+// choosers, same warm-start wiring — so intra-query partitions learn
+// independently but share the cache's knowledge.
 func (svc *Service) newSession() *core.Session {
-	seed := svc.cfg.Seed + svc.seq.Add(1)
+	return svc.buildSession(svc.cfg.Seed+svc.seq.Add(1), -1)
+}
+
+// buildSession constructs one session: a query coordinator (part < 0) or
+// the fragment session of pipeline partition part.
+func (svc *Service) buildSession(seed int64, part int) *core.Session {
 	opts := []core.SessionOption{
 		core.WithVectorSize(svc.cfg.VectorSize),
 		core.WithSeed(seed),
+	}
+	if part < 0 && svc.cfg.PipelineParallelism > 1 {
+		opts = append(opts,
+			core.WithParallelism(svc.cfg.PipelineParallelism),
+			core.WithFragmentSpawner(func(fp int) *core.Session {
+				return svc.buildSession(seed+core.FragmentSeedStride*int64(fp+1), fp)
+			}))
 	}
 	// The probe in New caught spec errors; this rebuild cannot fail.
 	factory, err := policy.NewFactoryFromSpec(svc.policySpec, svc.policyEnv(seed))
@@ -162,6 +196,9 @@ func (svc *Service) newSession() *core.Session {
 				return ch // the policy cannot ingest knowledge: run it cold
 			}
 			prim := svc.dict.MustLookup(sig)
+			// InstanceKey collapses fragment partition tags, so every
+			// partition of a parallel plan seeds from — and harvests into —
+			// the serial plan's cache entry.
 			priors, any := svc.cache.Priors(primitive.InstanceKey(sig, label), primitive.FlavorNames(prim))
 			if n > 1 {
 				if any {
@@ -209,8 +246,8 @@ func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
 		return nil, st, fmt.Errorf("service: Q%02d: %w", q, err)
 	}
 	svc.cache.Harvest(s)
-	st.PrimCycles = s.Ctx.PrimCycles
-	st.Instances = len(s.Instances())
+	st.PrimCycles = s.Ctx.PrimCycles // fragments fold in at the exchange
+	st.Instances = len(s.AllInstances())
 	st.AdaptiveCalls, st.OffBestCalls = adaptationCost(s)
 	return tab, st, nil
 }
@@ -218,10 +255,11 @@ func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
 // adaptationCost measures how much of a session's work went into calls
 // that did not use the flavor the session ultimately found best: the
 // exploration (plus wrong-exploitation) overhead a warm start is meant to
-// shrink. For every multi-flavor instance the best arm is the measured
-// per-flavor mean-cost minimum; calls on any other arm count as off-best.
+// shrink. For every multi-flavor instance — pipeline-fragment instances
+// included — the best arm is the measured per-flavor mean-cost minimum;
+// calls on any other arm count as off-best.
 func adaptationCost(s *core.Session) (adaptive, offBest int64) {
-	for _, inst := range s.Instances() {
+	for _, inst := range s.AllInstances() {
 		if len(inst.Prim.Flavors) <= 1 {
 			continue
 		}

@@ -266,6 +266,52 @@ func TestRunLoadDurationBound(t *testing.T) {
 	}
 }
 
+// TestRunLoadDeadlineInterruptsBlockedSend: with every worker busy at
+// expiry, the producer is blocked on the jobs channel; the deadline must
+// break that send so the run ends promptly instead of queueing one more
+// job per worker after the deadline.
+func TestRunLoadDeadlineInterruptsBlockedSend(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.Workers = 1 // one in-flight job blocks the producer immediately
+	svc := New(testDB, cfg)
+	start := time.Now()
+	m, err := svc.RunLoad(LoadConfig{Mix: []int{1}, Duration: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single worker finishes its in-flight query (plus at most the one
+	// job buffered in the send); a runaway producer would keep going.
+	if m.Jobs > 2 {
+		t.Errorf("deadline let %d jobs start, want <= 2", m.Jobs)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("time-bounded run took %v", elapsed)
+	}
+}
+
+// TestRunLoadExcludesErroredJobs: failed jobs count as errors but
+// contribute no latency samples — a stream of failures must not fabricate
+// percentiles.
+func TestRunLoadExcludesErroredJobs(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.Policy = "no-such-policy" // every Execute fails fast
+	svc := New(testDB, cfg)
+	m, err := svc.RunLoad(LoadConfig{Mix: []int{6}, Jobs: 8})
+	if err == nil {
+		t.Fatal("expected the first job error to surface")
+	}
+	if m.Errors != m.Jobs || m.Jobs != 8 {
+		t.Errorf("jobs=%d errors=%d, want 8/8", m.Jobs, m.Errors)
+	}
+	if m.P50 != 0 || m.P95 != 0 || m.P99 != 0 || m.MaxLatency != 0 {
+		t.Errorf("errored jobs leaked into latency percentiles: p50=%v p95=%v p99=%v max=%v",
+			m.P50, m.P95, m.P99, m.MaxLatency)
+	}
+	if m.JobsPerSec != 0 {
+		t.Errorf("throughput counted errored jobs: %v", m.JobsPerSec)
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	svc := New(testDB, testConfig(true))
 	if _, err := svc.RunLoad(LoadConfig{Jobs: 1}); err == nil {
@@ -288,6 +334,136 @@ func TestZeroValueConfigWorks(t *testing.T) {
 	svc := New(testDB, Config{Workers: 1})
 	if _, _, err := svc.Execute(6); err != nil {
 		t.Fatal(err)
+	}
+	// An entirely zero VW takes the full default, warmup/sweep included.
+	if vw := svc.Config().VW; vw != DefaultConfig().VW {
+		t.Errorf("zero VW = %+v, want full default %+v", vw, DefaultConfig().VW)
+	}
+}
+
+// TestConfigKeepsCallerVWParams is the regression test for the VW-defaults
+// bug: New used to replace the entire VW struct whenever ExplorePeriod was
+// unset, silently discarding an ExploitPeriod/ExploreLength/WarmupSkip the
+// caller did set. Each unset field must default individually.
+func TestConfigKeepsCallerVWParams(t *testing.T) {
+	cfg := Config{Workers: 1, VW: core.VWParams{ExploitPeriod: 5, ExploreLength: 3}}
+	svc := New(testDB, cfg)
+	vw := svc.Config().VW
+	if vw.ExploitPeriod != 5 {
+		t.Errorf("caller-set ExploitPeriod clobbered: got %d, want 5", vw.ExploitPeriod)
+	}
+	if vw.ExploreLength != 3 {
+		t.Errorf("caller-set ExploreLength clobbered: got %d, want 3", vw.ExploreLength)
+	}
+	if vw.ExplorePeriod != DefaultConfig().VW.ExplorePeriod {
+		t.Errorf("unset ExplorePeriod = %d, want default %d", vw.ExplorePeriod, DefaultConfig().VW.ExplorePeriod)
+	}
+	// The defaulted parameters must actually run.
+	if _, _, err := svc.Execute(6); err != nil {
+		t.Fatal(err)
+	}
+	// Caller-set fields survive in the other direction too: ExplorePeriod
+	// set, the rest unset.
+	svc = New(testDB, Config{Workers: 1, VW: core.VWParams{ExplorePeriod: 256}})
+	vw = svc.Config().VW
+	if vw.ExplorePeriod != 256 {
+		t.Errorf("caller-set ExplorePeriod clobbered: got %d, want 256", vw.ExplorePeriod)
+	}
+	if vw.ExploitPeriod != DefaultConfig().VW.ExploitPeriod {
+		t.Errorf("unset ExploitPeriod = %d, want default %d", vw.ExploitPeriod, DefaultConfig().VW.ExploitPeriod)
+	}
+}
+
+// TestParallelExecutionMatchesSerial: the service acceptance property of
+// pipeline parallelism — with PipelineParallelism P > 1 every query result
+// is identical to the serial plan's, and the partition sessions harvest
+// into the shared cache under exactly the serial plan's instance keys.
+func TestParallelExecutionMatchesSerial(t *testing.T) {
+	queries := []int{1, 3, 6, 12, 14}
+	want := baselineFingerprints(t, queries)
+
+	serialKeys := func() []string {
+		cfg := testConfig(true)
+		svc := New(testDB, cfg)
+		for _, q := range queries {
+			if _, _, err := svc.Execute(q); err != nil {
+				t.Fatalf("serial Q%02d: %v", q, err)
+			}
+		}
+		return svc.Cache().Keys()
+	}()
+
+	for _, p := range []int{2, 4} {
+		cfg := testConfig(true)
+		cfg.PipelineParallelism = p
+		svc := New(testDB, cfg)
+		for _, q := range queries {
+			tab, st, err := svc.Execute(q)
+			if err != nil {
+				t.Fatalf("P=%d Q%02d: %v", p, q, err)
+			}
+			if got := fingerprint(tab); got != want[q] {
+				t.Errorf("P=%d Q%02d: result differs from serial baseline", p, q)
+			}
+			if st.AdaptiveCalls == 0 {
+				t.Errorf("P=%d Q%02d: no adaptive calls recorded", p, q)
+			}
+		}
+		gotKeys := svc.Cache().Keys()
+		if len(gotKeys) != len(serialKeys) {
+			t.Fatalf("P=%d: %d cache keys, serial has %d — partition tags leaked into keys?\n%v\nvs\n%v",
+				p, len(gotKeys), len(serialKeys), gotKeys, serialKeys)
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != serialKeys[i] {
+				t.Errorf("P=%d: cache key %q differs from serial %q", p, gotKeys[i], serialKeys[i])
+			}
+		}
+	}
+}
+
+// TestParallelWarmStartSeedsFragments: fragment sessions participate in the
+// warm start — after a priming query, the partitions of a parallel plan
+// seed from the cache and the exploration tax drops, exactly like serial
+// sessions. Run with -race this also exercises concurrent fragment
+// goroutines over the shared cache, dictionary and DB.
+func TestParallelWarmStartSeedsFragments(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.PipelineParallelism = 4
+	svc := New(testDB, cfg)
+	_, cold, err := svc.Execute(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	warm := make([]JobStats, 4)
+	errs := make([]error, 4)
+	for i := range warm {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, warm[i], errs[i] = svc.Execute(6)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeded, _ := svc.SeededInstances()
+	if seeded == 0 {
+		t.Error("no fragment instances were seeded from the cache")
+	}
+	var warmOffBest int64
+	for _, st := range warm {
+		warmOffBest += st.OffBestCalls
+	}
+	if cold.OffBestCalls == 0 {
+		t.Fatal("cold parallel run paid no exploration tax; test is vacuous")
+	}
+	if avg := warmOffBest / int64(len(warm)); avg > cold.OffBestCalls {
+		t.Errorf("warm parallel off-best calls/run = %d, want <= cold %d", avg, cold.OffBestCalls)
 	}
 }
 

@@ -97,6 +97,66 @@ func TestResample(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaries pins the edge behavior the latency reporting
+// relies on: clamping outside [0,100], tiny inputs, and exact two-element
+// interpolation.
+func TestPercentileBoundaries(t *testing.T) {
+	two := []float64{10, 20}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 10},                         // below range clamps to the minimum
+		{0, 10},                          // p0 is the minimum
+		{25, 12.5}, {50, 15}, {75, 17.5}, // linear between the two ranks
+		{100, 20}, // p100 is the maximum
+		{250, 20}, // above range clamps to the maximum
+	}
+	for _, c := range cases {
+		if got := Percentile(two, c.p); !almost(got, c.want) {
+			t.Errorf("two-element p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	single := []float64{7}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile(single, p); got != 7 {
+			t.Errorf("single-element p%v = %v, want 7", p, got)
+		}
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("empty p%v = %v, want 0", p, got)
+		}
+	}
+}
+
+// TestResampleBoundaries pins the degenerate shapes: zero/negative targets,
+// single-point targets, and exact endpoint preservation for two elements.
+func TestResampleBoundaries(t *testing.T) {
+	if Resample([]float64{1, 2}, 0) != nil {
+		t.Error("n=0 should yield nil")
+	}
+	if Resample([]float64{1, 2}, -3) != nil {
+		t.Error("n<0 should yield nil")
+	}
+	if got := Resample([]float64{3, 9}, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("n=1 = %v, want [3] (the first point)", got)
+	}
+	got := Resample([]float64{3, 9}, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Errorf("two-to-two = %v, want endpoints preserved", got)
+	}
+	up := Resample([]float64{3, 9}, 4)
+	if up[0] != 3 || up[3] != 9 {
+		t.Errorf("upsample endpoints = %v, want 3..9", up)
+	}
+	for i := 1; i < len(up); i++ {
+		if up[i] <= up[i-1] {
+			t.Errorf("upsample of increasing pair not monotone: %v", up)
+		}
+	}
+}
+
 func TestASCIIChart(t *testing.T) {
 	out := ASCIIChart("title", []Series{
 		{Name: "up", Values: []float64{1, 2, 3}},

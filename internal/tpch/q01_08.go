@@ -10,27 +10,34 @@ import (
 // Q1 is the pricing summary report: one pass over lineitem with a date
 // selection, two map-heavy projected expressions, and an aggregation
 // grouped on (returnflag, linestatus). It is the query of Figures 4(a),
-// 4(b) and 11(c) in the paper.
+// 4(b) and 11(c) in the paper. The scan/select/project prefix is
+// partitionable: under pipeline parallelism each morsel of lineitem runs
+// the full select+project stack on its own fragment session.
 func Q1(db *DB, s *core.Session) (*engine.Table, error) {
-	scan := engine.NewScan(s, db.Lineitem,
-		"l_quantity", "l_extendedprice", "l_discount", "l_tax",
-		"l_returnflag", "l_linestatus", "l_shipdate")
-	sel := engine.NewSelect(s, scan, "Q1/sel",
-		engine.CmpVal(6, "<=", int(Date(1998, 9, 2))))
-	discPrice := revenue(sel, "l_extendedprice", "l_discount")
-	charge := expr.Div(
-		expr.Mul(discPrice, expr.Add(&expr.ConstI64{V: 100}, col(sel, "l_tax"))),
-		&expr.ConstI64{V: 100})
-	proj := engine.NewProject(s, sel, "Q1/proj",
-		engine.Keep("l_returnflag", 4),
-		engine.Keep("l_linestatus", 5),
-		engine.Keep("l_quantity", 0),
-		engine.Keep("l_extendedprice", 1),
-		engine.ProjExpr{Name: "disc_price", Expr: discPrice},
-		engine.ProjExpr{Name: "charge", Expr: charge},
-		engine.Keep("l_discount", 2),
-	)
-	agg := engine.NewHashAgg(s, proj, "Q1/agg", []int{0, 1},
+	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		scan := engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+			"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+			"l_returnflag", "l_linestatus", "l_shipdate")
+		sel := engine.NewSelect(fs, scan, "Q1/sel",
+			engine.CmpVal(6, "<=", int(Date(1998, 9, 2))))
+		discPrice := revenue(sel, "l_extendedprice", "l_discount")
+		charge := expr.Div(
+			expr.Mul(discPrice, expr.Add(&expr.ConstI64{V: 100}, col(sel, "l_tax"))),
+			&expr.ConstI64{V: 100})
+		return engine.NewProject(fs, sel, "Q1/proj",
+			engine.Keep("l_returnflag", 4),
+			engine.Keep("l_linestatus", 5),
+			engine.Keep("l_quantity", 0),
+			engine.Keep("l_extendedprice", 1),
+			engine.ProjExpr{Name: "disc_price", Expr: discPrice},
+			engine.ProjExpr{Name: "charge", Expr: charge},
+			engine.Keep("l_discount", 2),
+		), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := engine.NewHashAgg(s, pipe, "Q1/agg", []int{0, 1},
 		engine.Agg(engine.AggSum, 2, "sum_qty"),
 		engine.Agg(engine.AggSum, 3, "sum_base_price"),
 		engine.Agg(engine.AggSum, 4, "sum_disc_price"),
@@ -107,9 +114,15 @@ func Q3(db *DB, s *core.Session) (*engine.Table, error) {
 		"Q3/ord", engine.CmpVal(2, "<", cutoff))
 	ordB := semiJoin(s, cust, ord, "Q3/j_cust", "c_custkey", "o_custkey")
 
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
-		"Q3/li", engine.CmpVal(3, ">", cutoff))
+	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		return engine.NewSelect(fs,
+			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+				"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
+			"Q3/li", engine.CmpVal(3, ">", cutoff)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	mj := engine.NewMergeJoin(s, ordB, li, "Q3/mj", "o_orderkey", "l_orderkey",
 		[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
 		[]string{"l_extendedprice", "l_discount"})
@@ -192,18 +205,24 @@ func Q5(db *DB, s *core.Session) (*engine.Table, error) {
 // lineitem scan and a global aggregate — the paper's canonical selection-
 // dominated query (the biggest heuristics/adaptivity win in Table 11).
 func Q6(db *DB, s *core.Session) (*engine.Table, error) {
-	scan := engine.NewScan(s, db.Lineitem, "l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
-	sel := engine.NewSelect(s, scan, "Q6/sel",
-		engine.CmpVal(0, ">=", int(Date(1994, 1, 1))),
-		engine.CmpVal(0, "<", int(Date(1995, 1, 1))),
-		engine.CmpVal(1, ">=", 5),
-		engine.CmpVal(1, "<=", 7),
-		engine.CmpVal(2, "<", 24))
-	proj := engine.NewProject(s, sel, "Q6/proj",
-		engine.ProjExpr{Name: "rev", Expr: expr.Div(
-			expr.Mul(col(sel, "l_extendedprice"), col(sel, "l_discount")),
-			&expr.ConstI64{V: 100})})
-	agg := engine.NewHashAgg(s, proj, "Q6/agg", nil,
+	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		scan := engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+			"l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
+		sel := engine.NewSelect(fs, scan, "Q6/sel",
+			engine.CmpVal(0, ">=", int(Date(1994, 1, 1))),
+			engine.CmpVal(0, "<", int(Date(1995, 1, 1))),
+			engine.CmpVal(1, ">=", 5),
+			engine.CmpVal(1, "<=", 7),
+			engine.CmpVal(2, "<", 24))
+		return engine.NewProject(fs, sel, "Q6/proj",
+			engine.ProjExpr{Name: "rev", Expr: expr.Div(
+				expr.Mul(col(sel, "l_extendedprice"), col(sel, "l_discount")),
+				&expr.ConstI64{V: 100})}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := engine.NewHashAgg(s, pipe, "Q6/agg", nil,
 		engine.Agg(engine.AggSum, 0, "revenue"))
 	return run(agg)
 }

@@ -130,15 +130,21 @@ func Q12(db *DB, s *core.Session) (*engine.Table, error) {
 	// The receiptdate range predicates run first over the date-clustered
 	// scan (as Vectorwise's clustered range selection would), giving the
 	// second one the ~100%-then-collapse selectivity profile of Figure 2.
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem,
-			"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"),
-		"Q12/li",
-		engine.CmpVal(4, ">=", int(Date(1994, 1, 1))),
-		engine.CmpVal(4, "<", int(Date(1995, 1, 1))),
-		engine.InStr(1, "MAIL", "SHIP"),
-		engine.CmpCol(3, "<", 4),
-		engine.CmpCol(2, "<", 3))
+	// Partitioned, every morsel reproduces that profile on its own range.
+	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		return engine.NewSelect(fs,
+			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+				"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"),
+			"Q12/li",
+			engine.CmpVal(4, ">=", int(Date(1994, 1, 1))),
+			engine.CmpVal(4, "<", int(Date(1995, 1, 1))),
+			engine.InStr(1, "MAIL", "SHIP"),
+			engine.CmpCol(3, "<", 4),
+			engine.CmpCol(2, "<", 3)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	mj := engine.NewMergeJoin(s,
 		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderpriority"),
 		li, "Q12/mj", "o_orderkey", "l_orderkey",
@@ -217,11 +223,17 @@ func Q13(db *DB, s *core.Session) (*engine.Table, error) {
 // Q14 is promotion effect: the share of promo-part revenue in a month.
 // Its shipdate selection is the Figure 11(a) instance.
 func Q14(db *DB, s *core.Session) (*engine.Table, error) {
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_partkey", "l_extendedprice", "l_discount", "l_shipdate"),
-		"Q14/li",
-		engine.CmpVal(3, ">=", int(Date(1995, 9, 1))),
-		engine.CmpVal(3, "<", int(Date(1995, 10, 1))))
+	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		return engine.NewSelect(fs,
+			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+				"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"),
+			"Q14/li",
+			engine.CmpVal(3, ">=", int(Date(1995, 9, 1))),
+			engine.CmpVal(3, "<", int(Date(1995, 10, 1)))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	j := engine.NewHashJoin(s,
 		engine.NewScan(s, db.Part, "p_partkey", "p_type"),
 		li, "Q14/j_part", "p_partkey", "l_partkey", []string{"p_type"})
@@ -250,15 +262,21 @@ func Q14(db *DB, s *core.Session) (*engine.Table, error) {
 
 // Q15 is top supplier: suppliers achieving the maximum quarterly revenue.
 func Q15(db *DB, s *core.Session) (*engine.Table, error) {
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
-		"Q15/li",
-		engine.CmpVal(3, ">=", int(Date(1996, 1, 1))),
-		engine.CmpVal(3, "<", int(Date(1996, 4, 1))))
-	proj := engine.NewProject(s, li, "Q15/proj",
-		engine.Keep("l_suppkey", 0),
-		engine.ProjExpr{Name: "rev", Expr: revenue(li, "l_extendedprice", "l_discount")})
-	revAgg := engine.NewHashAgg(s, proj, "Q15/agg", []int{0},
+	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+		li := engine.NewSelect(fs,
+			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
+				"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
+			"Q15/li",
+			engine.CmpVal(3, ">=", int(Date(1996, 1, 1))),
+			engine.CmpVal(3, "<", int(Date(1996, 4, 1))))
+		return engine.NewProject(fs, li, "Q15/proj",
+			engine.Keep("l_suppkey", 0),
+			engine.ProjExpr{Name: "rev", Expr: revenue(li, "l_extendedprice", "l_discount")}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	revAgg := engine.NewHashAgg(s, pipe, "Q15/agg", []int{0},
 		engine.Agg(engine.AggSum, 1, "total_revenue"))
 	revTab, err := run(revAgg)
 	if err != nil {

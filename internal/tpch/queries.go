@@ -40,6 +40,17 @@ func Query(n int) Spec {
 	return qs[n-1]
 }
 
+// partitioned builds the scan-heavy prefix of a plan over table t: a
+// FragmentBuilder expressing the scan+select(+project) stack runs either
+// once with the coordinator session (serial, the default) or per morsel on
+// fragment sessions merged by an exchange, following the session's pipeline
+// parallelism. Fragments preserve row order, so downstream operators —
+// order-sensitive merge joins and first-seen group numbering included —
+// see exactly the serial plan's stream.
+func partitioned(s *core.Session, t *engine.Table, build engine.FragmentBuilder) (engine.Operator, error) {
+	return engine.ParallelPipeline(s, t.Rows(), build)
+}
+
 // idx resolves a column name in an operator's schema.
 func idx(op engine.Operator, name string) int { return op.Schema().MustIndexOf(name) }
 

@@ -169,6 +169,50 @@ func TestQueriesFlavorEquivalence(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the acceptance property of morsel-driven
+// pipeline parallelism: with PipelineParallelism P > 1 every query must
+// return results identical to the serial plan, for every P. Queries without
+// a partitionable prefix run serially and pass trivially; the partitioned
+// ones (Q1, Q3, Q6, Q12, Q14, Q15) exercise the Parallel/Exchange path.
+func TestParallelMatchesSerial(t *testing.T) {
+	queries := Queries()
+	if testing.Short() {
+		// The partitioned plans plus one serial-only control query.
+		queries = []Spec{Query(1), Query(3), Query(6), Query(12), Query(14), Query(15), Query(4)}
+	}
+	for _, q := range queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			var want string
+			for _, p := range []int{1, 2, 4} {
+				dict := primitive.NewDictionary(primitive.Everything())
+				s := core.NewSession(dict, hw.Machine1(),
+					core.WithVectorSize(128), core.WithSeed(7), core.WithParallelism(p))
+				tab, err := q.Run(testDB, s)
+				if err != nil {
+					t.Fatalf("%s at P=%d: %v", q.Name, p, err)
+				}
+				got := tableFingerprint(tab)
+				if p == 1 {
+					want = got
+					if len(s.Fragments()) != 0 {
+						t.Fatalf("%s: serial run spawned %d fragments", q.Name, len(s.Fragments()))
+					}
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: P=%d result differs from serial plan", q.Name, p)
+				}
+				for _, fs := range s.Fragments() {
+					if fs.Partition() < 0 {
+						t.Errorf("%s: fragment session without partition tag", q.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestQ1Values cross-checks Q1 aggregates against a straightforward Go
 // reimplementation of the query.
 func TestQ1Values(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"microadapt/internal/bench"
 	"microadapt/internal/core"
@@ -125,11 +126,31 @@ func WithSeed(seed int64) core.SessionOption { return core.WithSeed(seed) }
 // WithChooser overrides the flavor-selection policy.
 func WithChooser(f ChooserFactory) core.SessionOption { return core.WithChooser(f) }
 
+// WithParallelism sets intra-query pipeline parallelism: partitionable
+// plans (the scan-heavy TPC-H pipelines) fan into P morsel streams, each on
+// its own goroutine with its own fragment session and choosers, merged by
+// an exchange that preserves the serial plan's row order and aggregates all
+// partitions' learned flavor knowledge.
+func WithParallelism(p int) core.SessionOption { return core.WithParallelism(p) }
+
 // VWGreedyChooser returns a policy factory for vw-greedy with the given
-// parameters and seed.
+// parameters and seed. Every chooser the factory builds draws its own
+// random stream derived from seed — never a shared rand — so the factory
+// is safe to use with parallel sessions (WithParallelism spawns fragment
+// sessions whose choosers run on concurrent goroutines). Streams are
+// assigned in chooser-creation order; with one factory serving several
+// concurrently opening fragments that order follows goroutine scheduling,
+// so parallel cycle traces may vary run to run (results never do). Use
+// core.WithFragmentSpawner with a per-fragment factory for bit-reproducible
+// parallel runs.
 func VWGreedyChooser(p VWParams, seed int64) ChooserFactory {
-	rng := rand.New(rand.NewSource(seed))
-	return func(n int) Chooser { return core.NewVWGreedy(n, p, rng) }
+	var ctr atomic.Int64
+	return func(n int) Chooser {
+		// The odd stride decorrelates consecutive streams (same scheme as
+		// the policy registry).
+		rng := rand.New(rand.NewSource(seed + ctr.Add(1)*6364136223846793005))
+		return core.NewVWGreedy(n, p, rng)
+	}
 }
 
 // HeuristicsChooser returns the hard-coded threshold policy of §4.2,

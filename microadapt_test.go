@@ -34,6 +34,39 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeParallelSession: the facade's chooser factories must compose
+// with WithParallelism — fragment choosers run on concurrent goroutines, so
+// a factory sharing one rand across choosers would race (run with -race)
+// — and parallel results must equal serial ones.
+func TestFacadeParallelSession(t *testing.T) {
+	db := microadapt.GenerateTPCH(0.005, 1)
+	mk := func(p int) *microadapt.Session {
+		return microadapt.NewSession(
+			microadapt.AllFlavors(),
+			microadapt.Machine1(),
+			microadapt.WithVectorSize(64),
+			microadapt.WithSeed(1),
+			microadapt.WithChooser(microadapt.VWGreedyChooser(microadapt.DefaultVWParams(), 7)),
+			microadapt.WithParallelism(p),
+		)
+	}
+	serial, err := microadapt.RunQuery(db, mk(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := mk(4)
+	parallel, err := microadapt.RunQuery(db, sess, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if microadapt.FormatTable(parallel, 0) != microadapt.FormatTable(serial, 0) {
+		t.Error("parallel facade result differs from serial")
+	}
+	if len(sess.Fragments()) == 0 {
+		t.Error("parallel session spawned no fragments")
+	}
+}
+
 func TestFacadeChoosers(t *testing.T) {
 	for _, factory := range []microadapt.ChooserFactory{
 		microadapt.VWGreedyChooser(microadapt.DefaultVWParams(), 1),
@@ -61,8 +94,8 @@ func TestFacadeMachines(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := microadapt.ExperimentIDs()
-	if len(ids) != 18 {
-		t.Errorf("experiment ids = %d, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Errorf("experiment ids = %d, want 19", len(ids))
 	}
 	cfg := microadapt.DefaultExperimentConfig()
 	cfg.SF = 0.002
