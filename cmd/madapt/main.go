@@ -40,6 +40,8 @@ func main() {
 	switch os.Args[1] {
 	case "exp":
 		err = cmdExp(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "tpch":
 		err = cmdTPCH(os.Args[2:])
 	case "bench-concurrent":
@@ -65,6 +67,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
+  madapt explain [-sf F] [-q N] [-pipeline-parallel P]
   madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy SPEC] [-pipeline-parallel P]
   madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-pipeline-parallel P] [-cold-only]
   madapt policies
@@ -122,6 +125,30 @@ func cmdExp(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(rep.String())
+	}
+	return nil
+}
+
+// cmdExplain prints the logical plan and the physical lowering — with
+// automatic morsel-partition annotations — of one query (or all 22).
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	cfg, finish := benchFlags(fs)
+	q := fs.Int("q", 0, "query number (0 = all)")
+	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	db := cfg.DB()
+	queries := tpch.Queries()
+	if *q != 0 {
+		queries = []tpch.Spec{tpch.Query(*q)}
+	}
+	for _, qs := range queries {
+		fmt.Printf("-- %s\n%s\n", qs.Name, tpch.Explain(db, qs.ID, *pp))
 	}
 	return nil
 }

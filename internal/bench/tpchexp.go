@@ -21,7 +21,7 @@ import (
 // where the branching flavor collapses.
 func Fig2(cfg Config) (*Report, error) {
 	db := cfg.DB()
-	const label = "Q12/li/select_<_sint_col_sint_val#1" // l_receiptdate < 1995-01-01
+	const label = "Q12/sel0/select_<_sint_col_sint_val#1" // l_receiptdate < 1995-01-01
 	var series []stats.Series
 	names := []string{"branching", "no branching"}
 	var hists []*aph.History
@@ -51,11 +51,11 @@ func histCycles(h *aph.History) float64 {
 var fig4Panels = []struct {
 	id, query, label, title string
 }{
-	{"a", "Q1", "Q1/proj/map_-_slng_val_slng_col#0", "(a) Q1: Projection(map arithmetic)"},
-	{"b", "Q1", "Q1/agg/aggr_sum_slng_col#0", "(b) Q1: Aggregation(aggr_sum_slng_col)"},
-	{"c", "Q7", "Q7/mj/mergejoin_slng_col_slng_col#0", "(c) Q7: MergeJoin(mergejoin_slng_col_slng_col)"},
-	{"d", "Q12", "Q12/mj/map_fetch_uidx_col_str_col#R0", "(d) Q12: MergeJoin(map_fetch_uidx_col_str_col)"},
-	{"e", "Q16", "Q16/distinct/hash_insertcheck_str_col#0", "(e) Q16: Aggregation(hash_insertcheck_str_col)"},
+	{"a", "Q1", "Q1/proj0/map_-_slng_val_slng_col#0", "(a) Q1: Projection(map arithmetic)"},
+	{"b", "Q1", "Q1/agg0/aggr_sum_slng_col#0", "(b) Q1: Aggregation(aggr_sum_slng_col)"},
+	{"c", "Q7", "Q7/mj0/mergejoin_slng_col_slng_col#0", "(c) Q7: MergeJoin(mergejoin_slng_col_slng_col)"},
+	{"d", "Q12", "Q12/mj0/map_fetch_uidx_col_str_col#R0", "(d) Q12: MergeJoin(map_fetch_uidx_col_str_col)"},
+	{"e", "Q16", "Q16/agg0/hash_insertcheck_str_col#0", "(e) Q16: Aggregation(hash_insertcheck_str_col)"},
 }
 
 // Fig4 reproduces Figure 4: compiler-flavor APHs of five primitive
@@ -244,11 +244,11 @@ func Fig11(cfg Config) (*Report, error) {
 	panels := []struct {
 		setID, title, label string
 	}{
-		{"table6", "(a) Q14: Selection(select_>=_sint_col_sint_val)", "Q14/li/select_>=_sint_col_sint_val#0"},
-		{"table7", "(b) Q7: Selection(select_<=_sint_col_sint_val)", "Q7/li/select_<=_sint_col_sint_val#1"},
-		{"table9", "(c) Q1: Project(map_*_slng_col_slng_col)", "Q1/proj/map_*_slng_col_slng_col#1"},
-		{"table8", "(d) Q21: HashJoin(sel_bloomfilter_slng_col)", "Q21/j_multi/sel_bloomfilter_slng_col#0"},
-		{"table10", "(e) Q7: Selection(select_>=_sint_col_sint_val)", "Q7/li/select_>=_sint_col_sint_val#0"},
+		{"table6", "(a) Q14: Selection(select_>=_sint_col_sint_val)", "Q14/sel0/select_>=_sint_col_sint_val#0"},
+		{"table7", "(b) Q7: Selection(select_<=_sint_col_sint_val)", "Q7/sel1/select_<=_sint_col_sint_val#1"},
+		{"table9", "(c) Q1: Project(map_*_slng_col_slng_col)", "Q1/proj0/map_*_slng_col_slng_col#1"},
+		{"table8", "(d) Q21: HashJoin(sel_bloomfilter_slng_col)", "Q21/hj0/sel_bloomfilter_slng_col#0"},
+		{"table10", "(e) Q7: Selection(select_>=_sint_col_sint_val)", "Q7/sel1/select_>=_sint_col_sint_val#0"},
 	}
 	var body strings.Builder
 	for _, p := range panels {

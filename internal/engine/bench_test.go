@@ -82,3 +82,60 @@ func seq64(n int) []int64 {
 	}
 	return out
 }
+
+// BenchmarkHashJoinProbeNext isolates the per-batch probe path of HashJoin
+// over a wide probe schema — the benchmark behind hoisting the
+// Schema.MustIndexOf probe-key lookup (a linear name scan per Next batch)
+// into Open.
+func BenchmarkHashJoinProbeNext(b *testing.B) {
+	n := 1 << 16
+	cols := make([]*vector.Vector, 0, 17)
+	sch := make(vector.Schema, 0, 17)
+	for c := 0; c < 16; c++ {
+		sch = append(sch, vector.Col{Name: "pad" + string(rune('a'+c)), Type: vector.I64})
+		cols = append(cols, vector.FromI64(seq64(n)))
+	}
+	sch = append(sch, vector.Col{Name: "key", Type: vector.I32})
+	cols = append(cols, vector.FromI32(seq(n)))
+	probeTab := NewTable("probe", sch, cols)
+	buildTab := NewTable("build",
+		vector.Schema{{Name: "k", Type: vector.I32}},
+		[]*vector.Vector{vector.FromI32(seq(1024))})
+	b.SetBytes(int64(n * 4))
+	for i := 0; i < b.N; i++ {
+		s := core.NewSession(primitive.NewDictionary(primitive.Defaults()),
+			hw.Machine1(), core.WithVectorSize(64), core.WithSeed(4))
+		j := NewHashJoin(s, NewScan(s, buildTab), NewScan(s, probeTab), "j",
+			"k", "key", nil, WithKind(SemiJoin))
+		if err := j.Open(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			batch, err := j.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+		}
+		j.Close()
+	}
+}
+
+// BenchmarkMaterializeDrain measures the streaming materialization drain
+// (live tuples gathered straight into growing columns, no per-batch vector
+// allocation) on a selective pipeline — the path every query's result
+// assembly and every join build side takes.
+func BenchmarkMaterializeDrain(b *testing.B) {
+	tab := benchTable()
+	b.SetBytes(int64(tab.Rows() * 12))
+	for i := 0; i < b.N; i++ {
+		s := core.NewSession(primitive.NewDictionary(primitive.Defaults()),
+			hw.Machine1(), core.WithVectorSize(128), core.WithSeed(4))
+		sel := NewSelect(s, NewScan(s, tab), "b", CmpVal(0, "<", 500))
+		if _, err := Materialize(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -126,24 +126,32 @@ func NewHashAgg(sess *core.Session, child Operator, label string, groupCols []in
 // Schema implements Operator: group columns (ints widened to I64) followed
 // by the aggregates.
 func (h *HashAgg) Schema() vector.Schema {
-	if h.sch != nil {
-		return h.sch
-	}
-	in := h.child.Schema()
-	for _, gc := range h.groupCols {
-		t := in[gc].Type
-		if t == vector.I16 || t == vector.I32 {
-			t = vector.I64
-		}
-		h.sch = append(h.sch, vector.Col{Name: in[gc].Name, Type: t})
-	}
-	for _, a := range h.aggs {
-		h.sch = append(h.sch, vector.Col{Name: a.As, Type: h.aggType(in, a)})
+	if h.sch == nil {
+		h.sch = AggOutputSchema(h.child.Schema(), h.groupCols, h.aggs)
 	}
 	return h.sch
 }
 
-func (h *HashAgg) aggType(in vector.Schema, a AggSpec) vector.Type {
+// AggOutputSchema computes the result schema of a hash aggregation over in:
+// the group columns (integers widened to I64) followed by one column per
+// aggregate. The logical planner uses it to type plans without building
+// operators, so it must stay the single source of truth for HashAgg.
+func AggOutputSchema(in vector.Schema, groupCols []int, aggs []AggSpec) vector.Schema {
+	var sch vector.Schema
+	for _, gc := range groupCols {
+		t := in[gc].Type
+		if t == vector.I16 || t == vector.I32 {
+			t = vector.I64
+		}
+		sch = append(sch, vector.Col{Name: in[gc].Name, Type: t})
+	}
+	for _, a := range aggs {
+		sch = append(sch, vector.Col{Name: a.As, Type: aggType(in, a)})
+	}
+	return sch
+}
+
+func aggType(in vector.Schema, a AggSpec) vector.Type {
 	switch a.Fn {
 	case AggCount:
 		return vector.I64

@@ -46,9 +46,10 @@ type HashJoin struct {
 	fetchInsts []*core.Instance
 	payloadIdx []int
 
-	keyScratch *vector.Vector
-	rowScratch *vector.Vector
-	selA, selB []int32
+	keyScratch  *vector.Vector
+	rowScratch  *vector.Vector
+	selA, selB  []int32
+	probeKeyIdx int // probe-side key column, resolved once in Open
 }
 
 // HashJoinOption configures a HashJoin.
@@ -147,6 +148,9 @@ func (h *HashJoin) Open() error {
 	h.rowScratch = vector.New(vector.I32, vs)
 	h.selA = make([]int32, vs)
 	h.selB = make([]int32, vs)
+	// Resolve the probe key once: a schema lookup is a linear name scan,
+	// far too slow to repeat on every Next batch.
+	h.probeKeyIdx = h.probe.Schema().MustIndexOf(h.probeKey)
 	return h.probe.Open()
 }
 
@@ -177,9 +181,7 @@ func (h *HashJoin) Next() (*vector.Batch, error) {
 		h.selA = make([]int32, b.N)
 		h.selB = make([]int32, b.N)
 	}
-	probeSch := h.probe.Schema()
-	keyIdx := probeSch.MustIndexOf(h.probeKey)
-	primitive.WidenToI64(b.Cols[keyIdx], b.Sel, b.N, h.keyScratch)
+	primitive.WidenToI64(b.Cols[h.probeKeyIdx], b.Sel, b.N, h.keyScratch)
 
 	sel := b.Sel
 	if h.filter != nil {

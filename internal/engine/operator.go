@@ -39,27 +39,49 @@ func chargeOp(s *core.Session, cycles float64) {
 	s.Ctx.OperatorCycles += cycles
 }
 
-// Run drains an operator, returning its batches compacted (selection
-// applied). It is the "postprocess" boundary of Table 1.
-func Run(op Operator) ([]*vector.Batch, error) {
+// Drain opens op, streams every non-empty batch (selection vector intact)
+// to yield, and closes it. Batches may alias operator-owned or table-owned
+// storage: yield must consume them before returning and never retain them.
+// It is the streaming "postprocess" boundary of Table 1 — Run and
+// Materialize are both built on it.
+func Drain(op Operator, yield func(*vector.Batch) error) error {
 	if err := op.Open(); err != nil {
-		return nil, err
+		return err
 	}
 	defer op.Close()
-	var out []*vector.Batch
 	for {
 		b, err := op.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if b == nil {
-			return out, nil
+			return nil
 		}
 		if b.Live() == 0 {
 			continue
 		}
-		out = append(out, b.Compact())
+		if err := yield(b); err != nil {
+			return err
+		}
 	}
+}
+
+// Run drains an operator, returning its batches compacted (selection
+// applied, one vector.Batch.CompactInto(nil) each). Because every batch is
+// retained, each one needs its own storage — callers that only stream over
+// the output should use Drain (raw batches) or Materialize (gathers live
+// tuples straight into growing columns) instead, which allocate no fresh
+// vectors per batch.
+func Run(op Operator) ([]*vector.Batch, error) {
+	var out []*vector.Batch
+	err := Drain(op, func(b *vector.Batch) error {
+		out = append(out, b.Compact())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RowCount sums the live tuples of batches.

@@ -43,8 +43,8 @@ type fragment struct {
 	sess   *core.Session
 	root   Operator
 
-	batches []*vector.Batch
-	err     error
+	out *Table
+	err error
 }
 
 // Parallel is the fan-out half of the engine's Parallel/Exchange pair: a
@@ -81,10 +81,11 @@ func NewParallel(sess *core.Session, rows, parts int, build FragmentBuilder) (*P
 }
 
 // run executes every fragment on its own goroutine and blocks until all
-// finish. Each goroutine opens its root, drains it into compacted batches
-// (the postprocess boundary of the fragment) and closes it; a panic inside
-// a fragment — a primitive bug must not kill the whole service — is
-// converted into that fragment's error.
+// finish. Each goroutine opens its root, streams it into one materialized
+// partition table (the postprocess boundary of the fragment — a single
+// reused scratch batch, no per-batch vector allocation) and closes it; a
+// panic inside a fragment — a primitive bug must not kill the whole
+// service — is converted into that fragment's error.
 func (p *Parallel) run() error {
 	var wg sync.WaitGroup
 	for _, f := range p.frags {
@@ -97,7 +98,7 @@ func (p *Parallel) run() error {
 					f.err = fmt.Errorf("engine: fragment %d panicked: %v", f.morsel.Part, r)
 				}
 			}()
-			f.batches, f.err = Run(f.root)
+			f.out, f.err = Materialize(f.root)
 		}()
 	}
 	wg.Wait()
@@ -124,16 +125,16 @@ func (p *Parallel) run() error {
 // folded into the coordinator's ExecCtx here.
 //
 // Known tradeoff: Open is a barrier — every fragment runs to completion
-// and its output is buffered before downstream consumption starts, so the
-// exchange holds the full filtered/projected partition output in memory
-// and the consumer cannot overlap with the slowest fragment. At the lab
-// scale factors this buys exact partition-order determinism cheaply; a
+// and its output is materialized before downstream consumption starts, so
+// the exchange holds the full filtered/projected partition output in
+// memory and the consumer cannot overlap with the slowest fragment. At the
+// lab scale factors this buys exact partition-order determinism cheaply; a
 // streaming partition-order merge (consume fragment 0 while later
 // fragments still run) is the upgrade path for larger-than-memory scans.
 type Exchange struct {
 	par    *Parallel
-	queue  []*vector.Batch
-	pos    int
+	frag   int // partition currently being streamed
+	pos    int // next row within that partition's table
 	opened bool
 }
 
@@ -143,11 +144,11 @@ func NewExchange(p *Parallel) *Exchange { return &Exchange{par: p} }
 // Schema implements Operator: fragments share one schema.
 func (e *Exchange) Schema() vector.Schema { return e.par.frags[0].root.Schema() }
 
-// Open implements Operator: it runs all fragments concurrently, merges
-// their cycle accounting into the coordinator session, and queues their
-// batches in partition order.
+// Open implements Operator: it runs all fragments concurrently and merges
+// their cycle accounting into the coordinator session; Next then streams
+// the partition tables in partition order.
 func (e *Exchange) Open() error {
-	e.queue, e.pos = nil, 0
+	e.frag, e.pos = 0, 0
 	if err := e.par.run(); err != nil {
 		return err
 	}
@@ -158,43 +159,75 @@ func (e *Exchange) Open() error {
 		// breakdowns) sees the sum of all partitions.
 		sess.Ctx.PrimCycles += f.sess.Ctx.PrimCycles
 		sess.Ctx.OperatorCycles += f.sess.Ctx.OperatorCycles
-		e.queue = append(e.queue, f.batches...)
 		chargeOp(sess, perBatchOverhead) // per-partition merge overhead
 	}
 	e.opened = true
 	return nil
 }
 
-// Next implements Operator: it streams the merged batches.
+// Next implements Operator: it streams vector-size, zero-copy slices of
+// the materialized partition tables, in partition order.
 func (e *Exchange) Next() (*vector.Batch, error) {
 	if !e.opened {
 		return nil, fmt.Errorf("engine: Exchange.Next before Open")
 	}
-	if e.pos >= len(e.queue) {
-		return nil, nil
+	for e.frag < len(e.par.frags) {
+		t := e.par.frags[e.frag].out
+		if e.pos >= t.Rows() {
+			e.frag++
+			e.pos = 0
+			continue
+		}
+		lo := e.pos
+		hi := lo + e.par.sess.VectorSize
+		if hi > t.Rows() {
+			hi = t.Rows()
+		}
+		e.pos = hi
+		cols := make([]*vector.Vector, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.Slice(lo, hi)
+		}
+		chargeOp(e.par.sess, perBatchOverhead)
+		return &vector.Batch{N: hi - lo, Cols: cols}, nil
 	}
-	b := e.queue[e.pos]
-	e.pos++
-	chargeOp(e.par.sess, perBatchOverhead)
-	return b, nil
+	return nil, nil
 }
 
 // Close implements Operator. Fragments were opened and closed by their own
-// goroutines during Open, so there is nothing left to release.
-func (e *Exchange) Close() { e.queue = nil }
+// goroutines during Open, so releasing the partition tables is all that is
+// left; opened resets so a Next after Close errors instead of hitting the
+// nil tables.
+func (e *Exchange) Close() {
+	for _, f := range e.par.frags {
+		f.out = nil
+	}
+	e.opened = false
+}
+
+// PartitionCount returns the fan-out ParallelPipeline uses for a scan of
+// rows at pipeline parallelism p: min(p, rows/minMorselRows), floored at 1
+// (serial). The physical planner calls it to annotate explain output with
+// the same decision the runtime will take.
+func PartitionCount(p, rows int) int {
+	if max := rows / minMorselRows; p > max {
+		p = max
+	}
+	if p < 2 {
+		return 1
+	}
+	return p
+}
 
 // ParallelPipeline builds the scan-heavy prefix of a plan either serially
 // or as a Parallel/Exchange fan-out, depending on the session's pipeline
 // parallelism and the scanned row count. With parallelism P > 1 and at
 // least two minMorselRows-sized morsels, rows are range-partitioned into
-// min(P, rows/minMorselRows) fragments; otherwise the builder runs once
+// PartitionCount(P, rows) fragments; otherwise the builder runs once
 // with the coordinator session and the full range, producing exactly the
 // serial plan (identical instance labels included).
 func ParallelPipeline(sess *core.Session, rows int, build FragmentBuilder) (Operator, error) {
-	parts := sess.Parallelism()
-	if max := rows / minMorselRows; parts > max {
-		parts = max
-	}
+	parts := PartitionCount(sess.Parallelism(), rows)
 	if parts < 2 {
 		return build(sess, Morsel{Part: 0, Lo: 0, Hi: rows})
 	}

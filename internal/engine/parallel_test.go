@@ -231,3 +231,30 @@ func TestHashAggHandlesOverWideBatches(t *testing.T) {
 		t.Errorf("groups = %d, want 400", got.Rows())
 	}
 }
+
+// TestExchangeNextAfterClose: a Next after Close must error like a Next
+// before Open, not dereference the released partition tables.
+func TestExchangeNextAfterClose(t *testing.T) {
+	s := parallelSession(t, 4)
+	tab := numbersTable(4096)
+	op, err := ParallelPipeline(s, tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
+		return NewRangeScan(fs, tab, m.Lo, m.Hi), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := op.(*Exchange)
+	if !ok {
+		t.Fatalf("expected an Exchange at P=4, got %T", op)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := ex.Next(); err != nil || b == nil {
+		t.Fatalf("first Next = (%v, %v)", b, err)
+	}
+	ex.Close()
+	if _, err := ex.Next(); err == nil {
+		t.Error("Next after Close did not error")
+	}
+}

@@ -141,41 +141,124 @@ func (s *Scan) Next() (*vector.Batch, error) {
 // Close implements Operator.
 func (s *Scan) Close() {}
 
-// Materialize drains an operator into a Table (selection applied).
+// Materialize drains an operator into a Table (selection applied). It
+// streams: every batch's live tuples are gathered straight into growable
+// column accumulators — no per-batch vector allocation and no retained
+// compacted copies, unlike the old Run-then-copy implementation. (Drain
+// loops that need whole compacted batches rather than columns reuse a
+// destination via vector.Batch.CompactInto instead.)
 func Materialize(op Operator) (*Table, error) {
-	batches, err := Run(op)
+	sch := op.Schema()
+	acc := make([]colAcc, len(sch))
+	for i, c := range sch {
+		acc[i].t = c.Type
+	}
+	err := Drain(op, func(b *vector.Batch) error {
+		for ci := range sch {
+			acc[ci].appendLive(b.Cols[ci], b.Sel, b.N)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sch := op.Schema()
 	cols := make([]*vector.Vector, len(sch))
-	total := RowCount(batches)
-	for i, c := range sch {
-		cols[i] = vector.New(c.Type, total)
-		cols[i].SetLen(total)
-	}
-	row := 0
-	for _, b := range batches {
-		for ci := range sch {
-			src := b.Cols[ci]
-			dst := cols[ci]
-			n := b.Live()
-			switch sch[ci].Type {
-			case vector.I16:
-				copy(dst.I16()[row:row+n], src.I16()[:n])
-			case vector.I32:
-				copy(dst.I32()[row:row+n], src.I32()[:n])
-			case vector.I64:
-				copy(dst.I64()[row:row+n], src.I64()[:n])
-			case vector.F64:
-				copy(dst.F64()[row:row+n], src.F64()[:n])
-			case vector.Str:
-				copy(dst.Str()[row:row+n], src.Str()[:n])
-			}
-		}
-		row += b.Live()
+	for i := range acc {
+		cols[i] = acc[i].vector()
 	}
 	return NewTable("materialized", sch, cols), nil
+}
+
+// colAcc accumulates one output column of a streaming materialization.
+type colAcc struct {
+	t   vector.Type
+	i16 []int16
+	i32 []int32
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+// appendLive gathers the live tuples of one source vector (per sel; all n
+// when sel is nil) onto the accumulator: capacity grows once per batch and
+// the gather runs as indexed stores, so the whole drain does one amortized
+// copy of the live data.
+func (a *colAcc) appendLive(v *vector.Vector, sel []int32, n int) {
+	switch a.t {
+	case vector.I16:
+		a.i16 = gatherLive(a.i16, v.I16(), sel, n)
+	case vector.I32:
+		a.i32 = gatherLive(a.i32, v.I32(), sel, n)
+	case vector.I64:
+		a.i64 = gatherLive(a.i64, v.I64(), sel, n)
+	case vector.F64:
+		a.f64 = gatherLive(a.f64, v.F64(), sel, n)
+	case vector.Str:
+		a.str = gatherLive(a.str, v.Str(), sel, n)
+	}
+}
+
+// gatherLive appends the selected positions of src (all n when sel is nil)
+// to dst, growing dst's capacity geometrically.
+func gatherLive[T any](dst []T, src []T, sel []int32, n int) []T {
+	if sel == nil {
+		return append(dst, src[:n]...)
+	}
+	off := len(dst)
+	need := off + len(sel)
+	if need > cap(dst) {
+		grown := make([]T, need, growCap(cap(dst), need))
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
+	}
+	out := dst[off:]
+	for j, i := range sel {
+		out[j] = src[i]
+	}
+	return dst
+}
+
+// growCap doubles capacity until it covers need.
+func growCap(c, need int) int {
+	if c < 64 {
+		c = 64
+	}
+	for c < need {
+		c *= 2
+	}
+	return c
+}
+
+func (a *colAcc) vector() *vector.Vector {
+	switch a.t {
+	case vector.I16:
+		if a.i16 == nil {
+			a.i16 = []int16{}
+		}
+		return vector.FromI16(a.i16)
+	case vector.I32:
+		if a.i32 == nil {
+			a.i32 = []int32{}
+		}
+		return vector.FromI32(a.i32)
+	case vector.I64:
+		if a.i64 == nil {
+			a.i64 = []int64{}
+		}
+		return vector.FromI64(a.i64)
+	case vector.F64:
+		if a.f64 == nil {
+			a.f64 = []float64{}
+		}
+		return vector.FromF64(a.f64)
+	default:
+		if a.str == nil {
+			a.str = []string{}
+		}
+		return vector.FromStr(a.str)
+	}
 }
 
 // TableString renders up to maxRows rows of a table (maxRows <= 0 renders

@@ -1,0 +1,302 @@
+// Explain rendering: the logical DAG and the statically simulated physical
+// lowering, partition annotations included. The physical section mirrors
+// Exec's decisions (chain detection, shared-subtree materialization,
+// engine.PartitionCount) without executing anything, so explain output is
+// cheap and scalar constants print symbolically.
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/vector"
+)
+
+// Explain renders the plan's logical DAG and its physical lowering at
+// pipeline parallelism p, one section per registered root.
+func (b *Builder) Explain(p int) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "plan %s\n", b.name)
+	refs := b.refCounts()
+	for _, r := range b.Roots() {
+		fmt.Fprintf(&out, "logical (%s):\n", r.Name)
+		lr := &renderer{refs: refs, seen: map[int]bool{}}
+		lr.logical(&out, r.Node, 1)
+	}
+	for _, r := range b.Roots() {
+		fmt.Fprintf(&out, "physical (%s, P=%d):\n", r.Name, p)
+		pr := &renderer{refs: refs, seen: map[int]bool{}, parallelism: p}
+		pr.physical(&out, r.Node, 1)
+	}
+	return out.String()
+}
+
+// renderer walks one root, tracking shared subtrees so each prints once.
+type renderer struct {
+	refs        []int
+	seen        map[int]bool
+	parallelism int
+}
+
+func indent(w *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		w.WriteString("  ")
+	}
+}
+
+// logical prints the declarative tree.
+func (r *renderer) logical(w *strings.Builder, n *Node, depth int) {
+	indent(w, depth)
+	if r.refs[n.id] > 1 {
+		if r.seen[n.id] {
+			fmt.Fprintf(w, "ref %s\n", n.label)
+			return
+		}
+		r.seen[n.id] = true
+		fmt.Fprintf(w, "%s (shared x%d)\n", r.describe(n), r.refs[n.id])
+	} else {
+		fmt.Fprintf(w, "%s\n", r.describe(n))
+	}
+	for _, p := range n.preds {
+		if p.scalar != nil && !r.seen[p.scalar.From.id] {
+			// Scalar subplans hang off the predicate, not the child list.
+			// The recursion itself marks shared sources as seen once their
+			// body renders; pre-marking here would make a source that is
+			// also a plan child print only "ref" lines everywhere.
+			indent(w, depth+1)
+			fmt.Fprintf(w, "scalar %s:\n", p.scalar.String())
+			r.logical(w, p.scalar.From, depth+2)
+		}
+	}
+	for _, c := range n.in {
+		r.logical(w, c, depth+1)
+	}
+}
+
+// physical prints the lowered shape: materialization points, partitioned
+// pipelines with their fan-out, and plain operators.
+func (r *renderer) physical(w *strings.Builder, n *Node, depth int) {
+	if r.seen[n.id] {
+		indent(w, depth)
+		fmt.Fprintf(w, "Scan <- materialized %s\n", n.label)
+		return
+	}
+	shared := n.kind != KindScan && r.refs[n.id] > 1
+	if shared {
+		r.seen[n.id] = true
+		indent(w, depth)
+		fmt.Fprintf(w, "Materialize %s\n", n.label)
+		depth++
+	}
+	if c := chainOf(n, r.refs); c != nil {
+		r.renderChain(w, c, depth)
+		return
+	}
+	indent(w, depth)
+	fmt.Fprintf(w, "%s\n", r.describe(n))
+	for _, p := range n.preds {
+		if p.scalar != nil && !r.seen[p.scalar.From.id] {
+			indent(w, depth+1)
+			fmt.Fprintf(w, "scalar %s:\n", p.scalar.String())
+			r.physical(w, p.scalar.From, depth+2)
+		}
+	}
+	for _, child := range n.in {
+		r.physical(w, child, depth+1)
+	}
+}
+
+// renderChain prints a morsel-partitionable pipeline with the fan-out the
+// runtime will choose (exact when the base row count is known statically).
+func (r *renderer) renderChain(w *strings.Builder, c *chain, depth int) {
+	indent(w, depth)
+	if c.scan != nil {
+		rows := c.scan.table.Rows()
+		parts := engine.PartitionCount(r.parallelism, rows)
+		if parts > 1 {
+			fmt.Fprintf(w, "Exchange [order-preserving merge of %d morsel fragments]\n", parts)
+		} else {
+			fmt.Fprintf(w, "Pipeline [partitionable; serial: P=%d, rows=%d]\n", r.parallelism, rows)
+		}
+	} else {
+		fmt.Fprintf(w, "Pipeline [partitionable; fan-out <=%d decided at run time]\n", r.parallelism)
+	}
+	depth++
+	for i, nd := range c.stack {
+		indent(w, depth+i)
+		fmt.Fprintf(w, "%s\n", r.describe(nd))
+		for _, p := range nd.preds {
+			if p.scalar != nil && !r.seen[p.scalar.From.id] {
+				indent(w, depth+i+1)
+				fmt.Fprintf(w, "scalar %s:\n", p.scalar.String())
+				r.physical(w, p.scalar.From, depth+i+2)
+			}
+		}
+	}
+	indent(w, depth+len(c.stack))
+	if c.scan != nil {
+		fmt.Fprintf(w, "RangeScan[morsel] %s\n", r.scanDetail(c.scan))
+	} else {
+		fmt.Fprintf(w, "RangeScan[morsel] <- materialized:\n")
+		r.physical(w, c.base, depth+len(c.stack)+1)
+	}
+}
+
+// describe renders one node's operator line.
+func (r *renderer) describe(n *Node) string {
+	switch n.kind {
+	case KindScan:
+		return "Scan " + r.scanDetail(n)
+	case KindSelect:
+		preds := make([]string, len(n.preds))
+		for i, p := range n.preds {
+			preds[i] = predString(p, n.in[0].sch)
+		}
+		return fmt.Sprintf("Select [%s] (%s)", n.label, strings.Join(preds, " && "))
+	case KindProject:
+		cols := make([]string, len(n.exprs))
+		for i, e := range n.exprs {
+			cols[i] = e.Name + "=" + exprString(e.Expr, n.in[0].sch)
+		}
+		return fmt.Sprintf("Project [%s] (%s)", n.label, strings.Join(cols, ", "))
+	case KindAgg:
+		groups := make([]string, len(n.groupBy))
+		in := n.in[0].sch
+		for i, g := range n.groupBy {
+			groups[i] = in[g].Name
+		}
+		aggs := make([]string, len(n.aggs))
+		for i, a := range n.aggs {
+			arg := ""
+			if a.Fn != engine.AggCount {
+				arg = in[a.Col].Name
+			}
+			aggs[i] = fmt.Sprintf("%s(%s) as %s", a.Fn, arg, a.As)
+		}
+		return fmt.Sprintf("HashAgg [%s] groups=(%s) aggs=(%s)", n.label,
+			strings.Join(groups, ", "), strings.Join(aggs, ", "))
+	case KindHashJoin:
+		kind := "inner"
+		switch n.joinKind {
+		case engine.SemiJoin:
+			kind = "semi"
+		case engine.AntiJoin:
+			kind = "anti"
+		}
+		s := fmt.Sprintf("HashJoin [%s] %s build.%s = probe.%s", n.label, kind, n.buildKey, n.probeKey)
+		if len(n.payload) > 0 {
+			s += " payload=(" + strings.Join(n.payload, ", ") + ")"
+		}
+		if n.bloomBits > 0 {
+			s += fmt.Sprintf(" bloom=%dbits/key", n.bloomBits)
+		}
+		return s
+	case KindMergeJoin:
+		return fmt.Sprintf("MergeJoin [%s] left.%s = right.%s out=(%s | %s)", n.label,
+			n.leftKey, n.rightKey, strings.Join(n.leftOut, ", "), strings.Join(n.rightOut, ", "))
+	case KindSort:
+		return fmt.Sprintf("Sort [%s] keys=(%s)", n.label, keysString(n.keys, n.sch))
+	case KindTopN:
+		return fmt.Sprintf("TopN [%s] n=%d keys=(%s)", n.label, n.limit, keysString(n.keys, n.sch))
+	case KindLimit:
+		return fmt.Sprintf("Limit [%s] n=%d", n.label, n.limit)
+	default:
+		return n.kind.String()
+	}
+}
+
+func (r *renderer) scanDetail(n *Node) string {
+	cols := n.cols
+	if len(cols) == 0 {
+		cols = make([]string, len(n.sch))
+		for i, c := range n.sch {
+			cols[i] = c.Name
+		}
+	}
+	return fmt.Sprintf("%s (%s)", n.table.Name, strings.Join(cols, ", "))
+}
+
+func keysString(keys []engine.SortKey, sch vector.Schema) string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		out[i] = sch[k.Col].Name + " " + dir
+	}
+	return strings.Join(out, ", ")
+}
+
+// predString renders one predicate against the input schema.
+func predString(p Pred, sch vector.Schema) string {
+	ep := p.pred
+	lhs := sch[ep.Col].Name
+	if p.scalar != nil {
+		return fmt.Sprintf("%s %s %s", lhs, ep.Op, p.scalar.String())
+	}
+	switch ep.Op {
+	case "like", "notlike":
+		op := "LIKE"
+		if ep.Op == "notlike" {
+			op = "NOT LIKE"
+		}
+		return fmt.Sprintf("%s %s %q", lhs, op, ep.Str)
+	case "in":
+		if len(ep.Set) > 0 {
+			return fmt.Sprintf("%s IN (%s)", lhs, strings.Join(ep.Set, ", "))
+		}
+		vals := make([]string, len(ep.SetI32))
+		for i, v := range ep.SetI32 {
+			vals[i] = strconv.Itoa(int(v))
+		}
+		return fmt.Sprintf("%s IN (%s)", lhs, strings.Join(vals, ", "))
+	}
+	if ep.RHSCol >= 0 {
+		return fmt.Sprintf("%s %s %s", lhs, ep.Op, sch[ep.RHSCol].Name)
+	}
+	switch sch[ep.Col].Type {
+	case vector.F64:
+		return fmt.Sprintf("%s %s %g", lhs, ep.Op, ep.F64)
+	case vector.Str:
+		return fmt.Sprintf("%s %s %q", lhs, ep.Op, ep.Str)
+	default:
+		return fmt.Sprintf("%s %s %d", lhs, ep.Op, ep.I64)
+	}
+}
+
+// exprString renders a projection expression against the input schema.
+func exprString(e expr.Node, sch vector.Schema) string {
+	switch n := e.(type) {
+	case *expr.Col:
+		return sch[n.Idx].Name
+	case *expr.ConstI64:
+		return strconv.FormatInt(n.V, 10)
+	case *expr.ConstI32:
+		return strconv.Itoa(int(n.V))
+	case *expr.ConstF64:
+		return strconv.FormatFloat(n.V, 'g', -1, 64)
+	case *expr.BinOp:
+		return "(" + exprString(n.L, sch) + " " + n.Op + " " + exprString(n.R, sch) + ")"
+	case *expr.Widen:
+		return "i64(" + exprString(n.Child, sch) + ")"
+	case *expr.ToF64:
+		return "f64(" + exprString(n.Child, sch) + ")"
+	case *expr.MapI64:
+		return "mapi64(" + exprString(n.Child, sch) + ")"
+	case *expr.Substr:
+		return fmt.Sprintf("substr(%s, %d, %d)", exprString(n.Child, sch), n.From, n.Len)
+	case *expr.CaseEqStr:
+		return fmt.Sprintf("case(%s == %q ? %d : %d)", exprString(n.Col, sch), n.Value, n.Then, n.Else)
+	case *expr.CaseInStr:
+		return fmt.Sprintf("case(%s in (%s) ? %d : %d)", exprString(n.Col, sch),
+			strings.Join(n.Values, ", "), n.Then, n.Else)
+	case *expr.CaseLikeStr:
+		return fmt.Sprintf("case(like(%s) ? %d : %d)", exprString(n.Col, sch), n.Then, n.Else)
+	default:
+		return "expr"
+	}
+}

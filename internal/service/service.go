@@ -252,6 +252,16 @@ func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
 	return tab, st, nil
 }
 
+// Explain renders TPC-H query q's logical plan and the physical lowering
+// the service's sessions will execute — including which pipelines fan out
+// under the configured PipelineParallelism.
+func (svc *Service) Explain(q int) (string, error) {
+	if q < 1 || q > 22 {
+		return "", fmt.Errorf("service: no TPC-H query %d", q)
+	}
+	return tpch.Explain(svc.db, q, svc.cfg.PipelineParallelism), nil
+}
+
 // adaptationCost measures how much of a session's work went into calls
 // that did not use the flavor the session ultimately found best: the
 // exploration (plus wrong-exploitation) overhead a warm start is meant to

@@ -4,40 +4,36 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/expr"
+	"microadapt/internal/plan"
 	"microadapt/internal/vector"
 )
 
-// Q1 is the pricing summary report: one pass over lineitem with a date
+// q1Plan is the pricing summary report: one pass over lineitem with a date
 // selection, two map-heavy projected expressions, and an aggregation
 // grouped on (returnflag, linestatus). It is the query of Figures 4(a),
-// 4(b) and 11(c) in the paper. The scan/select/project prefix is
-// partitionable: under pipeline parallelism each morsel of lineitem runs
-// the full select+project stack on its own fragment session.
-func Q1(db *DB, s *core.Session) (*engine.Table, error) {
-	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		scan := engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-			"l_quantity", "l_extendedprice", "l_discount", "l_tax",
-			"l_returnflag", "l_linestatus", "l_shipdate")
-		sel := engine.NewSelect(fs, scan, "Q1/sel",
-			engine.CmpVal(6, "<=", int(Date(1998, 9, 2))))
-		discPrice := revenue(sel, "l_extendedprice", "l_discount")
-		charge := expr.Div(
-			expr.Mul(discPrice, expr.Add(&expr.ConstI64{V: 100}, col(sel, "l_tax"))),
-			&expr.ConstI64{V: 100})
-		return engine.NewProject(fs, sel, "Q1/proj",
-			engine.Keep("l_returnflag", 4),
-			engine.Keep("l_linestatus", 5),
-			engine.Keep("l_quantity", 0),
-			engine.Keep("l_extendedprice", 1),
-			engine.ProjExpr{Name: "disc_price", Expr: discPrice},
-			engine.ProjExpr{Name: "charge", Expr: charge},
-			engine.Keep("l_discount", 2),
-		), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	agg := engine.NewHashAgg(s, pipe, "Q1/agg", []int{0, 1},
+// 4(b) and 11(c) in the paper. The planner derives the scan→select→project
+// prefix as morsel-partitionable: under pipeline parallelism each morsel of
+// lineitem runs the full stack on its own fragment session.
+func q1Plan(db *DB) *plan.Builder {
+	b := plan.New("Q1")
+	scan := b.Scan(db.Lineitem,
+		"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+		"l_returnflag", "l_linestatus", "l_shipdate")
+	sel := scan.Select(plan.CmpVal(6, "<=", int(Date(1998, 9, 2))))
+	discPrice := revenue(sel, "l_extendedprice", "l_discount")
+	charge := expr.Div(
+		expr.Mul(discPrice, expr.Add(&expr.ConstI64{V: 100}, sel.Col("l_tax"))),
+		&expr.ConstI64{V: 100})
+	proj := sel.Project(
+		engine.Keep("l_returnflag", 4),
+		engine.Keep("l_linestatus", 5),
+		engine.Keep("l_quantity", 0),
+		engine.Keep("l_extendedprice", 1),
+		engine.ProjExpr{Name: "disc_price", Expr: discPrice},
+		engine.ProjExpr{Name: "charge", Expr: charge},
+		engine.Keep("l_discount", 2),
+	)
+	agg := proj.Agg([]int{0, 1},
 		engine.Agg(engine.AggSum, 2, "sum_qty"),
 		engine.Agg(engine.AggSum, 3, "sum_base_price"),
 		engine.Agg(engine.AggSum, 4, "sum_disc_price"),
@@ -47,300 +43,268 @@ func Q1(db *DB, s *core.Session) (*engine.Table, error) {
 		engine.Agg(engine.AggAvg, 6, "avg_disc"),
 		engine.Agg(engine.AggCount, -1, "count_order"),
 	)
-	sorted := engine.NewSort(s, agg, engine.Asc(0), engine.Asc(1))
-	return run(sorted)
+	b.Root(agg.Sort(engine.Asc(0), engine.Asc(1)))
+	return b
 }
 
-// Q2 finds the minimum-cost supplier per part in EUROPE for size-15
-// %BRASS parts, with the min-cost correlated subquery as an aggregate +
-// join-back.
-func Q2(db *DB, s *core.Session) (*engine.Table, error) {
-	partScan := engine.NewScan(s, db.Part, "p_partkey", "p_mfgr", "p_size", "p_type")
-	partSel := engine.NewSelect(s, partScan, "Q2/part",
-		engine.CmpVal(2, "==", 15),
-		engine.Like(3, "%BRASS"))
+// Q1 runs the pricing summary report.
+func Q1(db *DB, s *core.Session) (*engine.Table, error) { return pure(q1Plan)(db, s) }
 
-	ps := engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
-	j1 := engine.NewHashJoin(s, partSel, ps, "Q2/j_part", "p_partkey", "ps_partkey", []string{"p_mfgr"})
+// q2Plan finds the minimum-cost supplier per part in EUROPE for size-15
+// %BRASS parts; the min-cost correlated subquery is an aggregate over the
+// shared join result (materialized once by the planner) joined back.
+func q2Plan(db *DB) *plan.Builder {
+	b := plan.New("Q2")
+	partSel := b.Scan(db.Part, "p_partkey", "p_mfgr", "p_size", "p_type").
+		Select(plan.CmpVal(2, "==", 15), plan.Like(3, "%BRASS"))
 
-	supp := engine.NewScan(s, db.Supplier, "s_suppkey", "s_name", "s_nationkey", "s_acctbal")
-	j2 := engine.NewHashJoin(s, supp, j1, "Q2/j_supp", "s_suppkey", "ps_suppkey",
+	ps := b.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
+	j1 := b.HashJoin(partSel, ps, "p_partkey", "ps_partkey", []string{"p_mfgr"})
+
+	supp := b.Scan(db.Supplier, "s_suppkey", "s_name", "s_nationkey", "s_acctbal")
+	j2 := b.HashJoin(supp, j1, "s_suppkey", "ps_suppkey",
 		[]string{"s_name", "s_acctbal", "s_nationkey"})
 
-	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
-		"Q2/region", engine.CmpVal(1, "==", "EUROPE"))
-	natScan := engine.NewScan(s, db.Nation, "n_nationkey", "n_name", "n_regionkey")
-	natEur := semiJoin(s, regSel, natScan, "Q2/j_region", "r_regionkey", "n_regionkey")
-	natTab, err := run(natEur)
-	if err != nil {
-		return nil, err
-	}
-	j3 := engine.NewHashJoin(s, engine.NewScan(s, natTab), j2, "Q2/j_nation",
-		"n_nationkey", "s_nationkey", []string{"n_name"})
+	regSel := b.Scan(db.Region, "r_regionkey", "r_name").
+		Select(plan.CmpVal(1, "==", "EUROPE"))
+	natScan := b.Scan(db.Nation, "n_nationkey", "n_name", "n_regionkey")
+	natEur := semiJoin(b, regSel, natScan, "r_regionkey", "n_regionkey")
+	j3 := b.HashJoin(natEur, j2, "n_nationkey", "s_nationkey", []string{"n_name"})
 
-	joined, err := run(j3)
-	if err != nil {
-		return nil, err
-	}
-	minAgg := engine.NewHashAgg(s, engine.NewScan(s, joined), "Q2/minagg",
-		[]int{joined.Sch.MustIndexOf("ps_partkey")},
-		engine.Agg(engine.AggMin, joined.Sch.MustIndexOf("ps_supplycost"), "min_cost"))
-	minTab, err := run(minAgg)
-	if err != nil {
-		return nil, err
-	}
-	back := engine.NewHashJoin(s, engine.NewScan(s, minTab), engine.NewScan(s, joined),
-		"Q2/j_back", "ps_partkey", "ps_partkey", []string{"min_cost"})
-	final := engine.NewSelect(s, back, "Q2/selmin",
-		engine.CmpCol(back.Schema().MustIndexOf("ps_supplycost"), "==", back.Schema().MustIndexOf("min_cost")))
-	sorted := engine.NewTopN(s, final, 100,
-		engine.Desc(final.Schema().MustIndexOf("s_acctbal")),
-		engine.Asc(final.Schema().MustIndexOf("n_name")),
-		engine.Asc(final.Schema().MustIndexOf("s_name")),
-		engine.Asc(final.Schema().MustIndexOf("ps_partkey")))
-	return run(sorted)
+	// j3 feeds both the per-part minimum and the join-back probe: the
+	// planner materializes it once.
+	minAgg := j3.Agg([]int{j3.Idx("ps_partkey")},
+		engine.Agg(engine.AggMin, j3.Idx("ps_supplycost"), "min_cost"))
+	back := b.HashJoin(minAgg, j3, "ps_partkey", "ps_partkey", []string{"min_cost"})
+	final := back.Select(plan.CmpCol(back.Idx("ps_supplycost"), "==", back.Idx("min_cost")))
+	b.Root(final.TopN(100,
+		engine.Desc(final.Idx("s_acctbal")),
+		engine.Asc(final.Idx("n_name")),
+		engine.Asc(final.Idx("s_name")),
+		engine.Asc(final.Idx("ps_partkey"))))
+	return b
 }
 
-// Q3 is the shipping-priority query: BUILDING customers, pre-date orders,
-// post-date lineitems, top-10 revenue. orders-lineitem is a merge join on
-// the clustered orderkey.
-func Q3(db *DB, s *core.Session) (*engine.Table, error) {
-	cutoff := int(Date(1995, 3, 15))
-	cust := engine.NewSelect(s,
-		engine.NewScan(s, db.Customer, "c_custkey", "c_mktsegment"),
-		"Q3/cust", engine.CmpVal(1, "==", "BUILDING"))
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"),
-		"Q3/ord", engine.CmpVal(2, "<", cutoff))
-	ordB := semiJoin(s, cust, ord, "Q3/j_cust", "c_custkey", "o_custkey")
+// Q2 runs the minimum-cost supplier query.
+func Q2(db *DB, s *core.Session) (*engine.Table, error) { return pure(q2Plan)(db, s) }
 
-	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		return engine.NewSelect(fs,
-			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-				"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
-			"Q3/li", engine.CmpVal(3, ">", cutoff)), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	mj := engine.NewMergeJoin(s, ordB, li, "Q3/mj", "o_orderkey", "l_orderkey",
+// q3Plan is the shipping-priority query: BUILDING customers, pre-date
+// orders, post-date lineitems, top-10 revenue. orders-lineitem is a merge
+// join on the clustered orderkey.
+func q3Plan(db *DB) *plan.Builder {
+	b := plan.New("Q3")
+	cutoff := int(Date(1995, 3, 15))
+	cust := b.Scan(db.Customer, "c_custkey", "c_mktsegment").
+		Select(plan.CmpVal(1, "==", "BUILDING"))
+	ord := b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority").
+		Select(plan.CmpVal(2, "<", cutoff))
+	ordB := semiJoin(b, cust, ord, "c_custkey", "o_custkey")
+
+	li := b.Scan(db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Select(plan.CmpVal(3, ">", cutoff))
+	mj := b.MergeJoin(ordB, li, "o_orderkey", "l_orderkey",
 		[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
 		[]string{"l_extendedprice", "l_discount"})
-	proj := engine.NewProject(s, mj, "Q3/proj",
+	proj := mj.Project(
 		engine.Keep("o_orderkey", 0),
 		engine.Keep("o_orderdate", 1),
 		engine.Keep("o_shippriority", 2),
 		engine.ProjExpr{Name: "rev", Expr: revenue(mj, "l_extendedprice", "l_discount")},
 	)
-	agg := engine.NewHashAgg(s, proj, "Q3/agg", []int{0, 1, 2},
-		engine.Agg(engine.AggSum, 3, "revenue"))
-	sorted := engine.NewTopN(s, agg, 10, engine.Desc(3), engine.Asc(1))
-	return run(sorted)
+	agg := proj.Agg([]int{0, 1, 2}, engine.Agg(engine.AggSum, 3, "revenue"))
+	b.Root(agg.TopN(10, engine.Desc(3), engine.Asc(1)))
+	return b
 }
 
-// Q4 is the order-priority check: orders in a quarter having at least one
-// late lineitem (semi join), counted per priority.
-func Q4(db *DB, s *core.Session) (*engine.Table, error) {
-	li := engine.NewScan(s, db.Lineitem, "l_orderkey", "l_commitdate", "l_receiptdate")
-	late := engine.NewSelect(s, li, "Q4/late", engine.CmpCol(1, "<", 2))
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderdate", "o_orderpriority"),
-		"Q4/ord",
-		engine.CmpVal(1, ">=", int(Date(1993, 7, 1))),
-		engine.CmpVal(1, "<", int(Date(1993, 10, 1))))
-	j := semiJoin(s, late, ord, "Q4/j", "l_orderkey", "o_orderkey")
-	agg := engine.NewHashAgg(s, j, "Q4/agg", []int{2},
-		engine.Agg(engine.AggCount, -1, "order_count"))
-	sorted := engine.NewSort(s, agg, engine.Asc(0))
-	return run(sorted)
+// Q3 runs the shipping-priority query.
+func Q3(db *DB, s *core.Session) (*engine.Table, error) { return pure(q3Plan)(db, s) }
+
+// q4Plan is the order-priority check: orders in a quarter having at least
+// one late lineitem (semi join), counted per priority.
+func q4Plan(db *DB) *plan.Builder {
+	b := plan.New("Q4")
+	late := b.Scan(db.Lineitem, "l_orderkey", "l_commitdate", "l_receiptdate").
+		Select(plan.CmpCol(1, "<", 2))
+	ord := b.Scan(db.Orders, "o_orderkey", "o_orderdate", "o_orderpriority").
+		Select(
+			plan.CmpVal(1, ">=", int(Date(1993, 7, 1))),
+			plan.CmpVal(1, "<", int(Date(1993, 10, 1))))
+	j := semiJoin(b, late, ord, "l_orderkey", "o_orderkey")
+	agg := j.Agg([]int{2}, engine.Agg(engine.AggCount, -1, "order_count"))
+	b.Root(agg.Sort(engine.Asc(0)))
+	return b
 }
 
-// Q5 is local-supplier volume in ASIA for 1994: a five-way join with the
-// customer-nation = supplier-nation constraint as a column-column select.
-func Q5(db *DB, s *core.Session) (*engine.Table, error) {
-	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
-		"Q5/region", engine.CmpVal(1, "==", "ASIA"))
-	nat := semiJoin(s, regSel,
-		engine.NewScan(s, db.Nation, "n_nationkey", "n_name", "n_regionkey"),
-		"Q5/j_region", "r_regionkey", "n_regionkey")
-	natTab, err := run(nat)
-	if err != nil {
-		return nil, err
-	}
-	supp := engine.NewHashJoin(s, engine.NewScan(s, natTab),
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
-		"Q5/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
-	suppTab, err := run(supp)
-	if err != nil {
-		return nil, err
-	}
+// Q4 runs the order-priority check.
+func Q4(db *DB, s *core.Session) (*engine.Table, error) { return pure(q4Plan)(db, s) }
 
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
-		"Q5/ord",
-		engine.CmpVal(2, ">=", int(Date(1994, 1, 1))),
-		engine.CmpVal(2, "<", int(Date(1995, 1, 1))))
-	mj := engine.NewMergeJoin(s, ord,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
-		"Q5/mj", "o_orderkey", "l_orderkey",
+// q5Plan is local-supplier volume in ASIA for 1994: a five-way join with
+// the customer-nation = supplier-nation constraint as a column-column
+// select.
+func q5Plan(db *DB) *plan.Builder {
+	b := plan.New("Q5")
+	regSel := b.Scan(db.Region, "r_regionkey", "r_name").
+		Select(plan.CmpVal(1, "==", "ASIA"))
+	nat := semiJoin(b, regSel,
+		b.Scan(db.Nation, "n_nationkey", "n_name", "n_regionkey"),
+		"r_regionkey", "n_regionkey")
+	supp := b.HashJoin(nat,
+		b.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		"n_nationkey", "s_nationkey", []string{"n_name"})
+
+	ord := b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Select(
+			plan.CmpVal(2, ">=", int(Date(1994, 1, 1))),
+			plan.CmpVal(2, "<", int(Date(1995, 1, 1))))
+	mj := b.MergeJoin(ord,
+		b.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		"o_orderkey", "l_orderkey",
 		[]string{"o_custkey"},
 		[]string{"l_suppkey", "l_extendedprice", "l_discount"})
-	j2 := engine.NewHashJoin(s, engine.NewScan(s, suppTab), mj, "Q5/j_supp",
-		"s_suppkey", "l_suppkey", []string{"n_name", "s_nationkey"})
-	j3 := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
-		j2, "Q5/j_cust", "c_custkey", "o_custkey", []string{"c_nationkey"})
-	filt := engine.NewSelect(s, j3, "Q5/samenation",
-		engine.CmpCol(idx(j3, "s_nationkey"), "==", idx(j3, "c_nationkey")))
-	proj := engine.NewProject(s, filt, "Q5/proj",
-		engine.Keep("n_name", idx(filt, "n_name")),
+	j2 := b.HashJoin(supp, mj, "s_suppkey", "l_suppkey", []string{"n_name", "s_nationkey"})
+	j3 := b.HashJoin(
+		b.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		j2, "c_custkey", "o_custkey", []string{"c_nationkey"})
+	filt := j3.Select(plan.CmpCol(j3.Idx("s_nationkey"), "==", j3.Idx("c_nationkey")))
+	proj := filt.Project(
+		engine.Keep("n_name", filt.Idx("n_name")),
 		engine.ProjExpr{Name: "rev", Expr: revenue(filt, "l_extendedprice", "l_discount")})
-	agg := engine.NewHashAgg(s, proj, "Q5/agg", []int{0},
-		engine.Agg(engine.AggSum, 1, "revenue"))
-	sorted := engine.NewSort(s, agg, engine.Desc(1))
-	return run(sorted)
+	agg := proj.Agg([]int{0}, engine.Agg(engine.AggSum, 1, "revenue"))
+	b.Root(agg.Sort(engine.Desc(1)))
+	return b
 }
 
-// Q6 is the forecasting revenue-change query: three selections on one
+// Q5 runs the local-supplier volume query.
+func Q5(db *DB, s *core.Session) (*engine.Table, error) { return pure(q5Plan)(db, s) }
+
+// q6Plan is the forecasting revenue-change query: three selections on one
 // lineitem scan and a global aggregate — the paper's canonical selection-
 // dominated query (the biggest heuristics/adaptivity win in Table 11).
-func Q6(db *DB, s *core.Session) (*engine.Table, error) {
-	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		scan := engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-			"l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
-		sel := engine.NewSelect(fs, scan, "Q6/sel",
-			engine.CmpVal(0, ">=", int(Date(1994, 1, 1))),
-			engine.CmpVal(0, "<", int(Date(1995, 1, 1))),
-			engine.CmpVal(1, ">=", 5),
-			engine.CmpVal(1, "<=", 7),
-			engine.CmpVal(2, "<", 24))
-		return engine.NewProject(fs, sel, "Q6/proj",
-			engine.ProjExpr{Name: "rev", Expr: expr.Div(
-				expr.Mul(col(sel, "l_extendedprice"), col(sel, "l_discount")),
-				&expr.ConstI64{V: 100})}), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	agg := engine.NewHashAgg(s, pipe, "Q6/agg", nil,
-		engine.Agg(engine.AggSum, 0, "revenue"))
-	return run(agg)
+func q6Plan(db *DB) *plan.Builder {
+	b := plan.New("Q6")
+	sel := b.Scan(db.Lineitem, "l_shipdate", "l_discount", "l_quantity", "l_extendedprice").
+		Select(
+			plan.CmpVal(0, ">=", int(Date(1994, 1, 1))),
+			plan.CmpVal(0, "<", int(Date(1995, 1, 1))),
+			plan.CmpVal(1, ">=", 5),
+			plan.CmpVal(1, "<=", 7),
+			plan.CmpVal(2, "<", 24))
+	proj := sel.Project(
+		engine.ProjExpr{Name: "rev", Expr: expr.Div(
+			expr.Mul(sel.Col("l_extendedprice"), sel.Col("l_discount")),
+			&expr.ConstI64{V: 100})})
+	b.Root(proj.Agg(nil, engine.Agg(engine.AggSum, 0, "revenue")))
+	return b
 }
 
-// Q7 is the volume-shipping query between FRANCE and GERMANY, grouped by
-// the shipping year; orders-lineitem runs as the merge join of Figure 4(c).
-func Q7(db *DB, s *core.Session) (*engine.Table, error) {
-	natPair := engine.NewSelect(s, engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
-		"Q7/nations", engine.InStr(1, "FRANCE", "GERMANY"))
-	natTab, err := run(natPair)
-	if err != nil {
-		return nil, err
-	}
-	suppJ := engine.NewHashJoin(s, engine.NewScan(s, natTab),
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
-		"Q7/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
-	suppTab, err := run(suppJ)
-	if err != nil {
-		return nil, err
-	}
-	suppTab = engine.Rename(suppTab, map[string]string{"n_name": "supp_nation"})
-	custJ := engine.NewHashJoin(s, engine.NewScan(s, natTab),
-		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
-		"Q7/j_custnat", "n_nationkey", "c_nationkey", []string{"n_name"})
-	custTab, err := run(custJ)
-	if err != nil {
-		return nil, err
-	}
-	custTab = engine.Rename(custTab, map[string]string{"n_name": "cust_nation"})
+// Q6 runs the forecasting revenue-change query.
+func Q6(db *DB, s *core.Session) (*engine.Table, error) { return pure(q6Plan)(db, s) }
 
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
-		"Q7/li",
-		engine.CmpVal(4, ">=", int(Date(1995, 1, 1))),
-		engine.CmpVal(4, "<=", int(Date(1996, 12, 31))))
-	mj := engine.NewMergeJoin(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey"),
-		li, "Q7/mj", "o_orderkey", "l_orderkey",
+// q7Plan is the volume-shipping query between FRANCE and GERMANY, grouped
+// by the shipping year; orders-lineitem runs as the merge join of
+// Figure 4(c). The nation pair is a shared subtree feeding both the
+// supplier and the customer joins; renames are projections.
+func q7Plan(db *DB) *plan.Builder {
+	b := plan.New("Q7")
+	natPair := b.Scan(db.Nation, "n_nationkey", "n_name").
+		Select(plan.InStr(1, "FRANCE", "GERMANY"))
+	suppJ := b.HashJoin(natPair,
+		b.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		"n_nationkey", "s_nationkey", []string{"n_name"})
+	suppRen := suppJ.Project(
+		engine.Keep("s_suppkey", 0),
+		engine.Keep("s_nationkey", 1),
+		engine.Keep("supp_nation", 2))
+	custJ := b.HashJoin(natPair,
+		b.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		"n_nationkey", "c_nationkey", []string{"n_name"})
+	custRen := custJ.Project(
+		engine.Keep("c_custkey", 0),
+		engine.Keep("c_nationkey", 1),
+		engine.Keep("cust_nation", 2))
+
+	li := b.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Select(
+			plan.CmpVal(4, ">=", int(Date(1995, 1, 1))),
+			plan.CmpVal(4, "<=", int(Date(1996, 12, 31))))
+	mj := b.MergeJoin(
+		b.Scan(db.Orders, "o_orderkey", "o_custkey"),
+		li, "o_orderkey", "l_orderkey",
 		[]string{"o_custkey"},
 		[]string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"})
-	j1 := engine.NewHashJoin(s, engine.NewScan(s, suppTab), mj, "Q7/j_supp",
-		"s_suppkey", "l_suppkey", []string{"supp_nation"})
-	j2 := engine.NewHashJoin(s, engine.NewScan(s, custTab), j1, "Q7/j_cust",
-		"c_custkey", "o_custkey", []string{"cust_nation"})
-	pairSel := engine.NewSelect(s, j2, "Q7/pair",
-		engine.CmpCol(idx(j2, "supp_nation"), "!=", idx(j2, "cust_nation")))
-	proj := engine.NewProject(s, pairSel, "Q7/proj",
-		engine.Keep("supp_nation", idx(pairSel, "supp_nation")),
-		engine.Keep("cust_nation", idx(pairSel, "cust_nation")),
+	j1 := b.HashJoin(suppRen, mj, "s_suppkey", "l_suppkey", []string{"supp_nation"})
+	j2 := b.HashJoin(custRen, j1, "c_custkey", "o_custkey", []string{"cust_nation"})
+	pairSel := j2.Select(plan.CmpCol(j2.Idx("supp_nation"), "!=", j2.Idx("cust_nation")))
+	proj := pairSel.Project(
+		engine.Keep("supp_nation", pairSel.Idx("supp_nation")),
+		engine.Keep("cust_nation", pairSel.Idx("cust_nation")),
 		engine.ProjExpr{Name: "l_year", Expr: yearOf(pairSel, "l_shipdate")},
 		engine.ProjExpr{Name: "volume", Expr: revenue(pairSel, "l_extendedprice", "l_discount")})
-	agg := engine.NewHashAgg(s, proj, "Q7/agg", []int{0, 1, 2},
-		engine.Agg(engine.AggSum, 3, "revenue"))
-	sorted := engine.NewSort(s, agg, engine.Asc(0), engine.Asc(1), engine.Asc(2))
-	return run(sorted)
+	agg := proj.Agg([]int{0, 1, 2}, engine.Agg(engine.AggSum, 3, "revenue"))
+	b.Root(agg.Sort(engine.Asc(0), engine.Asc(1), engine.Asc(2)))
+	return b
 }
 
-// Q8 is national market share: BRAZIL's fraction of AMERICA's ECONOMY
-// ANODIZED STEEL volume per year, via an indicator CASE expression.
-func Q8(db *DB, s *core.Session) (*engine.Table, error) {
-	partSel := engine.NewSelect(s, engine.NewScan(s, db.Part, "p_partkey", "p_type"),
-		"Q8/part", engine.CmpVal(1, "==", "ECONOMY ANODIZED STEEL"))
-	li := semiJoin(s, partSel,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"),
-		"Q8/j_part", "p_partkey", "l_partkey")
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
-		"Q8/ord",
-		engine.CmpVal(2, ">=", int(Date(1995, 1, 1))),
-		engine.CmpVal(2, "<=", int(Date(1996, 12, 31))))
-	mj := engine.NewMergeJoin(s, ord, li, "Q8/mj", "o_orderkey", "l_orderkey",
+// Q7 runs the volume-shipping query.
+func Q7(db *DB, s *core.Session) (*engine.Table, error) { return pure(q7Plan)(db, s) }
+
+// q8Plan is national market share: BRAZIL's fraction of AMERICA's ECONOMY
+// ANODIZED STEEL volume per year, via an indicator CASE expression; the
+// final share division is a delivery step in Q8.
+func q8Plan(db *DB) *plan.Builder {
+	b := plan.New("Q8")
+	partSel := b.Scan(db.Part, "p_partkey", "p_type").
+		Select(plan.CmpVal(1, "==", "ECONOMY ANODIZED STEEL"))
+	li := semiJoin(b, partSel,
+		b.Scan(db.Lineitem, "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		"p_partkey", "l_partkey")
+	ord := b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Select(
+			plan.CmpVal(2, ">=", int(Date(1995, 1, 1))),
+			plan.CmpVal(2, "<=", int(Date(1996, 12, 31))))
+	mj := b.MergeJoin(ord, li, "o_orderkey", "l_orderkey",
 		[]string{"o_custkey", "o_orderdate"},
 		[]string{"l_suppkey", "l_extendedprice", "l_discount"})
 
-	regSel := engine.NewSelect(s, engine.NewScan(s, db.Region, "r_regionkey", "r_name"),
-		"Q8/region", engine.CmpVal(1, "==", "AMERICA"))
-	natAm := semiJoin(s, regSel,
-		engine.NewScan(s, db.Nation, "n_nationkey", "n_regionkey"),
-		"Q8/j_region", "r_regionkey", "n_regionkey")
-	natAmTab, err := run(natAm)
-	if err != nil {
-		return nil, err
-	}
-	custAm := semiJoin(s, engine.NewScan(s, natAmTab),
-		engine.NewScan(s, db.Customer, "c_custkey", "c_nationkey"),
-		"Q8/j_custnat", "n_nationkey", "c_nationkey")
-	custAmTab, err := run(custAm)
-	if err != nil {
-		return nil, err
-	}
-	j1 := semiJoin(s, engine.NewScan(s, custAmTab), mj, "Q8/j_cust", "c_custkey", "o_custkey")
+	regSel := b.Scan(db.Region, "r_regionkey", "r_name").
+		Select(plan.CmpVal(1, "==", "AMERICA"))
+	natAm := semiJoin(b, regSel,
+		b.Scan(db.Nation, "n_nationkey", "n_regionkey"),
+		"r_regionkey", "n_regionkey")
+	custAm := semiJoin(b, natAm,
+		b.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		"n_nationkey", "c_nationkey")
+	j1 := semiJoin(b, custAm, mj, "c_custkey", "o_custkey")
 
-	suppNat := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
-		"Q8/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
-	suppNatTab, err := run(suppNat)
-	if err != nil {
-		return nil, err
-	}
-	j2 := engine.NewHashJoin(s, engine.NewScan(s, suppNatTab), j1, "Q8/j_supp",
-		"s_suppkey", "l_suppkey", []string{"n_name"})
+	suppNat := b.HashJoin(
+		b.Scan(db.Nation, "n_nationkey", "n_name"),
+		b.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		"n_nationkey", "s_nationkey", []string{"n_name"})
+	j2 := b.HashJoin(suppNat, j1, "s_suppkey", "l_suppkey", []string{"n_name"})
 
 	vol := revenue(j2, "l_extendedprice", "l_discount")
-	proj := engine.NewProject(s, j2, "Q8/proj",
+	proj := j2.Project(
 		engine.ProjExpr{Name: "o_year", Expr: yearOf(j2, "o_orderdate")},
 		engine.ProjExpr{Name: "volume", Expr: vol},
 		engine.ProjExpr{Name: "brazil_volume", Expr: expr.Mul(
-			&expr.CaseEqStr{Col: col(j2, "n_name"), Value: "BRAZIL", Then: 1, Else: 0},
+			&expr.CaseEqStr{Col: j2.Col("n_name"), Value: "BRAZIL", Then: 1, Else: 0},
 			vol)})
-	agg := engine.NewHashAgg(s, proj, "Q8/agg", []int{0},
+	agg := proj.Agg([]int{0},
 		engine.Agg(engine.AggSum, 2, "brazil_volume"),
 		engine.Agg(engine.AggSum, 1, "total_volume"))
-	aggTab, err := run(engine.NewSort(s, agg, engine.Asc(0)))
+	b.NamedRoot("agg", agg.Sort(engine.Asc(0)))
+	return b
+}
+
+// Q8 runs the national market-share query: the plan delivers per-year
+// brazil/total volumes, and the share division happens in the delivery
+// step.
+func Q8(db *DB, s *core.Session) (*engine.Table, error) {
+	b := q8Plan(db)
+	aggTab, err := b.Bind(s).Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}
-	// Final share = brazil/total per year, computed in the delivery step.
 	years := aggTab.Col("o_year").I64()[:aggTab.Rows()]
 	br := aggTab.Col("brazil_volume").I64()[:aggTab.Rows()]
 	tot := aggTab.Col("total_volume").I64()[:aggTab.Rows()]

@@ -6,19 +6,21 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/expr"
+	"microadapt/internal/plan"
 	"microadapt/internal/vector"
 )
 
-// Q9 is product-type profit measure: %green% parts, the two-column
+// q9Plan is product-type profit measure: %green% parts, the two-column
 // partsupp join packed into one int64 key, profit per nation and year.
-func Q9(db *DB, s *core.Session) (*engine.Table, error) {
-	partSel := engine.NewSelect(s, engine.NewScan(s, db.Part, "p_partkey", "p_name"),
-		"Q9/part", engine.Like(1, "%green%"))
-	li := semiJoin(s, partSel,
-		engine.NewScan(s, db.Lineitem,
+func q9Plan(db *DB) *plan.Builder {
+	b := plan.New("Q9")
+	partSel := b.Scan(db.Part, "p_partkey", "p_name").
+		Select(plan.Like(1, "%green%"))
+	li := semiJoin(b, partSel,
+		b.Scan(db.Lineitem,
 			"l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"),
-		"Q9/j_part", "p_partkey", "l_partkey")
-	liPacked := engine.NewProject(s, li, "Q9/pack",
+		"p_partkey", "l_partkey")
+	liPacked := li.Project(
 		engine.Keep("l_orderkey", 0),
 		engine.Keep("l_suppkey", 2),
 		engine.Keep("l_quantity", 3),
@@ -26,171 +28,165 @@ func Q9(db *DB, s *core.Session) (*engine.Table, error) {
 		engine.Keep("l_discount", 5),
 		engine.ProjExpr{Name: "ps_key", Expr: packKey(li, "l_partkey", "l_suppkey")})
 
-	psScan := engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
-	psPacked := engine.NewProject(s, psScan, "Q9/pspack",
+	psScan := b.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
+	psPacked := psScan.Project(
 		engine.ProjExpr{Name: "ps_key", Expr: packKey(psScan, "ps_partkey", "ps_suppkey")},
 		engine.Keep("ps_supplycost", 2))
-	j1 := engine.NewHashJoin(s, psPacked, liPacked, "Q9/j_ps", "ps_key", "ps_key",
-		[]string{"ps_supplycost"})
+	j1 := b.HashJoin(psPacked, liPacked, "ps_key", "ps_key", []string{"ps_supplycost"})
 
-	mj := engine.NewMergeJoin(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderdate"),
-		j1, "Q9/mj", "o_orderkey", "l_orderkey",
+	mj := b.MergeJoin(
+		b.Scan(db.Orders, "o_orderkey", "o_orderdate"),
+		j1, "o_orderkey", "l_orderkey",
 		[]string{"o_orderdate"},
 		[]string{"l_suppkey", "l_quantity", "l_extendedprice", "l_discount", "ps_supplycost"})
 
-	suppNat := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_nationkey"),
-		"Q9/j_suppnat", "n_nationkey", "s_nationkey", []string{"n_name"})
-	suppNatTab, err := run(suppNat)
-	if err != nil {
-		return nil, err
-	}
-	j2 := engine.NewHashJoin(s, engine.NewScan(s, suppNatTab), mj, "Q9/j_supp",
-		"s_suppkey", "l_suppkey", []string{"n_name"})
+	suppNat := b.HashJoin(
+		b.Scan(db.Nation, "n_nationkey", "n_name"),
+		b.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		"n_nationkey", "s_nationkey", []string{"n_name"})
+	j2 := b.HashJoin(suppNat, mj, "s_suppkey", "l_suppkey", []string{"n_name"})
 
 	amount := expr.Sub(
 		revenue(j2, "l_extendedprice", "l_discount"),
-		expr.Mul(col(j2, "ps_supplycost"), expr.ToI64(col(j2, "l_quantity"))))
-	proj := engine.NewProject(s, j2, "Q9/proj",
-		engine.Keep("nation", idx(j2, "n_name")),
+		expr.Mul(j2.Col("ps_supplycost"), expr.ToI64(j2.Col("l_quantity"))))
+	proj := j2.Project(
+		engine.Keep("nation", j2.Idx("n_name")),
 		engine.ProjExpr{Name: "o_year", Expr: yearOf(j2, "o_orderdate")},
 		engine.ProjExpr{Name: "amount", Expr: amount})
-	agg := engine.NewHashAgg(s, proj, "Q9/agg", []int{0, 1},
-		engine.Agg(engine.AggSum, 2, "sum_profit"))
-	sorted := engine.NewSort(s, agg, engine.Asc(0), engine.Desc(1))
-	return run(sorted)
+	agg := proj.Agg([]int{0, 1}, engine.Agg(engine.AggSum, 2, "sum_profit"))
+	b.Root(agg.Sort(engine.Asc(0), engine.Desc(1)))
+	return b
 }
 
-// Q10 is returned-item reporting: revenue lost to returns per customer in
-// a quarter, top 20.
-func Q10(db *DB, s *core.Session) (*engine.Table, error) {
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
-		"Q10/ord",
-		engine.CmpVal(2, ">=", int(Date(1993, 10, 1))),
-		engine.CmpVal(2, "<", int(Date(1994, 1, 1))))
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"),
-		"Q10/li", engine.CmpVal(3, "==", "R"))
-	mj := engine.NewMergeJoin(s, ord, li, "Q10/mj", "o_orderkey", "l_orderkey",
+// Q9 runs the product-type profit query.
+func Q9(db *DB, s *core.Session) (*engine.Table, error) { return pure(q9Plan)(db, s) }
+
+// q10Plan is returned-item reporting: revenue lost to returns per customer
+// in a quarter, top 20.
+func q10Plan(db *DB) *plan.Builder {
+	b := plan.New("Q10")
+	ord := b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Select(
+			plan.CmpVal(2, ">=", int(Date(1993, 10, 1))),
+			plan.CmpVal(2, "<", int(Date(1994, 1, 1))))
+	li := b.Scan(db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_returnflag").
+		Select(plan.CmpVal(3, "==", "R"))
+	mj := b.MergeJoin(ord, li, "o_orderkey", "l_orderkey",
 		[]string{"o_custkey"},
 		[]string{"l_extendedprice", "l_discount"})
-	proj := engine.NewProject(s, mj, "Q10/proj",
+	proj := mj.Project(
 		engine.Keep("o_custkey", 0),
 		engine.ProjExpr{Name: "rev", Expr: revenue(mj, "l_extendedprice", "l_discount")})
-	agg := engine.NewHashAgg(s, proj, "Q10/agg", []int{0},
-		engine.Agg(engine.AggSum, 1, "revenue"))
-	j := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Customer, "c_custkey", "c_name", "c_acctbal", "c_nationkey", "c_phone"),
-		agg, "Q10/j_cust", "c_custkey", "o_custkey",
+	agg := proj.Agg([]int{0}, engine.Agg(engine.AggSum, 1, "revenue"))
+	j := b.HashJoin(
+		b.Scan(db.Customer, "c_custkey", "c_name", "c_acctbal", "c_nationkey", "c_phone"),
+		agg, "c_custkey", "o_custkey",
 		[]string{"c_name", "c_acctbal", "c_nationkey", "c_phone"})
-	j2 := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Nation, "n_nationkey", "n_name"),
-		j, "Q10/j_nat", "n_nationkey", "c_nationkey", []string{"n_name"})
-	sorted := engine.NewTopN(s, j2, 20, engine.Desc(idx(j2, "revenue")))
-	return run(sorted)
+	j2 := b.HashJoin(
+		b.Scan(db.Nation, "n_nationkey", "n_name"),
+		j, "n_nationkey", "c_nationkey", []string{"n_name"})
+	b.Root(j2.TopN(20, engine.Desc(j2.Idx("revenue"))))
+	return b
 }
 
-// Q11 is important-stock identification in GERMANY with the HAVING
-// threshold computed as a scalar sub-aggregate.
-func Q11(db *DB, s *core.Session) (*engine.Table, error) {
-	suppDE := nationFilteredSuppliers(db, s, "Q11", "GERMANY")
-	ps := engine.NewHashJoin(s, suppDE,
-		engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"),
-		"Q11/j_supp", "s_suppkey", "ps_suppkey", nil, engine.WithKind(engine.SemiJoin))
-	proj := engine.NewProject(s, ps, "Q11/proj",
+// Q10 runs the returned-item reporting query.
+func Q10(db *DB, s *core.Session) (*engine.Table, error) { return pure(q10Plan)(db, s) }
+
+// q11Plan is important-stock identification in GERMANY. The HAVING
+// threshold is a scalar subplan inside the plan: the shared value
+// projection is materialized once, the global sum resolves to a constant
+// (divided by 10000), and the per-part aggregate filters against it.
+func q11Plan(db *DB) *plan.Builder {
+	b := plan.New("Q11")
+	suppDE := nationFilteredSuppliers(b, db, "GERMANY")
+	ps := b.SemiJoin(suppDE,
+		b.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"),
+		"s_suppkey", "ps_suppkey")
+	proj := ps.Project(
 		engine.Keep("ps_partkey", 0),
 		engine.ProjExpr{Name: "value", Expr: expr.Mul(
-			col(ps, "ps_supplycost"), expr.ToI64(col(ps, "ps_availqty")))})
-	valTab, err := run(proj)
-	if err != nil {
-		return nil, err
-	}
-	totalAgg, err := run(engine.NewHashAgg(s, engine.NewScan(s, valTab), "Q11/total", nil,
-		engine.Agg(engine.AggSum, 1, "total")))
-	if err != nil {
-		return nil, err
-	}
-	threshold := scalarI64(totalAgg, "total") / 10000 // fraction 0.0001
-	perPart := engine.NewHashAgg(s, engine.NewScan(s, valTab), "Q11/agg", []int{0},
-		engine.Agg(engine.AggSum, 1, "value"))
-	sel := engine.NewSelect(s, perPart, "Q11/having",
-		engine.CmpVal(1, ">", int(threshold)))
-	sorted := engine.NewSort(s, sel, engine.Desc(1))
-	return run(sorted)
+			ps.Col("ps_supplycost"), expr.ToI64(ps.Col("ps_availqty")))})
+	totalAgg := proj.Agg(nil, engine.Agg(engine.AggSum, 1, "total"))
+	perPart := proj.Agg([]int{0}, engine.Agg(engine.AggSum, 1, "value"))
+	sel := perPart.Select(
+		plan.CmpScalar(1, ">", plan.ScalarOf(totalAgg, "total").DivBy(10000)))
+	b.Root(sel.Sort(engine.Desc(1)))
+	return b
 }
 
-// Q12 is the shipping-modes query of Figure 2: the receiptdate range
+// Q11 runs the important-stock query.
+func Q11(db *DB, s *core.Session) (*engine.Table, error) { return pure(q11Plan)(db, s) }
+
+// q12Plan is the shipping-modes query of Figure 2: the receiptdate range
 // selection runs over date-clustered lineitem, so its selectivity is ~0,
 // then ~100%, then drops — the non-stationary case that motivates
-// vw-greedy. orders-lineitem is the merge join of Figure 4(d).
-func Q12(db *DB, s *core.Session) (*engine.Table, error) {
-	// The receiptdate range predicates run first over the date-clustered
-	// scan (as Vectorwise's clustered range selection would), giving the
-	// second one the ~100%-then-collapse selectivity profile of Figure 2.
-	// Partitioned, every morsel reproduces that profile on its own range.
-	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		return engine.NewSelect(fs,
-			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-				"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"),
-			"Q12/li",
-			engine.CmpVal(4, ">=", int(Date(1994, 1, 1))),
-			engine.CmpVal(4, "<", int(Date(1995, 1, 1))),
-			engine.InStr(1, "MAIL", "SHIP"),
-			engine.CmpCol(3, "<", 4),
-			engine.CmpCol(2, "<", 3)), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	mj := engine.NewMergeJoin(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderpriority"),
-		li, "Q12/mj", "o_orderkey", "l_orderkey",
+// vw-greedy. orders-lineitem is the merge join of Figure 4(d). Partitioned,
+// every morsel reproduces that profile on its own range.
+func q12Plan(db *DB) *plan.Builder {
+	b := plan.New("Q12")
+	li := b.Scan(db.Lineitem,
+		"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate").
+		Select(
+			plan.CmpVal(4, ">=", int(Date(1994, 1, 1))),
+			plan.CmpVal(4, "<", int(Date(1995, 1, 1))),
+			plan.InStr(1, "MAIL", "SHIP"),
+			plan.CmpCol(3, "<", 4),
+			plan.CmpCol(2, "<", 3))
+	mj := b.MergeJoin(
+		b.Scan(db.Orders, "o_orderkey", "o_orderpriority"),
+		li, "o_orderkey", "l_orderkey",
 		[]string{"o_orderpriority"},
 		[]string{"l_shipmode"})
-	proj := engine.NewProject(s, mj, "Q12/proj",
+	proj := mj.Project(
 		engine.Keep("l_shipmode", 1),
 		engine.ProjExpr{Name: "high_line", Expr: &expr.CaseInStr{
-			Col: col(mj, "o_orderpriority"), Values: []string{"1-URGENT", "2-HIGH"}, Then: 1, Else: 0}},
+			Col: mj.Col("o_orderpriority"), Values: []string{"1-URGENT", "2-HIGH"}, Then: 1, Else: 0}},
 		engine.ProjExpr{Name: "low_line", Expr: &expr.CaseInStr{
-			Col: col(mj, "o_orderpriority"), Values: []string{"1-URGENT", "2-HIGH"}, Then: 0, Else: 1}})
-	agg := engine.NewHashAgg(s, proj, "Q12/agg", []int{0},
+			Col: mj.Col("o_orderpriority"), Values: []string{"1-URGENT", "2-HIGH"}, Then: 0, Else: 1}})
+	agg := proj.Agg([]int{0},
 		engine.Agg(engine.AggSum, 1, "high_line_count"),
 		engine.Agg(engine.AggSum, 2, "low_line_count"))
-	sorted := engine.NewSort(s, agg, engine.Asc(0))
-	return run(sorted)
+	b.Root(agg.Sort(engine.Asc(0)))
+	return b
 }
 
-// Q13 is customer order-count distribution including zero-order customers
-// (the outer join expressed as aggregate + anti join).
+// Q12 runs the shipping-modes query.
+func Q12(db *DB, s *core.Session) (*engine.Table, error) { return pure(q12Plan)(db, s) }
+
+// q13Plan is customer order-count distribution. The per-customer aggregate
+// is shared by the distribution root and by the anti join counting
+// zero-order customers; the zero bucket and the final ordering are a
+// delivery step in Q13.
+func q13Plan(db *DB) *plan.Builder {
+	b := plan.New("Q13")
+	ord := b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_comment").
+		Select(plan.NotLike(2, "%special%requests%"))
+	perCust := ord.Agg([]int{1}, engine.Agg(engine.AggCount, -1, "c_count"))
+	dist := perCust.Agg([]int{1}, engine.Agg(engine.AggCount, -1, "custdist"))
+	b.NamedRoot("dist", dist)
+	anti := b.AntiJoin(perCust,
+		b.Scan(db.Customer, "c_custkey"),
+		"o_custkey", "c_custkey")
+	zero := anti.Agg(nil, engine.Agg(engine.AggCount, -1, "n"))
+	b.NamedRoot("zero", zero)
+	return b
+}
+
+// Q13 runs the order-count distribution query: both plan roots share the
+// per-customer aggregate, and the zero-order bucket plus the distribution
+// ordering are assembled in the delivery step.
 func Q13(db *DB, s *core.Session) (*engine.Table, error) {
-	ord := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_comment"),
-		"Q13/ord", engine.NotLike(2, "%special%requests%"))
-	perCust := engine.NewHashAgg(s, ord, "Q13/percust", []int{1},
-		engine.Agg(engine.AggCount, -1, "c_count"))
-	perCustTab, err := run(perCust)
+	b := q13Plan(db)
+	ex := b.Bind(s)
+	roots := b.Roots()
+	distTab, err := ex.Run(roots[0].Node)
 	if err != nil {
 		return nil, err
 	}
-	dist := engine.NewHashAgg(s, engine.NewScan(s, perCustTab), "Q13/dist", []int{1},
-		engine.Agg(engine.AggCount, -1, "custdist"))
-	distTab, err := run(dist)
+	zeros, err := ex.ScalarI64(roots[1].Node, "n")
 	if err != nil {
 		return nil, err
 	}
-	// Customers with no (qualifying) orders form the c_count = 0 bucket.
-	anti := engine.NewHashJoin(s, engine.NewScan(s, perCustTab),
-		engine.NewScan(s, db.Customer, "c_custkey"),
-		"Q13/anti", "o_custkey", "c_custkey", nil, engine.WithKind(engine.AntiJoin))
-	zeroAgg, err := run(engine.NewHashAgg(s, anti, "Q13/zero", nil,
-		engine.Agg(engine.AggCount, -1, "n")))
-	if err != nil {
-		return nil, err
-	}
-	zeros := scalarI64(zeroAgg, "n")
 
 	counts := append([]int64(nil), distTab.Col("c_count").I64()[:distTab.Rows()]...)
 	dists := append([]int64(nil), distTab.Col("custdist").I64()[:distTab.Rows()]...)
@@ -220,34 +216,37 @@ func Q13(db *DB, s *core.Session) (*engine.Table, error) {
 	}, []*vector.Vector{vector.FromI64(oc), vector.FromI64(od)}), nil
 }
 
-// Q14 is promotion effect: the share of promo-part revenue in a month.
-// Its shipdate selection is the Figure 11(a) instance.
-func Q14(db *DB, s *core.Session) (*engine.Table, error) {
-	li, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		return engine.NewSelect(fs,
-			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-				"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"),
-			"Q14/li",
-			engine.CmpVal(3, ">=", int(Date(1995, 9, 1))),
-			engine.CmpVal(3, "<", int(Date(1995, 10, 1)))), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	j := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Part, "p_partkey", "p_type"),
-		li, "Q14/j_part", "p_partkey", "l_partkey", []string{"p_type"})
+// q14Plan is promotion effect: the share of promo-part revenue in a month.
+// Its shipdate selection is the Figure 11(a) instance; the share division
+// is a delivery step in Q14.
+func q14Plan(db *DB) *plan.Builder {
+	b := plan.New("Q14")
+	li := b.Scan(db.Lineitem, "l_partkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Select(
+			plan.CmpVal(3, ">=", int(Date(1995, 9, 1))),
+			plan.CmpVal(3, "<", int(Date(1995, 10, 1))))
+	j := b.HashJoin(
+		b.Scan(db.Part, "p_partkey", "p_type"),
+		li, "p_partkey", "l_partkey", []string{"p_type"})
 	rev := revenue(j, "l_extendedprice", "l_discount")
-	proj := engine.NewProject(s, j, "Q14/proj",
+	proj := j.Project(
 		engine.ProjExpr{Name: "rev", Expr: rev},
 		engine.ProjExpr{Name: "promo_rev", Expr: expr.Mul(
-			&expr.CaseLikeStr{Col: col(j, "p_type"), Match: func(v string) bool {
+			&expr.CaseLikeStr{Col: j.Col("p_type"), Match: func(v string) bool {
 				return len(v) >= 5 && v[:5] == "PROMO"
 			}, Then: 1, Else: 0},
 			rev)})
-	agg, err := run(engine.NewHashAgg(s, proj, "Q14/agg", nil,
+	agg := proj.Agg(nil,
 		engine.Agg(engine.AggSum, 1, "promo"),
-		engine.Agg(engine.AggSum, 0, "total")))
+		engine.Agg(engine.AggSum, 0, "total"))
+	b.NamedRoot("agg", agg)
+	return b
+}
+
+// Q14 runs the promotion-effect query.
+func Q14(db *DB, s *core.Session) (*engine.Table, error) {
+	b := q14Plan(db)
+	agg, err := b.Bind(s).Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}
@@ -260,65 +259,55 @@ func Q14(db *DB, s *core.Session) (*engine.Table, error) {
 		vector.Schema{{Name: "promo_revenue", Type: vector.F64}}, share), nil
 }
 
-// Q15 is top supplier: suppliers achieving the maximum quarterly revenue.
-func Q15(db *DB, s *core.Session) (*engine.Table, error) {
-	pipe, err := partitioned(s, db.Lineitem, func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		li := engine.NewSelect(fs,
-			engine.NewRangeScan(fs, db.Lineitem, m.Lo, m.Hi,
-				"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
-			"Q15/li",
-			engine.CmpVal(3, ">=", int(Date(1996, 1, 1))),
-			engine.CmpVal(3, "<", int(Date(1996, 4, 1))))
-		return engine.NewProject(fs, li, "Q15/proj",
-			engine.Keep("l_suppkey", 0),
-			engine.ProjExpr{Name: "rev", Expr: revenue(li, "l_extendedprice", "l_discount")}), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	revAgg := engine.NewHashAgg(s, pipe, "Q15/agg", []int{0},
-		engine.Agg(engine.AggSum, 1, "total_revenue"))
-	revTab, err := run(revAgg)
-	if err != nil {
-		return nil, err
-	}
-	maxAgg, err := run(engine.NewHashAgg(s, engine.NewScan(s, revTab), "Q15/max", nil,
-		engine.Agg(engine.AggMax, 1, "max_rev")))
-	if err != nil {
-		return nil, err
-	}
-	maxRev := scalarI64(maxAgg, "max_rev")
-	best := engine.NewSelect(s, engine.NewScan(s, revTab), "Q15/best",
-		engine.CmpVal(1, "==", int(maxRev)))
-	j := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_name", "s_phone"),
-		best, "Q15/j_supp", "s_suppkey", "l_suppkey", []string{"s_name", "s_phone"})
-	sorted := engine.NewSort(s, j, engine.Asc(0))
-	return run(sorted)
+// q15Plan is top supplier: suppliers achieving the maximum quarterly
+// revenue. The per-supplier revenue aggregate is shared by the max subplan
+// and the best-supplier filter, whose constant is the max as an in-plan
+// scalar.
+func q15Plan(db *DB) *plan.Builder {
+	b := plan.New("Q15")
+	li := b.Scan(db.Lineitem, "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Select(
+			plan.CmpVal(3, ">=", int(Date(1996, 1, 1))),
+			plan.CmpVal(3, "<", int(Date(1996, 4, 1))))
+	proj := li.Project(
+		engine.Keep("l_suppkey", 0),
+		engine.ProjExpr{Name: "rev", Expr: revenue(li, "l_extendedprice", "l_discount")})
+	revAgg := proj.Agg([]int{0}, engine.Agg(engine.AggSum, 1, "total_revenue"))
+	maxAgg := revAgg.Agg(nil, engine.Agg(engine.AggMax, 1, "max_rev"))
+	best := revAgg.Select(
+		plan.CmpScalar(1, "==", plan.ScalarOf(maxAgg, "max_rev")))
+	j := b.HashJoin(
+		b.Scan(db.Supplier, "s_suppkey", "s_name", "s_phone"),
+		best, "s_suppkey", "l_suppkey", []string{"s_name", "s_phone"})
+	b.Root(j.Sort(engine.Asc(0)))
+	return b
 }
 
-// Q16 is parts/supplier relationship: distinct supplier counts per
+// Q15 runs the top-supplier query.
+func Q15(db *DB, s *core.Session) (*engine.Table, error) { return pure(q15Plan)(db, s) }
+
+// q16Plan is parts/supplier relationship: distinct supplier counts per
 // (brand, type, size) excluding complained-about suppliers.
-func Q16(db *DB, s *core.Session) (*engine.Table, error) {
-	partSel := engine.NewSelect(s,
-		engine.NewScan(s, db.Part, "p_partkey", "p_brand", "p_type", "p_size"),
-		"Q16/part",
-		engine.CmpVal(1, "!=", "Brand#45"),
-		engine.NotLike(2, "MEDIUM POLISHED%"),
-		engine.InI32(3, 49, 14, 23, 45, 19, 3, 36, 9))
-	j := engine.NewHashJoin(s, partSel,
-		engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey"),
-		"Q16/j_part", "p_partkey", "ps_partkey", []string{"p_brand", "p_type", "p_size"})
-	badSupp := engine.NewSelect(s,
-		engine.NewScan(s, db.Supplier, "s_suppkey", "s_comment"),
-		"Q16/badsupp", engine.Like(1, "%Customer%Complaints%"))
-	j2 := engine.NewHashJoin(s, badSupp, j, "Q16/anti", "s_suppkey", "ps_suppkey",
-		nil, engine.WithKind(engine.AntiJoin))
-	distinct := engine.NewHashAgg(s, j2, "Q16/distinct",
-		[]int{idx(j2, "p_brand"), idx(j2, "p_type"), idx(j2, "p_size"), idx(j2, "ps_suppkey")},
+func q16Plan(db *DB) *plan.Builder {
+	b := plan.New("Q16")
+	partSel := b.Scan(db.Part, "p_partkey", "p_brand", "p_type", "p_size").
+		Select(
+			plan.CmpVal(1, "!=", "Brand#45"),
+			plan.NotLike(2, "MEDIUM POLISHED%"),
+			plan.InI32(3, 49, 14, 23, 45, 19, 3, 36, 9))
+	j := b.HashJoin(partSel,
+		b.Scan(db.PartSupp, "ps_partkey", "ps_suppkey"),
+		"p_partkey", "ps_partkey", []string{"p_brand", "p_type", "p_size"})
+	badSupp := b.Scan(db.Supplier, "s_suppkey", "s_comment").
+		Select(plan.Like(1, "%Customer%Complaints%"))
+	j2 := b.AntiJoin(badSupp, j, "s_suppkey", "ps_suppkey")
+	distinct := j2.Agg(
+		[]int{j2.Idx("p_brand"), j2.Idx("p_type"), j2.Idx("p_size"), j2.Idx("ps_suppkey")},
 		engine.Agg(engine.AggCount, -1, "n"))
-	cnt := engine.NewHashAgg(s, distinct, "Q16/cnt", []int{0, 1, 2},
-		engine.Agg(engine.AggCount, -1, "supplier_cnt"))
-	sorted := engine.NewSort(s, cnt, engine.Desc(3), engine.Asc(0), engine.Asc(1), engine.Asc(2))
-	return run(sorted)
+	cnt := distinct.Agg([]int{0, 1, 2}, engine.Agg(engine.AggCount, -1, "supplier_cnt"))
+	b.Root(cnt.Sort(engine.Desc(3), engine.Asc(0), engine.Asc(1), engine.Asc(2)))
+	return b
 }
+
+// Q16 runs the parts/supplier relationship query.
+func Q16(db *DB, s *core.Session) (*engine.Table, error) { return pure(q16Plan)(db, s) }

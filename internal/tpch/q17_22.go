@@ -4,39 +4,39 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/expr"
+	"microadapt/internal/plan"
 	"microadapt/internal/vector"
 )
 
-// Q17 is small-quantity-order revenue: lineitems below 20% of their part's
-// average quantity, for one brand/container.
+// q17Plan is small-quantity-order revenue: lineitems below 20% of their
+// part's average quantity, for one brand/container. The brand-filtered
+// lineitems are shared by the per-part average and the join-back probe;
+// the yearly division is a delivery step in Q17.
+func q17Plan(db *DB) *plan.Builder {
+	b := plan.New("Q17")
+	partSel := b.Scan(db.Part, "p_partkey", "p_brand", "p_container").
+		Select(
+			plan.CmpVal(1, "==", "Brand#23"),
+			plan.CmpVal(2, "==", "MED BOX"))
+	li := semiJoin(b, partSel,
+		b.Scan(db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice"),
+		"p_partkey", "l_partkey")
+	avgAgg := li.Agg([]int{0}, engine.Agg(engine.AggAvg, 1, "avg_qty"))
+	j := b.HashJoin(avgAgg, li, "l_partkey", "l_partkey", []string{"avg_qty"})
+	proj := j.Project(
+		engine.Keep("l_extendedprice", j.Idx("l_extendedprice")),
+		engine.ProjExpr{Name: "qty_f", Expr: expr.CastF64(j.Col("l_quantity"))},
+		engine.ProjExpr{Name: "limit_f", Expr: expr.Mul(j.Col("avg_qty"), &expr.ConstF64{V: 0.2})})
+	sel := proj.Select(plan.CmpCol(1, "<", 2))
+	sum := sel.Agg(nil, engine.Agg(engine.AggSum, 0, "sum_price"))
+	b.NamedRoot("sum", sum)
+	return b
+}
+
+// Q17 runs the small-quantity-order revenue query.
 func Q17(db *DB, s *core.Session) (*engine.Table, error) {
-	partSel := engine.NewSelect(s,
-		engine.NewScan(s, db.Part, "p_partkey", "p_brand", "p_container"),
-		"Q17/part",
-		engine.CmpVal(1, "==", "Brand#23"),
-		engine.CmpVal(2, "==", "MED BOX"))
-	li := semiJoin(s, partSel,
-		engine.NewScan(s, db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice"),
-		"Q17/j_part", "p_partkey", "l_partkey")
-	liTab, err := run(li)
-	if err != nil {
-		return nil, err
-	}
-	avgAgg := engine.NewHashAgg(s, engine.NewScan(s, liTab), "Q17/avg", []int{0},
-		engine.Agg(engine.AggAvg, 1, "avg_qty"))
-	avgTab, err := run(avgAgg)
-	if err != nil {
-		return nil, err
-	}
-	j := engine.NewHashJoin(s, engine.NewScan(s, avgTab), engine.NewScan(s, liTab),
-		"Q17/j_back", "l_partkey", "l_partkey", []string{"avg_qty"})
-	proj := engine.NewProject(s, j, "Q17/proj",
-		engine.Keep("l_extendedprice", idx(j, "l_extendedprice")),
-		engine.ProjExpr{Name: "qty_f", Expr: expr.CastF64(col(j, "l_quantity"))},
-		engine.ProjExpr{Name: "limit_f", Expr: expr.Mul(col(j, "avg_qty"), &expr.ConstF64{V: 0.2})})
-	sel := engine.NewSelect(s, proj, "Q17/sel", engine.CmpCol(1, "<", 2))
-	sumAgg, err := run(engine.NewHashAgg(s, sel, "Q17/sum", nil,
-		engine.Agg(engine.AggSum, 0, "sum_price")))
+	b := q17Plan(db)
+	sumAgg, err := b.Bind(s).Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}
@@ -44,221 +44,185 @@ func Q17(db *DB, s *core.Session) (*engine.Table, error) {
 	return singleRow("q17", vector.Schema{{Name: "avg_yearly", Type: vector.F64}}, yearly), nil
 }
 
-// Q18 is large-volume customers: orders whose total quantity exceeds 300.
-func Q18(db *DB, s *core.Session) (*engine.Table, error) {
-	perOrder := engine.NewHashAgg(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_quantity"),
-		"Q18/perorder", []int{0},
-		engine.Agg(engine.AggSum, 1, "sum_qty"))
-	big := engine.NewSelect(s, perOrder, "Q18/big", engine.CmpVal(1, ">", 300))
-	j := engine.NewHashJoin(s, big,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"),
-		"Q18/j_ord", "l_orderkey", "o_orderkey", []string{"sum_qty"})
-	j2 := engine.NewHashJoin(s,
-		engine.NewScan(s, db.Customer, "c_custkey", "c_name"),
-		j, "Q18/j_cust", "c_custkey", "o_custkey", []string{"c_name"})
-	sorted := engine.NewTopN(s, j2, 100,
-		engine.Desc(idx(j2, "o_totalprice")), engine.Asc(idx(j2, "o_orderdate")))
-	return run(sorted)
+// q18Plan is large-volume customers: orders whose total quantity exceeds
+// 300.
+func q18Plan(db *DB) *plan.Builder {
+	b := plan.New("Q18")
+	perOrder := b.Scan(db.Lineitem, "l_orderkey", "l_quantity").
+		Agg([]int{0}, engine.Agg(engine.AggSum, 1, "sum_qty"))
+	big := perOrder.Select(plan.CmpVal(1, ">", 300))
+	j := b.HashJoin(big,
+		b.Scan(db.Orders, "o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"),
+		"l_orderkey", "o_orderkey", []string{"sum_qty"})
+	j2 := b.HashJoin(
+		b.Scan(db.Customer, "c_custkey", "c_name"),
+		j, "c_custkey", "o_custkey", []string{"c_name"})
+	b.Root(j2.TopN(100,
+		engine.Desc(j2.Idx("o_totalprice")), engine.Asc(j2.Idx("o_orderdate"))))
+	return b
 }
 
-// q19Branch computes one disjunct of Q19 (the branches are disjoint by
-// brand, so their revenues add).
-func q19Branch(db *DB, s *core.Session, label, brand string, containers []string, qtyLo, qtyHi, sizeHi int) (int64, error) {
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem,
-			"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipinstruct", "l_shipmode"),
-		label+"/li",
-		engine.InStr(5, "AIR", "REG AIR"),
-		engine.CmpVal(4, "==", "DELIVER IN PERSON"),
-		engine.CmpVal(1, ">=", qtyLo),
-		engine.CmpVal(1, "<=", qtyHi))
-	part := engine.NewSelect(s,
-		engine.NewScan(s, db.Part, "p_partkey", "p_brand", "p_container", "p_size"),
-		label+"/part",
-		engine.CmpVal(1, "==", brand),
-		engine.InStr(2, containers...),
-		engine.CmpVal(3, ">=", 1),
-		engine.CmpVal(3, "<=", sizeHi))
-	j := semiJoin(s, part, li, label+"/j", "p_partkey", "l_partkey")
-	proj := engine.NewProject(s, j, label+"/proj",
+// Q18 runs the large-volume customers query.
+func Q18(db *DB, s *core.Session) (*engine.Table, error) { return pure(q18Plan)(db, s) }
+
+// q19Branch declares one disjunct of Q19 (the branches are disjoint by
+// brand, so their revenues add): a brand/container/quantity-filtered semi
+// join aggregated to a branch revenue root.
+func q19Branch(b *plan.Builder, db *DB, brand string, containers []string, qtyLo, qtyHi, sizeHi int) *plan.Node {
+	li := b.Scan(db.Lineitem,
+		"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipinstruct", "l_shipmode").
+		Select(
+			plan.InStr(5, "AIR", "REG AIR"),
+			plan.CmpVal(4, "==", "DELIVER IN PERSON"),
+			plan.CmpVal(1, ">=", qtyLo),
+			plan.CmpVal(1, "<=", qtyHi))
+	part := b.Scan(db.Part, "p_partkey", "p_brand", "p_container", "p_size").
+		Select(
+			plan.CmpVal(1, "==", brand),
+			plan.InStr(2, containers...),
+			plan.CmpVal(3, ">=", 1),
+			plan.CmpVal(3, "<=", sizeHi))
+	j := semiJoin(b, part, li, "p_partkey", "l_partkey")
+	proj := j.Project(
 		engine.ProjExpr{Name: "rev", Expr: revenue(j, "l_extendedprice", "l_discount")})
-	agg, err := run(engine.NewHashAgg(s, proj, label+"/agg", nil,
-		engine.Agg(engine.AggSum, 0, "revenue")))
-	if err != nil {
-		return 0, err
-	}
-	return scalarI64(agg, "revenue"), nil
+	return proj.Agg(nil, engine.Agg(engine.AggSum, 0, "revenue"))
 }
 
-// Q19 is discounted revenue over three brand/container/quantity disjuncts.
+// q19Plan is discounted revenue over three brand/container/quantity
+// disjuncts, one plan root per branch.
+func q19Plan(db *DB) *plan.Builder {
+	b := plan.New("Q19")
+	b.NamedRoot("b1", q19Branch(b, db, "Brand#12",
+		[]string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5))
+	b.NamedRoot("b2", q19Branch(b, db, "Brand#23",
+		[]string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10))
+	b.NamedRoot("b3", q19Branch(b, db, "Brand#34",
+		[]string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15))
+	return b
+}
+
+// Q19 runs the discounted-revenue query, summing the three branch roots.
 func Q19(db *DB, s *core.Session) (*engine.Table, error) {
-	r1, err := q19Branch(db, s, "Q19/b1", "Brand#12",
-		[]string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5)
-	if err != nil {
-		return nil, err
+	b := q19Plan(db)
+	ex := b.Bind(s)
+	var total int64
+	for _, r := range b.Roots() {
+		v, err := ex.ScalarI64(r.Node, "revenue")
+		if err != nil {
+			return nil, err
+		}
+		total += v
 	}
-	r2, err := q19Branch(db, s, "Q19/b2", "Brand#23",
-		[]string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10)
-	if err != nil {
-		return nil, err
-	}
-	r3, err := q19Branch(db, s, "Q19/b3", "Brand#34",
-		[]string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15)
-	if err != nil {
-		return nil, err
-	}
-	return singleRow("q19", vector.Schema{{Name: "revenue", Type: vector.I64}}, r1+r2+r3), nil
+	return singleRow("q19", vector.Schema{{Name: "revenue", Type: vector.I64}}, total), nil
 }
 
-// Q20 is potential part promotion: suppliers of forest% parts whose
-// availability exceeds half of the year's shipped quantity.
-func Q20(db *DB, s *core.Session) (*engine.Table, error) {
-	partForest := engine.NewSelect(s,
-		engine.NewScan(s, db.Part, "p_partkey", "p_name"),
-		"Q20/part", engine.Like(1, "forest%"))
-	partTab, err := run(partForest)
-	if err != nil {
-		return nil, err
-	}
+// q20Plan is potential part promotion: suppliers of forest% parts whose
+// availability exceeds half of the year's shipped quantity. The forest
+// part list is a shared subtree feeding both semi joins.
+func q20Plan(db *DB) *plan.Builder {
+	b := plan.New("Q20")
+	partForest := b.Scan(db.Part, "p_partkey", "p_name").
+		Select(plan.Like(1, "forest%"))
 
-	li := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_partkey", "l_suppkey", "l_quantity", "l_shipdate"),
-		"Q20/li",
-		engine.CmpVal(3, ">=", int(Date(1994, 1, 1))),
-		engine.CmpVal(3, "<", int(Date(1995, 1, 1))))
-	liForest := semiJoin(s, engine.NewScan(s, partTab), li, "Q20/j_part", "p_partkey", "l_partkey")
-	liPacked := engine.NewProject(s, liForest, "Q20/pack",
+	li := b.Scan(db.Lineitem, "l_partkey", "l_suppkey", "l_quantity", "l_shipdate").
+		Select(
+			plan.CmpVal(3, ">=", int(Date(1994, 1, 1))),
+			plan.CmpVal(3, "<", int(Date(1995, 1, 1))))
+	liForest := semiJoin(b, partForest, li, "p_partkey", "l_partkey")
+	liPacked := liForest.Project(
 		engine.ProjExpr{Name: "ps_key", Expr: packKey(liForest, "l_partkey", "l_suppkey")},
 		engine.Keep("l_quantity", 2))
-	qtyAgg := engine.NewHashAgg(s, liPacked, "Q20/qty", []int{0},
-		engine.Agg(engine.AggSum, 1, "sum_qty"))
-	qtyTab, err := run(qtyAgg)
-	if err != nil {
-		return nil, err
-	}
+	qtyAgg := liPacked.Agg([]int{0}, engine.Agg(engine.AggSum, 1, "sum_qty"))
 
-	psForest := semiJoin(s, engine.NewScan(s, partTab),
-		engine.NewScan(s, db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty"),
-		"Q20/j_ps", "p_partkey", "ps_partkey")
-	psPacked := engine.NewProject(s, psForest, "Q20/pspack",
+	psForest := semiJoin(b, partForest,
+		b.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty"),
+		"p_partkey", "ps_partkey")
+	psPacked := psForest.Project(
 		engine.ProjExpr{Name: "ps_key", Expr: packKey(psForest, "ps_partkey", "ps_suppkey")},
 		engine.Keep("ps_suppkey", 1),
 		engine.ProjExpr{Name: "avail2", Expr: expr.Mul(
-			expr.ToI64(col(psForest, "ps_availqty")), &expr.ConstI64{V: 2})})
-	j := engine.NewHashJoin(s, engine.NewScan(s, qtyTab), psPacked, "Q20/j_qty",
-		"ps_key", "ps_key", []string{"sum_qty"})
-	excess := engine.NewSelect(s, j, "Q20/excess",
-		engine.CmpCol(idx(j, "avail2"), ">", idx(j, "sum_qty")))
-	suppKeys := engine.NewHashAgg(s, excess, "Q20/supps", []int{idx(j, "ps_suppkey")},
+			expr.ToI64(psForest.Col("ps_availqty")), &expr.ConstI64{V: 2})})
+	j := b.HashJoin(qtyAgg, psPacked, "ps_key", "ps_key", []string{"sum_qty"})
+	excess := j.Select(plan.CmpCol(j.Idx("avail2"), ">", j.Idx("sum_qty")))
+	suppKeys := excess.Agg([]int{excess.Idx("ps_suppkey")},
 		engine.Agg(engine.AggCount, -1, "n"))
-	suppKeysTab, err := run(suppKeys)
-	if err != nil {
-		return nil, err
-	}
 
-	suppCA := nationFilteredSuppliers(db, s, "Q20", "CANADA")
-	final := semiJoin(s, engine.NewScan(s, suppKeysTab), suppCA, "Q20/final", "ps_suppkey", "s_suppkey")
-	sorted := engine.NewSort(s, final, engine.Asc(idx(final, "s_name")))
-	return run(sorted)
+	suppCA := nationFilteredSuppliers(b, db, "CANADA")
+	final := semiJoin(b, suppKeys, suppCA, "ps_suppkey", "s_suppkey")
+	b.Root(final.Sort(engine.Asc(final.Idx("s_name"))))
+	return b
 }
 
-// Q21 is suppliers who kept orders waiting: the multi-exists query. Its
-// hash joins carry bloom-filter pre-filters — the sel_bloomfilter
-// primitive of Figure 11(d) and Table 8.
-func Q21(db *DB, s *core.Session) (*engine.Table, error) {
+// Q20 runs the potential part promotion query.
+func Q20(db *DB, s *core.Session) (*engine.Table, error) { return pure(q20Plan)(db, s) }
+
+// q21Plan is suppliers who kept orders waiting: the multi-exists query. Its
+// hash joins carry bloom-filter pre-filters — the sel_bloomfilter primitive
+// of Figure 11(d) and Table 8.
+func q21Plan(db *DB) *plan.Builder {
+	b := plan.New("Q21")
 	// Distinct (orderkey, suppkey) pairs over all lineitems and over the
 	// late lineitems.
-	allPairs := engine.NewHashAgg(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey"),
-		"Q21/allpairs", []int{0, 1},
-		engine.Agg(engine.AggCount, -1, "n"))
-	allPairsTab, err := run(allPairs)
-	if err != nil {
-		return nil, err
-	}
-	cntAll := engine.NewHashAgg(s, engine.NewScan(s, allPairsTab), "Q21/cntall", []int{0},
-		engine.Agg(engine.AggCount, -1, "nsupp"))
-	multiSupp := engine.NewSelect(s, cntAll, "Q21/multi", engine.CmpVal(1, ">=", 2))
+	allPairs := b.Scan(db.Lineitem, "l_orderkey", "l_suppkey").
+		Agg([]int{0, 1}, engine.Agg(engine.AggCount, -1, "n"))
+	cntAll := allPairs.Agg([]int{0}, engine.Agg(engine.AggCount, -1, "nsupp"))
+	multiSupp := cntAll.Select(plan.CmpVal(1, ">=", 2))
 
-	late := engine.NewSelect(s,
-		engine.NewScan(s, db.Lineitem, "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
-		"Q21/late", engine.CmpCol(3, ">", 2))
-	latePairs := engine.NewHashAgg(s, late, "Q21/latepairs", []int{0, 1},
-		engine.Agg(engine.AggCount, -1, "n"))
-	latePairsTab, err := run(latePairs)
-	if err != nil {
-		return nil, err
-	}
-	cntLate := engine.NewHashAgg(s, engine.NewScan(s, latePairsTab), "Q21/cntlate", []int{0},
-		engine.Agg(engine.AggCount, -1, "nlate"))
-	soloLate := engine.NewSelect(s, cntLate, "Q21/solo", engine.CmpVal(1, "==", 1))
+	late := b.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate").
+		Select(plan.CmpCol(3, ">", 2))
+	latePairs := late.Agg([]int{0, 1}, engine.Agg(engine.AggCount, -1, "n"))
+	cntLate := latePairs.Agg([]int{0}, engine.Agg(engine.AggCount, -1, "nlate"))
+	soloLate := cntLate.Select(plan.CmpVal(1, "==", 1))
 
 	// Candidate pairs: late pairs whose order has >=2 suppliers overall
 	// and exactly one late supplier; bloom filters pay off because most
 	// probes miss.
-	cand := engine.NewHashJoin(s, multiSupp, engine.NewScan(s, latePairsTab),
-		"Q21/j_multi", "l_orderkey", "l_orderkey", nil,
-		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
-	cand2 := engine.NewHashJoin(s, soloLate, cand, "Q21/j_solo",
-		"l_orderkey", "l_orderkey", nil,
-		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
+	cand := b.SemiJoin(multiSupp, latePairs, "l_orderkey", "l_orderkey", plan.WithBloom(8))
+	cand2 := b.SemiJoin(soloLate, cand, "l_orderkey", "l_orderkey", plan.WithBloom(8))
 
-	ordF := engine.NewSelect(s,
-		engine.NewScan(s, db.Orders, "o_orderkey", "o_orderstatus"),
-		"Q21/ordF", engine.CmpVal(1, "==", "F"))
-	cand3 := engine.NewHashJoin(s, ordF, cand2, "Q21/j_ord",
-		"o_orderkey", "l_orderkey", nil,
-		engine.WithKind(engine.SemiJoin), engine.WithBloom(8))
+	ordF := b.Scan(db.Orders, "o_orderkey", "o_orderstatus").
+		Select(plan.CmpVal(1, "==", "F"))
+	cand3 := b.SemiJoin(ordF, cand2, "o_orderkey", "l_orderkey", plan.WithBloom(8))
 
-	suppSA := nationFilteredSuppliers(db, s, "Q21", "SAUDI ARABIA")
-	suppSATab, err := run(suppSA)
-	if err != nil {
-		return nil, err
-	}
-	final := engine.NewHashJoin(s, engine.NewScan(s, suppSATab), cand3, "Q21/j_supp",
-		"s_suppkey", "l_suppkey", []string{"s_name"}, engine.WithBloom(8))
-	agg := engine.NewHashAgg(s, final, "Q21/agg", []int{idx(final, "s_name")},
+	suppSA := nationFilteredSuppliers(b, db, "SAUDI ARABIA")
+	final := b.HashJoin(suppSA, cand3, "s_suppkey", "l_suppkey",
+		[]string{"s_name"}, plan.WithBloom(8))
+	agg := final.Agg([]int{final.Idx("s_name")},
 		engine.Agg(engine.AggCount, -1, "numwait"))
-	sorted := engine.NewTopN(s, agg, 100, engine.Desc(1), engine.Asc(0))
-	return run(sorted)
+	b.Root(agg.TopN(100, engine.Desc(1), engine.Asc(0)))
+	return b
 }
 
-// Q22 is global sales opportunity: well-funded customers in selected
-// country codes with no orders.
-func Q22(db *DB, s *core.Session) (*engine.Table, error) {
+// Q21 runs the waiting-suppliers query.
+func Q21(db *DB, s *core.Session) (*engine.Table, error) { return pure(q21Plan)(db, s) }
+
+// q22Plan is global sales opportunity: well-funded customers in selected
+// country codes with no orders. The code-filtered customers are a shared
+// subtree, and the average positive balance filters the rich set as an
+// in-plan scalar.
+func q22Plan(db *DB) *plan.Builder {
+	b := plan.New("Q22")
 	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
-	custScan := engine.NewScan(s, db.Customer, "c_custkey", "c_acctbal", "c_phone")
-	custProj := engine.NewProject(s, custScan, "Q22/proj",
+	custScan := b.Scan(db.Customer, "c_custkey", "c_acctbal", "c_phone")
+	custProj := custScan.Project(
 		engine.Keep("c_custkey", 0),
 		engine.Keep("c_acctbal", 1),
-		engine.ProjExpr{Name: "cntrycode", Expr: &expr.Substr{Child: col(custScan, "c_phone"), From: 0, Len: 2}})
-	custSel := engine.NewSelect(s, custProj, "Q22/codes", engine.InStr(2, codes...))
-	custTab, err := run(custSel)
-	if err != nil {
-		return nil, err
-	}
+		engine.ProjExpr{Name: "cntrycode", Expr: &expr.Substr{Child: custScan.Col("c_phone"), From: 0, Len: 2}})
+	custSel := custProj.Select(plan.InStr(2, codes...))
 
-	posBal := engine.NewSelect(s, engine.NewScan(s, custTab), "Q22/posbal",
-		engine.CmpVal(1, ">", 0.0))
-	avgAgg, err := run(engine.NewHashAgg(s, posBal, "Q22/avg", nil,
-		engine.Agg(engine.AggAvg, 1, "avg_bal")))
-	if err != nil {
-		return nil, err
-	}
-	avgBal := scalarF64(avgAgg, "avg_bal")
-
-	rich := engine.NewSelect(s, engine.NewScan(s, custTab), "Q22/rich",
-		engine.CmpVal(1, ">", avgBal))
-	ordCust := engine.NewHashAgg(s,
-		engine.NewScan(s, db.Orders, "o_custkey"),
-		"Q22/ordcust", []int{0},
-		engine.Agg(engine.AggCount, -1, "n"))
-	noOrders := engine.NewHashJoin(s, ordCust, rich, "Q22/anti",
-		"o_custkey", "c_custkey", nil, engine.WithKind(engine.AntiJoin))
-	agg := engine.NewHashAgg(s, noOrders, "Q22/agg", []int{2},
+	posBal := custSel.Select(plan.CmpVal(1, ">", 0.0))
+	avgAgg := posBal.Agg(nil, engine.Agg(engine.AggAvg, 1, "avg_bal"))
+	rich := custSel.Select(
+		plan.CmpScalar(1, ">", plan.ScalarOf(avgAgg, "avg_bal")))
+	ordCust := b.Scan(db.Orders, "o_custkey").
+		Agg([]int{0}, engine.Agg(engine.AggCount, -1, "n"))
+	noOrders := b.AntiJoin(ordCust, rich, "o_custkey", "c_custkey")
+	agg := noOrders.Agg([]int{2},
 		engine.Agg(engine.AggCount, -1, "numcust"),
 		engine.Agg(engine.AggSum, 1, "totacctbal"))
-	sorted := engine.NewSort(s, agg, engine.Asc(0))
-	return run(sorted)
+	b.Root(agg.Sort(engine.Asc(0)))
+	return b
 }
+
+// Q22 runs the global sales opportunity query.
+func Q22(db *DB, s *core.Session) (*engine.Table, error) { return pure(q22Plan)(db, s) }

@@ -6,28 +6,45 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/expr"
-	"microadapt/internal/primitive"
+	"microadapt/internal/plan"
 	"microadapt/internal/vector"
 )
 
-// Spec describes one TPC-H query: its number and a runner that builds the
-// physical plan(s), executes them through the session's adaptive primitive
-// instances, and returns the result table.
+// Spec describes one TPC-H query: its number, the declarative plan builder
+// (the logical DAG the physical planner lowers, partitions and labels), and
+// a runner that executes the plan(s) through the session's adaptive
+// primitive instances — plus, for the handful of queries with a scalar
+// delivery step (Q8, Q13, Q14, Q17, Q19), the small Go assembly of the
+// final result table.
 type Spec struct {
 	ID   int
 	Name string
-	Run  func(db *DB, s *core.Session) (*engine.Table, error)
+	// Plan builds the query's logical plan DAG over db. Every operator the
+	// query runs is declared here; partitionability and instance labels are
+	// derived from this structure by the planner, never hand-maintained.
+	Plan func(db *DB) *plan.Builder
+	// Run executes the query and returns its result table.
+	Run func(db *DB, s *core.Session) (*engine.Table, error)
+}
+
+// pure derives the runner of a single-root query without a delivery step:
+// bind the plan to the session and materialize its main root.
+func pure(build func(*DB) *plan.Builder) func(*DB, *core.Session) (*engine.Table, error) {
+	return func(db *DB, s *core.Session) (*engine.Table, error) {
+		b := build(db)
+		return b.Bind(s).Run(b.MainRoot())
+	}
 }
 
 // Queries returns all 22 TPC-H queries in order.
 func Queries() []Spec {
 	return []Spec{
-		{1, "Q01", Q1}, {2, "Q02", Q2}, {3, "Q03", Q3}, {4, "Q04", Q4},
-		{5, "Q05", Q5}, {6, "Q06", Q6}, {7, "Q07", Q7}, {8, "Q08", Q8},
-		{9, "Q09", Q9}, {10, "Q10", Q10}, {11, "Q11", Q11}, {12, "Q12", Q12},
-		{13, "Q13", Q13}, {14, "Q14", Q14}, {15, "Q15", Q15}, {16, "Q16", Q16},
-		{17, "Q17", Q17}, {18, "Q18", Q18}, {19, "Q19", Q19}, {20, "Q20", Q20},
-		{21, "Q21", Q21}, {22, "Q22", Q22},
+		{1, "Q01", q1Plan, Q1}, {2, "Q02", q2Plan, Q2}, {3, "Q03", q3Plan, Q3}, {4, "Q04", q4Plan, Q4},
+		{5, "Q05", q5Plan, Q5}, {6, "Q06", q6Plan, Q6}, {7, "Q07", q7Plan, Q7}, {8, "Q08", q8Plan, Q8},
+		{9, "Q09", q9Plan, Q9}, {10, "Q10", q10Plan, Q10}, {11, "Q11", q11Plan, Q11}, {12, "Q12", q12Plan, Q12},
+		{13, "Q13", q13Plan, Q13}, {14, "Q14", q14Plan, Q14}, {15, "Q15", q15Plan, Q15}, {16, "Q16", q16Plan, Q16},
+		{17, "Q17", q17Plan, Q17}, {18, "Q18", q18Plan, Q18}, {19, "Q19", q19Plan, Q19}, {20, "Q20", q20Plan, Q20},
+		{21, "Q21", q21Plan, Q21}, {22, "Q22", q22Plan, Q22},
 	}
 }
 
@@ -40,52 +57,38 @@ func Query(n int) Spec {
 	return qs[n-1]
 }
 
-// partitioned builds the scan-heavy prefix of a plan over table t: a
-// FragmentBuilder expressing the scan+select(+project) stack runs either
-// once with the coordinator session (serial, the default) or per morsel on
-// fragment sessions merged by an exchange, following the session's pipeline
-// parallelism. Fragments preserve row order, so downstream operators —
-// order-sensitive merge joins and first-seen group numbering included —
-// see exactly the serial plan's stream.
-func partitioned(s *core.Session, t *engine.Table, build engine.FragmentBuilder) (engine.Operator, error) {
-	return engine.ParallelPipeline(s, t.Rows(), build)
+// Explain renders query n's logical plan and its physical lowering at the
+// given pipeline parallelism, partition annotations included.
+func Explain(db *DB, n int, parallelism int) string {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return Query(n).Plan(db).Explain(parallelism)
 }
-
-// idx resolves a column name in an operator's schema.
-func idx(op engine.Operator, name string) int { return op.Schema().MustIndexOf(name) }
-
-// col builds a column-reference expression by name.
-func col(op engine.Operator, name string) expr.Node { return &expr.Col{Idx: idx(op, name)} }
 
 // revenue builds l_extendedprice * (100 - l_discount) / 100 over int64
 // cents, the expression at the heart of most TPC-H aggregates.
-func revenue(op engine.Operator, priceCol, discCol string) expr.Node {
+func revenue(n *plan.Node, priceCol, discCol string) expr.Node {
 	return expr.Div(
-		expr.Mul(col(op, priceCol), expr.Sub(&expr.ConstI64{V: 100}, col(op, discCol))),
+		expr.Mul(n.Col(priceCol), expr.Sub(&expr.ConstI64{V: 100}, n.Col(discCol))),
 		&expr.ConstI64{V: 100})
 }
 
 // yearOf builds year(dateCol) as an expression.
-func yearOf(op engine.Operator, dateCol string) expr.Node {
-	return &expr.MapI64{Child: expr.ToI64(col(op, dateCol)), Fn: YearOf}
+func yearOf(n *plan.Node, dateCol string) expr.Node {
+	return &expr.MapI64{Child: expr.ToI64(n.Col(dateCol)), Fn: YearOf}
 }
 
 // packKey builds partkey*1_000_000 + suppkey, the composite-key packing
 // used for partsupp joins (Q9, Q20).
-func packKey(op engine.Operator, partCol, suppCol string) expr.Node {
+func packKey(n *plan.Node, partCol, suppCol string) expr.Node {
 	return expr.Add(
-		expr.Mul(expr.ToI64(col(op, partCol)), &expr.ConstI64{V: 1_000_000}),
-		expr.ToI64(col(op, suppCol)))
+		expr.Mul(expr.ToI64(n.Col(partCol)), &expr.ConstI64{V: 1_000_000}),
+		expr.ToI64(n.Col(suppCol)))
 }
 
 // scalarI64 reads row 0 of a named column as int64.
 func scalarI64(t *engine.Table, name string) int64 { return t.Col(name).GetI64(0) }
-
-// scalarF64 reads row 0 of a named column as float64.
-func scalarF64(t *engine.Table, name string) float64 { return t.Col(name).GetF64(0) }
-
-// run materializes an operator tree.
-func run(op engine.Operator) (*engine.Table, error) { return engine.Materialize(op) }
 
 // singleRow builds a one-row result table (for scalar-result queries).
 func singleRow(name string, cols []vector.Col, vals ...any) *engine.Table {
@@ -106,19 +109,15 @@ func singleRow(name string, cols []vector.Col, vals ...any) *engine.Table {
 }
 
 // semiJoin is shorthand for a semi hash join probe⋉build.
-func semiJoin(s *core.Session, build, probe engine.Operator, label, buildKey, probeKey string) *engine.HashJoin {
-	return engine.NewHashJoin(s, build, probe, label, buildKey, probeKey, nil, engine.WithKind(engine.SemiJoin))
+func semiJoin(b *plan.Builder, build, probe *plan.Node, buildKey, probeKey string) *plan.Node {
+	return b.SemiJoin(build, probe, buildKey, probeKey)
 }
 
 // nationFilteredSuppliers returns suppliers from the named nation
 // (semi-joined), a pattern several queries share.
-func nationFilteredSuppliers(db *DB, s *core.Session, label, nationName string) engine.Operator {
-	natScan := engine.NewScan(s, db.Nation, "n_nationkey", "n_name")
-	natSel := engine.NewSelect(s, natScan, label+"/nation", engine.CmpVal(1, "==", nationName))
-	supp := engine.NewScan(s, db.Supplier, "s_suppkey", "s_name", "s_nationkey")
-	return semiJoin(s, natSel, supp, label+"/suppnat", "n_nationkey", "s_nationkey")
+func nationFilteredSuppliers(b *plan.Builder, db *DB, nationName string) *plan.Node {
+	natSel := b.Scan(db.Nation, "n_nationkey", "n_name").
+		Select(plan.CmpVal(1, "==", nationName))
+	supp := b.Scan(db.Supplier, "s_suppkey", "s_name", "s_nationkey")
+	return semiJoin(b, natSel, supp, "n_nationkey", "s_nationkey")
 }
-
-// widenGroupKey is a no-op marker documenting that aggregate group columns
-// come out widened to I64; joins against them widen the other side too.
-var _ = primitive.WidenToI64

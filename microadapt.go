@@ -32,6 +32,7 @@ import (
 	"microadapt/internal/engine"
 	"microadapt/internal/heuristics"
 	"microadapt/internal/hw"
+	"microadapt/internal/plan"
 	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/service"
@@ -80,7 +81,69 @@ type (
 	LoadConfig = service.LoadConfig
 	// LoadMetrics aggregates throughput, latency and adaptation overhead.
 	LoadMetrics = service.Metrics
+	// PlanBuilder accumulates the logical plan DAG of one query; the
+	// physical planner lowers it onto engine operators, derives instance
+	// labels from plan position, and fans morsel-partitionable
+	// scan→select→project chains into parallel fragments automatically.
+	PlanBuilder = plan.Builder
+	// PlanNode is one logical operator of a plan DAG.
+	PlanNode = plan.Node
+	// PlanExec is a plan bound to a session, ready to materialize roots.
+	PlanExec = plan.Exec
+	// PlanPred is one conjunct of a plan-level Select.
+	PlanPred = plan.Pred
+	// PlanScalar defers a predicate constant to a scalar subplan's result.
+	PlanScalar = plan.Scalar
+	// AggSpec is one aggregate output of an aggregation node.
+	AggSpec = engine.AggSpec
+	// AggFn enumerates the aggregate functions.
+	AggFn = engine.AggFn
+	// ProjExpr is one output column of a projection node.
+	ProjExpr = engine.ProjExpr
+	// SortKey describes one ordering column.
+	SortKey = engine.SortKey
 )
+
+// Aggregate functions usable in plan aggregation nodes.
+const (
+	AggSum   = engine.AggSum
+	AggCount = engine.AggCount
+	AggMin   = engine.AggMin
+	AggMax   = engine.AggMax
+	AggAvg   = engine.AggAvg
+	AggFirst = engine.AggFirst
+)
+
+// Agg builds an aggregate spec: fn over column col, named as.
+func Agg(fn AggFn, col int, as string) AggSpec { return engine.Agg(fn, col, as) }
+
+// Keep passes an input column through a projection unchanged.
+func Keep(name string, idx int) ProjExpr { return engine.Keep(name, idx) }
+
+// Asc sorts ascending on col.
+func Asc(col int) SortKey { return engine.Asc(col) }
+
+// Desc sorts descending on col.
+func Desc(col int) SortKey { return engine.Desc(col) }
+
+// Plan-level predicate constructors (see internal/plan for the full API).
+func PlanCmpVal(col int, op string, value any) PlanPred { return plan.CmpVal(col, op, value) }
+
+// PlanCmpCol builds a column-vs-column plan predicate.
+func PlanCmpCol(col int, op string, rhs int) PlanPred { return plan.CmpCol(col, op, rhs) }
+
+// PlanLike builds a LIKE plan predicate.
+func PlanLike(col int, pattern string) PlanPred { return plan.Like(col, pattern) }
+
+// PlanInStr builds an IN-list plan predicate over a string column.
+func PlanInStr(col int, values ...string) PlanPred { return plan.InStr(col, values...) }
+
+// PlanCmpScalar builds a column-vs-scalar plan predicate; the constant is
+// resolved from the scalar's source subplan at lowering time.
+func PlanCmpScalar(col int, op string, s PlanScalar) PlanPred { return plan.CmpScalar(col, op, s) }
+
+// PlanScalarOf references row 0 of column col of node n's result.
+func PlanScalarOf(n *PlanNode, col string) PlanScalar { return plan.ScalarOf(n, col) }
 
 // Machine profiles of the paper's Table 2.
 func Machine1() *Machine { return hw.Machine1() }
@@ -192,6 +255,21 @@ func GenerateTPCH(sf float64, seed int64) *DB { return tpch.Generate(sf, seed) }
 func RunQuery(db *DB, s *Session, n int) (*Table, error) {
 	return tpch.Query(n).Run(db, s)
 }
+
+// NewPlan starts a declarative plan builder; name prefixes the derived
+// plan-position instance labels ("name/sel0", "name/hj2", ...). Build the
+// DAG with the Scan/Select/Project/Agg/Join/Sort methods, register roots,
+// then Bind to a session and Run a root:
+//
+//	b := microadapt.NewPlan("revenue")
+//	sel := b.Scan(db.Lineitem, "l_shipdate", "l_extendedprice").Select(...)
+//	b.Root(sel.Agg(nil, ...))
+//	tab, err := b.Bind(sess).Run(b.MainRoot())
+func NewPlan(name string) *PlanBuilder { return plan.New(name) }
+
+// ExplainQuery renders TPC-H query n's logical plan plus its physical
+// lowering at pipeline parallelism p, partition annotations included.
+func ExplainQuery(db *DB, n, p int) string { return tpch.Explain(db, n, p) }
 
 // RunAllQueries executes the full 22-query suite in one session.
 func RunAllQueries(db *DB, s *Session) error { return bench.RunTPCH(db, s) }

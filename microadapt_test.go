@@ -185,3 +185,47 @@ func TestFacadeRunAllQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadePlanBuilder: the declarative plan layer is reachable through
+// the facade — build a custom plan, explain it, run it serially and
+// parallel with identical results.
+func TestFacadePlanBuilder(t *testing.T) {
+	db := microadapt.GenerateTPCH(0.005, 1)
+	build := func() *microadapt.PlanBuilder {
+		b := microadapt.NewPlan("facade")
+		sel := b.Scan(db.Lineitem, "l_quantity", "l_extendedprice").
+			Select(microadapt.PlanCmpVal(0, "<", 25))
+		b.Root(sel.Agg(nil, microadapt.Agg(microadapt.AggSum, 1, "total")))
+		return b
+	}
+	explain := build().Explain(4)
+	if !strings.Contains(explain, "facade/sel0") || !strings.Contains(explain, "physical (out, P=4)") {
+		t.Errorf("explain output incomplete:\n%s", explain)
+	}
+	var serial string
+	for _, p := range []int{1, 4} {
+		sess := microadapt.NewSession(microadapt.AllFlavors(), microadapt.Machine1(),
+			microadapt.WithVectorSize(64), microadapt.WithSeed(2), microadapt.WithParallelism(p))
+		b := build()
+		tab, err := b.Bind(sess).Run(b.MainRoot())
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		out := microadapt.FormatTable(tab, 0)
+		if p == 1 {
+			serial = out
+		} else if out != serial {
+			t.Error("parallel plan result differs from serial")
+		}
+	}
+}
+
+// TestFacadeExplainQuery: the 22 built-in queries explain through the
+// facade with partition annotations at P>1.
+func TestFacadeExplainQuery(t *testing.T) {
+	db := microadapt.GenerateTPCH(0.005, 1)
+	out := microadapt.ExplainQuery(db, 6, 4)
+	if !strings.Contains(out, "morsel fragments") {
+		t.Errorf("Q6 at P=4 shows no fan-out:\n%s", out)
+	}
+}
