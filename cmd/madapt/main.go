@@ -67,9 +67,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   madapt exp [-sf F] [-seed N] [-vecsize N] [-machine machineK] <id>... | all
-  madapt explain [-sf F] [-q N] [-pipeline-parallel P]
-  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll] [-policy SPEC] [-pipeline-parallel P]
-  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-pipeline-parallel P] [-cold-only]
+  madapt explain [-sf F] [-q N] [-pipeline-parallel P] [-encoded]
+  madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll|decompress] [-policy SPEC] [-pipeline-parallel P] [-encoded]
+  madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-pipeline-parallel P] [-encoded] [-cold-only]
   madapt policies
   madapt flavors
   madapt list
@@ -136,6 +136,7 @@ func cmdExplain(args []string) error {
 	cfg, finish := benchFlags(fs)
 	q := fs.Int("q", 0, "query number (0 = all)")
 	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
+	encoded := fs.Bool("encoded", false, "explain over a compressed-resident database (encoded scans, pushdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +144,9 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	db := cfg.DB()
+	if *encoded {
+		db.Encode()
+	}
 	queries := tpch.Queries()
 	if *q != 0 {
 		queries = []tpch.Spec{tpch.Query(*q)}
@@ -169,6 +173,8 @@ func flavorOptions(name string) (primitive.Options, error) {
 		return primitive.ComputeSet(), nil
 	case "unroll":
 		return primitive.UnrollSet(), nil
+	case "decompress":
+		return primitive.DecompressSet(), nil
 	default:
 		return primitive.Options{}, fmt.Errorf("unknown flavor set %q", name)
 	}
@@ -183,6 +189,7 @@ func cmdTPCH(args []string) error {
 	arm := fs.Int("arm", 0, "shorthand for -policy fixed:arm=N")
 	rows := fs.Int("rows", 10, "result rows to print")
 	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
+	encoded := fs.Bool("encoded", false, "keep tables resident in compressed columnar form (adaptive decompression scans)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,6 +212,12 @@ func cmdTPCH(args []string) error {
 	}
 
 	db := cfg.DB()
+	if *encoded {
+		db.Encode()
+		flat, resident := db.StorageFootprint()
+		fmt.Printf("-- encoded storage: %d -> %d resident bytes (%.1f%%)\n",
+			flat, resident, 100*float64(resident)/float64(flat))
+	}
 	var queries []tpch.Spec
 	if *q == 0 {
 		queries = tpch.Queries()
@@ -242,6 +255,7 @@ func cmdBenchConcurrent(args []string) error {
 	flavors := fs.String("flavors", "everything", "flavor configuration")
 	spec := fs.String("policy", "vw-greedy", "selection policy spec (see: madapt policies)")
 	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
+	encoded := fs.Bool("encoded", false, "run the load over a compressed-resident database")
 	coldOnly := fs.Bool("cold-only", false, "skip the warm-start phase")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -272,6 +286,7 @@ func cmdBenchConcurrent(args []string) error {
 		Policy:              *spec,
 		ColdOnly:            *coldOnly,
 		PipelineParallelism: *pp,
+		Encoded:             *encoded,
 	})
 	if err != nil {
 		return err

@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		Experiment{"table11", "Table 11: TPC-H overall", serialOnly(Table11)},
 		Experiment{"policycmp", "Policy comparison: cold vs. warm per policy", serialOnly(PolicyComparison)},
 		Experiment{"scaling", "Pipeline scaling: wall time and off-best vs. parallelism", Scaling},
+		Experiment{"storage", "Compressed storage: flavor-adaptive scans vs. flat", serialOnly(StorageComparison)},
 	)
 	return exps
 }

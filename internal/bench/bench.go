@@ -105,6 +105,15 @@ func (cfg Config) DB() *tpch.DB {
 	return db
 }
 
+// EncodedDB generates a fresh database and makes it resident in compressed
+// columnar form. Encoded experiments must use this, never cfg.DB().Encode():
+// the cached DB is shared across every experiment in the process, and
+// encoding it in place would silently flip all later flat runs to encoded
+// scans.
+func (cfg Config) EncodedDB() *tpch.DB {
+	return tpch.Generate(cfg.SF, cfg.Seed).Encode()
+}
+
 // PolicyEnv is the registry environment of this configuration.
 func (cfg Config) PolicyEnv() policy.Env {
 	return policy.Env{Machine: cfg.Machine, VW: cfg.VW, Seed: cfg.Seed}

@@ -20,12 +20,12 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Errorf("experiments = %d, want 19 (every table and figure + policycmp + scaling)", len(exps))
+	if len(exps) != 20 {
+		t.Errorf("experiments = %d, want 20 (every table and figure + policycmp + scaling + storage)", len(exps))
 	}
 	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4",
 		"fig8", "fig10", "table5", "table6", "table7", "table8", "table9",
-		"table10", "fig11", "table11", "policycmp", "scaling"}
+		"table10", "fig11", "table11", "policycmp", "scaling", "storage"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -259,5 +259,45 @@ func TestPolicyComparisonRuns(t *testing.T) {
 	}
 	if !strings.Contains(rep.Body, "off-best") {
 		t.Error("report should explain the off-best metric")
+	}
+}
+
+// TestStorageComparisonRuns smoke-tests the compressed-storage experiment:
+// every query must report both storage forms with identical results, the
+// resident-bytes line must show a reduction, and at least one instance must
+// learn an operate-on-compressed selection flavor.
+func TestStorageComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 6 queries x 2 storage forms x 3 reps; skipped in -short mode")
+	}
+	rep, err := StorageComparison(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resident bytes", "Q01", "Q06", "Q17", "oncompressed", "lineitem"} {
+		if !strings.Contains(rep.Body, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Body)
+		}
+	}
+	if strings.Contains(rep.Body, "NO") {
+		t.Errorf("encoded results diverged from flat:\n%s", rep.Body)
+	}
+	if strings.Contains(rep.Body, "\n0 instances learned an operate-on-compressed") {
+		t.Errorf("no operate-on-compressed winner was learned:\n%s", rep.Body)
+	}
+}
+
+// TestBenchConcurrentEncoded: the concurrent service composes with
+// compressed-resident storage end to end.
+func TestBenchConcurrentEncoded(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := BenchConcurrent(cfg, ConcurrentOptions{
+		Workers: 2, Jobs: 6, Mix: []int{6}, Encoded: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "encoded storage") {
+		t.Errorf("report missing encoded-storage annotation:\n%s", rep.Body)
 	}
 }

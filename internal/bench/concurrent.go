@@ -25,6 +25,9 @@ type ConcurrentOptions struct {
 	// PipelineParallelism fans each query's partitionable pipeline into P
 	// morsel streams (0/1 = serial), on top of the worker-pool concurrency.
 	PipelineParallelism int
+	// Encoded runs the load over a compressed-resident database: scans go
+	// through the adaptive decompression flavors, results stay identical.
+	Encoded bool
 }
 
 // DefaultConcurrentOptions returns a quick but representative run.
@@ -54,6 +57,9 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 	}
 
 	db := cfg.DB()
+	if o.Encoded {
+		db = cfg.EncodedDB()
+	}
 	base := service.Config{
 		Workers:             o.Workers,
 		Flavors:             o.Flavors,
@@ -86,6 +92,10 @@ func BenchConcurrent(cfg Config, o ConcurrentOptions) (*Report, error) {
 	pp := ""
 	if o.PipelineParallelism > 1 {
 		pp = fmt.Sprintf(", pipeline-parallel %d", o.PipelineParallelism)
+	}
+	if o.Encoded {
+		flat, resident := db.StorageFootprint()
+		pp += fmt.Sprintf(", encoded storage (%d -> %d resident bytes)", flat, resident)
 	}
 	fmt.Fprintf(&b, "mix %s, %d workers, %d jobs/phase, machine %s, policy %s%s\n\n",
 		strings.Join(mixNames, ","), o.Workers, cold.Jobs, cfg.Machine.Name, pol, pp)

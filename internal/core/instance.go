@@ -76,6 +76,42 @@ func (inst *Instance) CyclesPerTuple() float64 {
 	return inst.Cycles / float64(inst.Tuples)
 }
 
+// BestMeasuredFlavor returns the arm with the lowest measured mean cost
+// (cycles/tuple) among flavors that processed at least one tuple, or -1
+// when nothing was measured yet.
+func (inst *Instance) BestMeasuredFlavor() int {
+	best, bestCost := -1, 0.0
+	for i := range inst.PerFlavor {
+		fs := &inst.PerFlavor[i]
+		if fs.Tuples == 0 {
+			continue
+		}
+		if c := fs.CyclesPerTuple(); best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// AdaptationCost sums, over instances with more than one flavor, the total
+// adaptive calls and the calls that used a flavor other than the
+// instance's measured best — the exploration (plus wrong-exploitation)
+// overhead that warm starts are meant to shrink. The service and the
+// bench harness both report it; keeping the accounting here keeps their
+// numbers comparable.
+func AdaptationCost(insts []*Instance) (adaptive, offBest int64) {
+	for _, inst := range insts {
+		if len(inst.Prim.Flavors) <= 1 {
+			continue
+		}
+		adaptive += int64(inst.Calls)
+		if best := inst.BestMeasuredFlavor(); best >= 0 {
+			offBest += int64(inst.Calls - inst.PerFlavor[best].Calls)
+		}
+	}
+	return adaptive, offBest
+}
+
 // Run executes one call of the instance: it asks the chooser for a flavor,
 // invokes it, and feeds the observed (tuples, cycles) back into the
 // chooser, the APH and the profiling counters. It returns the number of

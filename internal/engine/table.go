@@ -6,17 +6,28 @@ import (
 	"strings"
 
 	"microadapt/internal/core"
+	"microadapt/internal/storage"
 	"microadapt/internal/vector"
 )
 
 // Table is an in-memory column store relation: full-length column vectors
 // plus a schema. It is both the scan source and the materialization target.
+// A table may additionally be resident in compressed columnar form (Enc),
+// in which case plans scan it through adaptive decompression primitives
+// instead of the zero-copy flat scan.
 type Table struct {
 	Name   string
 	Sch    vector.Schema
 	Cols   []*vector.Vector
 	RowCnt int
+
+	// Enc is the compressed-resident form of the table, nil for flat-only
+	// tables. Set it through EncodeTable.
+	Enc *storage.EncodedTable
 }
+
+// Encoded reports whether the table is resident in compressed form.
+func (t *Table) Encoded() bool { return t.Enc != nil }
 
 // NewTable builds a table; all columns must have equal lengths.
 func NewTable(name string, sch vector.Schema, cols []*vector.Vector) *Table {

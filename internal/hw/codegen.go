@@ -14,6 +14,7 @@ const (
 	ClassHash       = "hash"
 	ClassHashInsert = "hash_insert"
 	ClassBloom      = "bloom"
+	ClassDecompress = "decompress"
 )
 
 // Drift models a codegen efficiency multiplier that changes as a primitive

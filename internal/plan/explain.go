@@ -137,7 +137,23 @@ func (r *renderer) renderChain(w *strings.Builder, c *chain, depth int) {
 		}
 	}
 	indent(w, depth+len(c.stack))
-	if c.scan != nil {
+	if c.scan != nil && c.scan.table.Enc != nil {
+		detail := r.scanDetail(c.scan)
+		if nd := c.pushdownSelect(); nd != nil {
+			// The split runs on the unresolved predicates: pushability
+			// depends only on operator shape and column encoding, never on
+			// the (possibly scalar-deferred) constant, so the count always
+			// matches the planner's resolved split.
+			preds := make([]engine.Pred, len(nd.preds))
+			for i, p := range nd.preds {
+				preds[i] = p.pred
+			}
+			if push, _ := engine.PushdownSplit(c.scan.table, c.scan.cols, preds); len(push) > 0 {
+				detail += fmt.Sprintf(" pushdown=%d/%d conjuncts", len(push), len(preds))
+			}
+		}
+		fmt.Fprintf(w, "EncodedRangeScan[morsel] %s\n", detail)
+	} else if c.scan != nil {
 		fmt.Fprintf(w, "RangeScan[morsel] %s\n", r.scanDetail(c.scan))
 	} else {
 		fmt.Fprintf(w, "RangeScan[morsel] <- materialized:\n")
@@ -216,7 +232,11 @@ func (r *renderer) scanDetail(n *Node) string {
 			cols[i] = c.Name
 		}
 	}
-	return fmt.Sprintf("%s (%s)", n.table.Name, strings.Join(cols, ", "))
+	detail := fmt.Sprintf("%s (%s)", n.table.Name, strings.Join(cols, ", "))
+	if n.table.Enc != nil {
+		detail += " [encoded]"
+	}
+	return detail
 }
 
 func keysString(keys []engine.SortKey, sch vector.Schema) string {

@@ -80,9 +80,9 @@ func (e *Exec) lower(n *Node) (engine.Operator, error) {
 		return engine.NewScan(e.sess, t), nil
 	}
 	if n.kind == KindScan {
-		// Scans are zero-copy and stateless per consumer: shared scan nodes
-		// instantiate a fresh cursor per parent instead of materializing.
-		return engine.NewScan(e.sess, n.table, n.cols...), nil
+		// Scans are stateless per consumer: shared scan nodes instantiate a
+		// fresh cursor per parent instead of materializing.
+		return e.scanOp(n), nil
 	}
 	if e.refs[n.id] > 1 {
 		t, err := e.Run(n)
@@ -92,6 +92,16 @@ func (e *Exec) lower(n *Node) (engine.Operator, error) {
 		return engine.NewScan(e.sess, t), nil
 	}
 	return e.pipeline(n)
+}
+
+// scanOp lowers a scan node: tables resident in compressed form scan
+// through the adaptive decompression primitives (labelled with the scan
+// node's plan position), flat tables through the zero-copy cursor.
+func (e *Exec) scanOp(n *Node) engine.Operator {
+	if n.table.Enc != nil {
+		return engine.NewEncodedScan(e.sess, n.table, n.label, n.cols...)
+	}
+	return engine.NewScan(e.sess, n.table, n.cols...)
 }
 
 // chain is a maximal scan→select→project prefix: stack holds the chain's
@@ -126,6 +136,22 @@ func chainOf(n *Node, refs []int) *chain {
 		default:
 			return nil // pipeline is fed by a blocking operator: not partitionable
 		}
+	}
+	return nil
+}
+
+// pushdownSelect returns the chain node whose conjuncts are eligible for
+// encoded-scan pushdown — the bottom-of-chain Select sitting directly on a
+// compressed-resident stored-table scan — or nil. The planner and the
+// explain renderer both route through this (and through
+// engine.PushdownSplit for the conjunct split), so the explain annotation
+// cannot drift from what executes.
+func (c *chain) pushdownSelect() *Node {
+	if c.scan == nil || c.scan.table.Enc == nil || len(c.stack) == 0 {
+		return nil
+	}
+	if nd := c.stack[len(c.stack)-1]; nd.kind == KindSelect {
+		return nd
 	}
 	return nil
 }
@@ -169,8 +195,32 @@ func (e *Exec) pipeline(n *Node) (engine.Operator, error) {
 		}
 		resolved[i] = preds
 	}
+	// Over a compressed-resident table, the Select directly above the scan
+	// pushes its leading constant-comparison conjuncts into the encoded
+	// scan, where they run as selenc instances (decode vs operate-on-
+	// compressed flavors) and hand the decompression of the output columns
+	// a selection vector to exploit. Conjunct order is preserved, so the
+	// produced selection — and every result bit — matches the flat plan.
+	encoded := c.scan != nil && table.Enc != nil
+	var pushPreds []engine.Pred
+	pushLabel := ""
+	if nd := c.pushdownSelect(); nd != nil {
+		bottom := len(c.stack) - 1
+		push, rest := engine.PushdownSplit(table, cols, resolved[bottom])
+		pushPreds, resolved[bottom] = push, rest
+		pushLabel = nd.label
+	}
 	return engine.ParallelPipeline(e.sess, table.Rows(), func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
-		var op engine.Operator = engine.NewRangeScan(fs, table, m.Lo, m.Hi, cols...)
+		var op engine.Operator
+		if encoded {
+			es := engine.NewEncodedRangeScan(fs, table, c.scan.label, m.Lo, m.Hi, cols...)
+			if len(pushPreds) > 0 {
+				es.Pushdown(pushLabel, pushPreds...)
+			}
+			op = es
+		} else {
+			op = engine.NewRangeScan(fs, table, m.Lo, m.Hi, cols...)
+		}
 		for i := len(c.stack) - 1; i >= 0; i-- {
 			nd := c.stack[i]
 			switch nd.kind {
@@ -189,7 +239,7 @@ func (e *Exec) pipeline(n *Node) (engine.Operator, error) {
 func (e *Exec) build(n *Node) (engine.Operator, error) {
 	switch n.kind {
 	case KindScan:
-		return engine.NewScan(e.sess, n.table, n.cols...), nil
+		return e.scanOp(n), nil
 	case KindSelect:
 		child, err := e.lower(n.in[0])
 		if err != nil {

@@ -1,0 +1,291 @@
+package primitive
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+	"microadapt/internal/storage"
+	"microadapt/internal/vector"
+)
+
+// Differential flavor fuzzing: the core correctness contract of Micro
+// Adaptivity is that every flavor of a primitive computes the same result,
+// so the chooser is free to pick any of them at any call. These native fuzz
+// targets (go test -fuzz=FuzzX ./internal/primitive) run every registered
+// flavor of a class on one arbitrary batch/selection-vector/constant and
+// fail on any cross-flavor divergence. The seed corpus is TPC-H-shaped:
+// clustered dates, small-domain quantities, skewed selectivities.
+
+// fuzzDict is the shared full-flavor dictionary (read-only, safe to share).
+var (
+	fuzzDictOnce sync.Once
+	fuzzDictVal  *core.Dictionary
+)
+
+func fuzzDict() *core.Dictionary {
+	fuzzDictOnce.Do(func() { fuzzDictVal = NewDictionary(Everything()) })
+	return fuzzDictVal
+}
+
+const fuzzMaxN = 300
+
+// i32sFromBytes decodes up to fuzzMaxN int32 values from fuzz bytes.
+func i32sFromBytes(data []byte) []int32 {
+	n := len(data) / 4
+	if n > fuzzMaxN {
+		n = fuzzMaxN
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out
+}
+
+// i32sToBytes builds a seed-corpus input from values.
+func i32sToBytes(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// fuzzSel derives a selection vector over n positions from the seed:
+// stride patterns cover nil (all live), dense and sparse selections.
+func fuzzSel(n int, seed uint8) vector.Sel {
+	stride := int(seed % 5)
+	if stride == 0 {
+		return nil
+	}
+	var sel vector.Sel
+	for i := int(seed % 3); i < n; i += stride {
+		sel = append(sel, int32(i))
+	}
+	if len(sel) == 0 {
+		return nil // operators never call primitives on empty selections
+	}
+	return sel
+}
+
+// tpchShapedSeeds are corpus entries mirroring the batch shapes TPC-H
+// produces: order-clustered dates, 1..50 quantities, 0..10 discounts, and
+// a low-cardinality flag column.
+func tpchShapedSeeds(f *testing.F, addSeed func(f *testing.F, vals []int32, aux int32, opIdx, selSeed uint8)) {
+	dates := make([]int32, 200)
+	for i := range dates {
+		dates[i] = 700 + int32(i/9) // ~9-row runs, ascending
+	}
+	addSeed(f, dates, 731, 3, 0)
+	quantities := make([]int32, 180)
+	for i := range quantities {
+		quantities[i] = int32(i*i%50) + 1
+	}
+	addSeed(f, quantities, 24, 0, 2)
+	discounts := make([]int32, 150)
+	for i := range discounts {
+		discounts[i] = int32(i * 7 % 11)
+	}
+	addSeed(f, discounts, 5, 2, 3)
+	flags := make([]int32, 160)
+	for i := range flags {
+		flags[i] = int32(i % 3)
+	}
+	addSeed(f, flags, 1, 4, 1)
+}
+
+// runSelectionArm executes one flavor of a selection primitive on a fresh
+// instance and returns the produced selection.
+func runSelectionArm(prim *core.Primitive, arm int, n int, sel vector.Sel, in []*vector.Vector) []int32 {
+	ctx := core.NewExecCtx(hw.Machine1())
+	inst := core.NewInstance(prim, "fuzz", core.NewFixed(arm))
+	out := make([]int32, n)
+	k := inst.Run(ctx, &core.Call{N: n, Sel: sel, In: in, SelOut: out})
+	return out[:k]
+}
+
+func sameSel(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSelectionFlavors cross-checks every selection flavor (branching x
+// compiler x unroll) on one batch: all must produce the identical
+// selection vector.
+func FuzzSelectionFlavors(f *testing.F) {
+	addSeed := func(f *testing.F, vals []int32, rhs int32, opIdx, selSeed uint8) {
+		f.Add(i32sToBytes(vals), rhs, opIdx, selSeed)
+	}
+	tpchShapedSeeds(f, addSeed)
+	f.Fuzz(func(t *testing.T, data []byte, rhs int32, opIdx, selSeed uint8) {
+		vals := i32sFromBytes(data)
+		if len(vals) == 0 {
+			return
+		}
+		n := len(vals)
+		op := selOps[int(opIdx)%len(selOps)]
+		sel := fuzzSel(n, selSeed)
+		prim := fuzzDict().MustLookup(SelSig(op, vector.I32, false))
+		in := []*vector.Vector{vector.FromI32(vals), vector.ConstI32(rhs)}
+		want := runSelectionArm(prim, 0, n, sel, in)
+		for arm := 1; arm < len(prim.Flavors); arm++ {
+			got := runSelectionArm(prim, arm, n, sel, in)
+			if !sameSel(want, got) {
+				t.Fatalf("select %s: flavor %q selected %d rows, flavor %q selected %d (n=%d live=%d)",
+					op, prim.Flavors[arm].Name, len(got), prim.Flavors[0].Name, len(want), n, len(sel))
+			}
+		}
+	})
+}
+
+// FuzzMapArithFlavors cross-checks every map-arithmetic flavor (selective
+// vs full computation x compiler x unroll) on one batch: results must agree
+// on every live position (full computation also writes non-live positions;
+// those are dead by contract and excluded from the comparison).
+func FuzzMapArithFlavors(f *testing.F) {
+	addSeed := func(f *testing.F, vals []int32, rhs int32, opIdx, selSeed uint8) {
+		f.Add(i32sToBytes(vals), rhs, opIdx, selSeed)
+	}
+	tpchShapedSeeds(f, addSeed)
+	f.Fuzz(func(t *testing.T, data []byte, rhs int32, opIdx, selSeed uint8) {
+		vals := i32sFromBytes(data)
+		if len(vals) == 0 {
+			return
+		}
+		n := len(vals)
+		op := mapOps[int(opIdx)%len(mapOps)]
+		sel := fuzzSel(n, selSeed)
+		prim := fuzzDict().MustLookup(MapSig(op, vector.I32, "col_val"))
+		in := []*vector.Vector{vector.FromI32(vals), vector.ConstI32(rhs)}
+		run := func(arm int) []int32 {
+			ctx := core.NewExecCtx(hw.Machine1())
+			inst := core.NewInstance(prim, "fuzz", core.NewFixed(arm))
+			res := vector.New(vector.I32, n)
+			res.SetLen(n)
+			inst.Run(ctx, &core.Call{N: n, Sel: sel, In: in, Res: res})
+			return res.I32()
+		}
+		live := sel
+		if live == nil {
+			live = make([]int32, n)
+			for i := range live {
+				live[i] = int32(i)
+			}
+		}
+		want := run(0)
+		for arm := 1; arm < len(prim.Flavors); arm++ {
+			got := run(arm)
+			for _, p := range live {
+				if want[p] != got[p] {
+					t.Fatalf("map %s: flavor %q and %q diverge at live position %d: %d vs %d",
+						op, prim.Flavors[0].Name, prim.Flavors[arm].Name, p, want[p], got[p])
+				}
+			}
+		}
+	})
+}
+
+// fuzzEncodings returns the column under every encoding it supports.
+func fuzzEncodings(t *testing.T, v *vector.Vector) map[string]storage.EncodedColumn {
+	out := map[string]storage.EncodedColumn{}
+	for _, e := range []storage.Encoding{storage.Flat, storage.Dict, storage.RLE, storage.BitPack} {
+		c, err := storage.EncodeColumnAs(v, e)
+		if err != nil {
+			continue
+		}
+		if c.Len() != v.Len() {
+			t.Fatalf("%s: encoded length %d != %d", e, c.Len(), v.Len())
+		}
+		out[e.String()] = c
+	}
+	return out
+}
+
+// FuzzDecompressFlavors cross-checks the decompression family: for every
+// encoding of one arbitrary column, (a) eager and lazy scan flavors must
+// reconstruct the original values at every live position, and (b) the
+// decode and operate-on-compressed selection flavors must produce the
+// ground-truth selection vector.
+func FuzzDecompressFlavors(f *testing.F) {
+	addSeed := func(f *testing.F, vals []int32, rhs int32, opIdx, selSeed uint8) {
+		f.Add(i32sToBytes(vals), rhs, opIdx, selSeed, uint8(0))
+	}
+	tpchShapedSeeds(f, addSeed)
+	f.Fuzz(func(t *testing.T, data []byte, rhs int32, opIdx, selSeed, loSeed uint8) {
+		vals := i32sFromBytes(data)
+		if len(vals) == 0 {
+			return
+		}
+		// The batch is a window [lo, hi) of the encoded column, exercising
+		// non-zero decode offsets exactly like a mid-table scan batch.
+		lo := int(loSeed) % len(vals)
+		n := len(vals) - lo
+		sel := fuzzSel(n, selSeed)
+		op := selOps[int(opIdx)%len(selOps)]
+		d := fuzzDict()
+		scanPrim := d.MustLookup(DecompressSig(vector.I32))
+		selPrim := d.MustLookup(EncSelSig(op, vector.I32))
+		cmp := cmpFn[int32](op)
+		var truthSel []int32
+		if sel != nil {
+			for _, p := range sel {
+				if cmp(vals[lo+int(p)], rhs) {
+					truthSel = append(truthSel, p)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if cmp(vals[lo+i], rhs) {
+					truthSel = append(truthSel, int32(i))
+				}
+			}
+		}
+		live := sel
+		if live == nil {
+			live = make([]int32, n)
+			for i := range live {
+				live[i] = int32(i)
+			}
+		}
+		for name, enc := range fuzzEncodings(t, vector.FromI32(vals)) {
+			for arm := 0; arm < len(scanPrim.Flavors); arm++ {
+				ctx := core.NewExecCtx(hw.Machine1())
+				inst := core.NewInstance(scanPrim, "fuzz", core.NewFixed(arm))
+				res := vector.New(vector.I32, n)
+				res.SetLen(n)
+				inst.Run(ctx, &core.Call{N: n, Sel: sel, Res: res,
+					Aux: &DecompressArgs{Col: enc, Lo: lo}})
+				got := res.I32()
+				for _, p := range live {
+					if got[p] != vals[lo+int(p)] {
+						t.Fatalf("%s decode flavor %q: position %d = %d, want %d",
+							name, scanPrim.Flavors[arm].Name, p, got[p], vals[lo+int(p)])
+					}
+				}
+			}
+			for arm := 0; arm < len(selPrim.Flavors); arm++ {
+				ctx := core.NewExecCtx(hw.Machine1())
+				inst := core.NewInstance(selPrim, "fuzz", core.NewFixed(arm))
+				out := make([]int32, n)
+				scratch := vector.New(vector.I32, n)
+				k := inst.Run(ctx, &core.Call{N: n, Sel: sel, SelOut: out,
+					In:  []*vector.Vector{vector.ConstI32(rhs)},
+					Aux: &DecompressArgs{Col: enc, Lo: lo, Scratch: scratch}})
+				if !sameSel(out[:k], truthSel) {
+					t.Fatalf("%s selenc %s flavor %q: selected %d rows, ground truth %d (n=%d rhs=%d)",
+						name, op, selPrim.Flavors[arm].Name, k, len(truthSel), n, rhs)
+				}
+			}
+		}
+	})
+}

@@ -35,6 +35,15 @@ type Options struct {
 	// notes the compiler flavor set covers only 51% of primitive cycles
 	// and that fixing this "requires some additional engineering").
 	FullCompilerCoverage bool
+	// Decompress: subset of {"eager", "lazy", "oncompressed"} — the
+	// strategies of the decompression flavor family for encoded-column
+	// scans. The baseline — "eager" full-range decode for scan primitives
+	// and decompress-then-compare for pushed-down selections — is always
+	// registered (encoded scans cannot run without it); "lazy" adds the
+	// per-selection-vector gather scan flavor, "oncompressed" adds
+	// selection evaluation on the compressed form (dictionary code
+	// intervals, per-run RLE predicates).
+	Decompress []string
 	// Prefetch: subset of {"p0", "p4", "p16"} — software-prefetch
 	// distances for hash-table lookups. This implements the paper's
 	// future-work proposal (§4.1/§6): "by encoding multiple prefetching
@@ -47,11 +56,12 @@ type Options struct {
 // Defaults returns the baseline build: one flavor per primitive.
 func Defaults() Options {
 	return Options{
-		Compilers: []string{"gcc"},
-		Branching: []string{"branch"},
-		Compute:   []string{"selective"},
-		Fission:   []string{"nofission"},
-		Unroll:    []string{"u8"},
+		Compilers:  []string{"gcc"},
+		Branching:  []string{"branch"},
+		Compute:    []string{"selective"},
+		Fission:    []string{"nofission"},
+		Unroll:     []string{"u8"},
+		Decompress: []string{"eager"},
 	}
 }
 
@@ -64,6 +74,7 @@ func Everything() Options {
 	o.Compute = []string{"selective", "full"}
 	o.Fission = []string{"nofission", "fission"}
 	o.Unroll = []string{"u8", "u1"}
+	o.Decompress = []string{"eager", "lazy", "oncompressed"}
 	return o
 }
 
@@ -99,6 +110,15 @@ func ComputeSet() Options {
 func UnrollSet() Options {
 	o := Defaults()
 	o.Unroll = []string{"u8", "u1"}
+	return o
+}
+
+// DecompressSet widens only the decompression-strategy axis: the flavor
+// set of the compressed-storage scenario (eager vs lazy decode, selection
+// on the compressed form).
+func DecompressSet() Options {
+	o := Defaults()
+	o.Decompress = []string{"eager", "lazy", "oncompressed"}
 	return o
 }
 
@@ -213,6 +233,7 @@ func RegisterAll(d *core.Dictionary, o Options) {
 	registerLookup(d, o)
 	registerMergeJoin(d, o)
 	registerBloom(d, o)
+	registerDecompress(d, o)
 }
 
 // NewDictionary builds a dictionary and registers all primitives with the

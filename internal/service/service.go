@@ -43,6 +43,13 @@ type Config struct {
 	// their learned knowledge harvests into the shared cache under the
 	// same partition-free instance keys as the serial plan's.
 	PipelineParallelism int
+	// EncodedStorage makes the service's database resident in compressed
+	// columnar form at construction (idempotent when the caller already
+	// encoded it): scans then run through the adaptive decompression
+	// flavor family and results stay bit-identical to flat storage. Note
+	// that New encodes the *given* DB in place — the encoded form is a
+	// property of the shared database, not of one service.
+	EncodedStorage bool
 	// Seed is the base of the deterministic per-session seed sequence.
 	Seed int64
 }
@@ -121,6 +128,9 @@ func New(db *tpch.DB, cfg Config) *Service {
 		// panic on its first primitive lookup; default like the other
 		// fields so a hand-built Config works.
 		cfg.Flavors = primitive.Everything()
+	}
+	if cfg.EncodedStorage {
+		db.Encode()
 	}
 	svc := &Service{
 		cfg:   cfg,
@@ -263,31 +273,8 @@ func (svc *Service) Explain(q int) (string, error) {
 }
 
 // adaptationCost measures how much of a session's work went into calls
-// that did not use the flavor the session ultimately found best: the
-// exploration (plus wrong-exploitation) overhead a warm start is meant to
-// shrink. For every multi-flavor instance — pipeline-fragment instances
-// included — the best arm is the measured per-flavor mean-cost minimum;
-// calls on any other arm count as off-best.
+// that did not use the flavor the session ultimately found best, pipeline-
+// fragment instances included (see core.AdaptationCost).
 func adaptationCost(s *core.Session) (adaptive, offBest int64) {
-	for _, inst := range s.AllInstances() {
-		if len(inst.Prim.Flavors) <= 1 {
-			continue
-		}
-		adaptive += int64(inst.Calls)
-		best, bestCost := -1, 0.0
-		for i := range inst.PerFlavor {
-			fs := &inst.PerFlavor[i]
-			if fs.Tuples == 0 {
-				continue
-			}
-			c := fs.CyclesPerTuple()
-			if best < 0 || c < bestCost {
-				best, bestCost = i, c
-			}
-		}
-		if best >= 0 {
-			offBest += int64(inst.Calls - inst.PerFlavor[best].Calls)
-		}
-	}
-	return adaptive, offBest
+	return core.AdaptationCost(s.AllInstances())
 }

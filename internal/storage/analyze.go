@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"fmt"
+
+	"microadapt/internal/vector"
+)
+
+// EncodeColumn analyzes one column and returns it in the smallest encoding
+// that actually beats flat storage; incompressible columns come back flat.
+// The decision is load-time and per column — exactly the "per-instance
+// encoding" the adaptive decompression flavors then learn to scan.
+func EncodeColumn(v *vector.Vector) EncodedColumn {
+	best := NewFlatColumn(v)
+	for _, e := range []Encoding{Dict, RLE, BitPack} {
+		if c, err := EncodeColumnAs(v, e); err == nil && c.EncodedBytes() < best.EncodedBytes() {
+			best = c
+		}
+	}
+	return best
+}
+
+// EncodeColumnAs forces one encoding, erring when the column does not
+// support it (too many distinct values for Dict, non-integer or full-range
+// values for BitPack). Tests use it to pin encodings; production loading
+// goes through EncodeColumn.
+func EncodeColumnAs(v *vector.Vector, e Encoding) (EncodedColumn, error) {
+	switch e {
+	case Flat:
+		return NewFlatColumn(v), nil
+	case RLE:
+		return encodeTyped(v, func(c *vector.Vector) (EncodedColumn, bool) {
+			return rleOf(c), true
+		})
+	case Dict:
+		return encodeTyped(v, dictOf)
+	case BitPack:
+		c, ok := newBitPackColumn(v)
+		if !ok {
+			return nil, fmt.Errorf("storage: column is not bit-packable (%s)", v.Type())
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown encoding %d", e)
+	}
+}
+
+// encodeTyped dispatches a generic encoder over the vector's element type.
+func encodeTyped(v *vector.Vector, enc func(*vector.Vector) (EncodedColumn, bool)) (EncodedColumn, error) {
+	c, ok := enc(v)
+	if !ok {
+		return nil, fmt.Errorf("storage: column is not encodable this way (%s)", v.Type())
+	}
+	return c, nil
+}
+
+// rleOf instantiates the RLE encoder for the vector's element type.
+func rleOf(v *vector.Vector) EncodedColumn {
+	switch v.Type() {
+	case vector.I16:
+		return newRLEColumn[int16](v)
+	case vector.I32:
+		return newRLEColumn[int32](v)
+	case vector.I64:
+		return newRLEColumn[int64](v)
+	case vector.F64:
+		return newRLEColumn[float64](v)
+	case vector.Str:
+		return newRLEColumn[string](v)
+	default:
+		panic("storage: invalid vector type")
+	}
+}
+
+// dictOf instantiates the dictionary encoder for the vector's element type.
+func dictOf(v *vector.Vector) (EncodedColumn, bool) {
+	switch v.Type() {
+	case vector.I16:
+		return newDictColumn[int16](v)
+	case vector.I32:
+		return newDictColumn[int32](v)
+	case vector.I64:
+		return newDictColumn[int64](v)
+	case vector.F64:
+		return newDictColumn[float64](v)
+	case vector.Str:
+		return newDictColumn[string](v)
+	default:
+		panic("storage: invalid vector type")
+	}
+}
+
+// Encode analyzes every column of a relation and returns its compressed-
+// resident form.
+func Encode(name string, sch vector.Schema, cols []*vector.Vector) *EncodedTable {
+	out := make([]EncodedColumn, len(cols))
+	for i, v := range cols {
+		out[i] = EncodeColumn(v)
+	}
+	return NewEncodedTable(name, sch, out)
+}

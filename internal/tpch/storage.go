@@ -1,0 +1,62 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"microadapt/internal/engine"
+)
+
+// Tables returns the eight base tables in schema order.
+func (db *DB) Tables() []*engine.Table {
+	return []*engine.Table{
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem,
+	}
+}
+
+// Encode analyzes every base table and makes it resident in compressed
+// columnar form: plans then scan through the adaptive decompression
+// primitives instead of the flat zero-copy cursor. Encoding is idempotent;
+// it returns the database for chaining.
+func (db *DB) Encode() *DB {
+	for _, t := range db.Tables() {
+		engine.EncodeTable(t)
+	}
+	return db
+}
+
+// Encoded reports whether the database is resident in compressed form.
+func (db *DB) Encoded() bool { return db.Lineitem.Enc != nil }
+
+// StorageFootprint returns the flat byte size of all base tables and the
+// resident size under the current storage form (equal when not encoded).
+func (db *DB) StorageFootprint() (flat, resident int) {
+	for _, t := range db.Tables() {
+		for i, c := range t.Sch {
+			flat += t.Cols[i].Len() * c.Type.Width()
+		}
+		if t.Enc != nil {
+			resident += t.Enc.ResidentBytes()
+		} else {
+			for i, c := range t.Sch {
+				resident += t.Cols[i].Len() * c.Type.Width()
+			}
+		}
+	}
+	return flat, resident
+}
+
+// StorageSummary renders the analyzer's per-column encoding choices for
+// every encoded table.
+func (db *DB) StorageSummary() string {
+	var b strings.Builder
+	for _, t := range db.Tables() {
+		if t.Enc == nil {
+			fmt.Fprintf(&b, "%s: flat (not encoded)\n", t.Name)
+			continue
+		}
+		b.WriteString(t.Enc.Summary())
+	}
+	return b.String()
+}

@@ -36,6 +36,7 @@ import (
 	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/service"
+	"microadapt/internal/storage"
 	"microadapt/internal/tpch"
 )
 
@@ -102,6 +103,11 @@ type (
 	ProjExpr = engine.ProjExpr
 	// SortKey describes one ordering column.
 	SortKey = engine.SortKey
+	// EncodedTable is a relation resident in compressed columnar form.
+	EncodedTable = storage.EncodedTable
+	// EncodedColumn is one column resident in an encoding (dictionary,
+	// run-length, bit-packed, or flat passthrough).
+	EncodedColumn = storage.EncodedColumn
 )
 
 // Aggregate functions usable in plan aggregation nodes.
@@ -170,6 +176,16 @@ func BranchFlavors() FlavorOptions { return primitive.BranchSet() }
 
 // CompilerFlavors widens only the compiler axis (Table 7).
 func CompilerFlavors() FlavorOptions { return primitive.CompilerSet() }
+
+// DecompressFlavors widens only the decompression-strategy axis (the
+// compressed-storage scenario: eager vs lazy decode, operate-on-compressed
+// selection).
+func DecompressFlavors() FlavorOptions { return primitive.DecompressSet() }
+
+// EncodeTable analyzes a table's columns and makes it resident in
+// compressed columnar form; plans then scan it through the adaptive
+// decompression flavor family. Use DB.Encode to encode a whole database.
+func EncodeTable(t *Table) *EncodedTable { return engine.EncodeTable(t) }
 
 // DefaultVWParams returns the parameters the paper's trace study found
 // best: (EXPLORE_PERIOD, EXPLOIT_PERIOD, EXPLORE_LENGTH) = (1024, 8, 2).
