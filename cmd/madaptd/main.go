@@ -1,0 +1,100 @@
+// Command madaptd serves the micro-adaptive query engine over HTTP/JSON:
+// TPC-H queries by number or client-built logical plans (the plan JSON
+// wire form), executed through internal/service with per-request
+// admission control, per-client sessions, load shedding under
+// saturation, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	madaptd -addr 127.0.0.1:7433 -sf 0.01 -workers 4
+//
+// Endpoints:
+//
+//	GET    /healthz            readiness (503 once draining)
+//	GET    /metrics            latency percentiles, shed/expired counts,
+//	                           off-best %, flavor-cache hit rates
+//	POST   /v1/session         mint a client session
+//	GET    /v1/session/{id}    a session's adaptation counters
+//	DELETE /v1/session/{id}    drop a session
+//	POST   /v1/query           {"query": 6, "session": "...", ...}
+//	POST   /v1/plan            {"plan": <plan JSON>, ...}
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microadapt/internal/server"
+	"microadapt/internal/service"
+	"microadapt/internal/tpch"
+)
+
+func main() {
+	fs := flag.NewFlagSet("madaptd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7433", "listen address (host:port; port 0 picks one)")
+	sf := fs.Float64("sf", 0.01, "TPC-H scale factor of the served database")
+	seed := fs.Int64("seed", 42, "database generator seed")
+	workers := fs.Int("workers", 0, "concurrent query executors (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth beyond executing requests (-1 = none)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	retryAfter := fs.Duration("retry-after", 50*time.Millisecond, "backoff suggested on 429")
+	maxSessions := fs.Int("max-sessions", 256, "live session cap (LRU beyond it)")
+	sessionTTL := fs.Duration("session-ttl", 10*time.Minute, "idle session expiry")
+	policy := fs.String("policy", "vw-greedy", "flavor-selection policy spec")
+	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
+	encoded := fs.Bool("encoded", false, "serve a compressed-resident database")
+	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "cap on graceful shutdown")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	log.SetPrefix("madaptd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	log.Printf("generating TPC-H database (sf=%g seed=%d)", *sf, *seed)
+	db := tpch.Generate(*sf, *seed)
+
+	svcCfg := service.DefaultConfig()
+	svcCfg.Workers = *workers
+	svcCfg.Policy = *policy
+	svcCfg.PipelineParallelism = *pp
+	svcCfg.EncodedStorage = *encoded
+	svc := service.New(db, svcCfg)
+
+	run, err := server.Start(server.NewServer(server.Config{
+		Service:        svc,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+	}), *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The URL line doubles as the readiness handshake for wrappers that
+	// scrape stdout instead of polling /healthz.
+	fmt.Printf("madaptd listening on %s\n", run.URL)
+	log.Printf("serving %d tables, policy %s, workers=%d queue=%d", len(db.Tables()), *policy, *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("%s: draining (completing in-flight and queued work, rejecting new)", got)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := run.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	m := run.Server.Metrics()
+	log.Printf("drained: executed=%d shed=%d expired=%d p99=%.0fus",
+		m.Admission.Executed, m.Admission.Shed, m.Admission.Expired, m.LatencyP99US)
+}

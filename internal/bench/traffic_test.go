@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func testTraffic() Traffic {
+	return Traffic{
+		Duration: 10 * time.Second,
+		Rate:     200,
+		Mix:      UniformMix(1, 6, 14),
+		Seed:     42,
+	}
+}
+
+// TestTrafficDeterministic: the same Traffic value yields the same
+// schedule, and a different seed yields a different one.
+func TestTrafficDeterministic(t *testing.T) {
+	a, err := testTraffic().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testTraffic().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	tr := testTraffic()
+	tr.Seed = 43
+	c, err := tr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestTrafficBoundariesAndOrder: arrivals are sorted and inside the run.
+func TestTrafficBoundariesAndOrder(t *testing.T) {
+	tr := testTraffic()
+	arr, err := tr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := map[int]bool{1: true, 6: true, 14: true}
+	for i, a := range arr {
+		if a.At < 0 || a.At >= tr.Duration {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, a.At, tr.Duration)
+		}
+		if i > 0 && a.At < arr[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		if !queries[a.Query] {
+			t.Fatalf("arrival %d drew query %d outside the mix", i, a.Query)
+		}
+	}
+}
+
+// TestTrafficRate: the realized arrival count tracks Rate * Duration.
+// 2000 expected arrivals has a Poisson standard deviation of ~45, so a
+// 10% band is a > 4-sigma acceptance.
+func TestTrafficRate(t *testing.T) {
+	tr := testTraffic()
+	arr, err := tr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Rate * tr.Duration.Seconds()
+	if got := float64(len(arr)); got < 0.9*want || got > 1.1*want {
+		t.Errorf("arrivals = %v, want %v +/- 10%%", got, want)
+	}
+}
+
+// TestTrafficBurstDensity: arrivals inside a 3x burst phase are ~3x as
+// dense as outside it.
+func TestTrafficBurstDensity(t *testing.T) {
+	tr := testTraffic()
+	tr.Bursts = []Phase{{Start: 4 * time.Second, Duration: 2 * time.Second, RateMultiplier: 3}}
+	arr, err := tr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out int
+	for _, a := range arr {
+		if a.At >= 4*time.Second && a.At < 6*time.Second {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Base rate: 8s at 200/s = 1600 expected outside; burst: 2s at 600/s
+	// = 1200 expected inside.
+	inRate := float64(in) / 2
+	outRate := float64(out) / 8
+	if ratio := inRate / outRate; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("burst density ratio = %.2f (in %d, out %d), want ~3", ratio, in, out)
+	}
+}
+
+// TestTrafficSkew: a Zipf mix draws its head query far more often than
+// its tail query.
+func TestTrafficSkew(t *testing.T) {
+	tr := testTraffic()
+	tr.Mix = ZipfMix(1, 6, 1, 14, 19)
+	arr, err := tr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, a := range arr {
+		count[a.Query]++
+	}
+	// Weights 1, 1/2, 1/3, 1/4: the head gets 4x the tail's share.
+	if count[6] <= 2*count[19] {
+		t.Errorf("skew missing: head Q6 drawn %d, tail Q19 drawn %d", count[6], count[19])
+	}
+	if count[19] == 0 {
+		t.Error("tail query never drawn")
+	}
+}
+
+// TestTrafficRejectsBadConfigs: invalid models error instead of looping
+// or dividing by zero.
+func TestTrafficRejectsBadConfigs(t *testing.T) {
+	cases := []Traffic{
+		{Duration: 0, Rate: 10, Mix: UniformMix(1)},
+		{Duration: time.Second, Rate: 0, Mix: UniformMix(1)},
+		{Duration: time.Second, Rate: 10},
+		{Duration: time.Second, Rate: 10, Mix: []WeightedQuery{{Query: 1, Weight: -1}}},
+		{Duration: time.Second, Rate: 10, Mix: []WeightedQuery{{Query: 1, Weight: 0}}},
+		{Duration: time.Second, Rate: 10, Mix: UniformMix(1),
+			Bursts: []Phase{{Start: 0, Duration: time.Second, RateMultiplier: 0}}},
+	}
+	for i, tr := range cases {
+		if _, err := tr.Schedule(); err == nil {
+			t.Errorf("case %d: bad traffic model accepted", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"microadapt/internal/primitive"
 	"microadapt/internal/vector"
 )
 
@@ -10,10 +11,14 @@ import (
 // add noise to the experiments.
 
 // MapI64 applies an arbitrary scalar function to an integer column,
-// producing I64 (e.g. year-of-date extraction).
+// producing I64 (e.g. year-of-date extraction). Name is the function's
+// symbolic identity for plan serialization: a node whose function is
+// registered under Name (see plan.RegisterMapI64) survives a JSON
+// round-trip; a node with a bare Fn and no Name is unserializable.
 type MapI64 struct {
 	Child Node
 	Fn    func(int64) int64
+	Name  string  // registry name of Fn ("" = not serializable)
 	Cost  float64 // cycles per tuple; 0 means 4
 }
 
@@ -151,11 +156,14 @@ func (n *CaseEqStr) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector {
 }
 
 // CaseLikeStr evaluates to Then where the string column matches the LIKE
-// pattern (Q14's promo indicator), Else otherwise. The match function is
-// injected to avoid a dependency cycle with the primitive package.
+// pattern (Q14's promo indicator), Else otherwise. Set Pattern (a
+// simplified SQL LIKE pattern, matched with primitive.LikeMatch) for a
+// node that survives plan serialization; Match overrides Pattern with an
+// arbitrary predicate but makes the node unserializable.
 type CaseLikeStr struct {
 	Col        Node
-	Match      func(s string) bool
+	Pattern    string
+	Match      func(s string) bool // overrides Pattern when non-nil
 	Then, Else int64
 }
 
@@ -167,8 +175,13 @@ func (n *CaseLikeStr) Eval(ev *Evaluator, b *vector.Batch) *vector.Vector {
 	in := n.Col.Eval(ev, b).Str()
 	res := ev.scratch(vector.I64, b.N)
 	out := res.I64()
+	match := n.Match
+	if match == nil {
+		pattern := n.Pattern
+		match = func(s string) bool { return primitive.LikeMatch(s, pattern) }
+	}
 	apply := func(i int32) {
-		if n.Match(in[i]) {
+		if match(in[i]) {
 			out[i] = n.Then
 		} else {
 			out[i] = n.Else

@@ -1,0 +1,683 @@
+// Plan JSON codec: a wire form of the logical plan DAG, the format the
+// madaptd query server accepts. A plan marshals to a flat node list in
+// creation order (node references are indices into that list), so
+// unmarshalling replays the exact Builder calls that produced it — labels,
+// schemas and partitionability re-derive identically, which is what makes
+// the explain output and the FlavorCache instance keys of a round-tripped
+// plan indistinguishable from the original's.
+//
+// Unmarshalling is server-side validation: tables resolve through a caller
+// supplied resolver, node references must point backwards (no cycles),
+// operator and expression kinds must be known, and every schema lookup
+// failure surfaces as an error, never a panic.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/vector"
+)
+
+// MaxPlanNodes bounds the node count UnmarshalPlan accepts; a plan larger
+// than this is rejected before any rebuilding work happens (admission
+// control for plan complexity, not just queue depth).
+const MaxPlanNodes = 4096
+
+// mapI64Funcs is the registry of named scalar functions MapI64 expression
+// nodes may carry across serialization (e.g. "tpch.year_of").
+var (
+	mapI64Mu    sync.RWMutex
+	mapI64Funcs = make(map[string]func(int64) int64)
+)
+
+// RegisterMapI64 registers fn under name for the plan JSON codec.
+// Registering the same name twice is allowed (last wins) so package init
+// order never matters.
+func RegisterMapI64(name string, fn func(int64) int64) {
+	mapI64Mu.Lock()
+	defer mapI64Mu.Unlock()
+	mapI64Funcs[name] = fn
+}
+
+func lookupMapI64(name string) (func(int64) int64, bool) {
+	mapI64Mu.RLock()
+	defer mapI64Mu.RUnlock()
+	fn, ok := mapI64Funcs[name]
+	return fn, ok
+}
+
+// TableResolver maps a stored-table name to the table a deserialized scan
+// node reads. The server resolves against its TPC-H database.
+type TableResolver func(name string) (*engine.Table, bool)
+
+// jsonPlan is the wire form of a Builder.
+type jsonPlan struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Roots []jsonRoot `json:"roots"`
+}
+
+type jsonRoot struct {
+	Name string `json:"name"`
+	Node int    `json:"node"`
+}
+
+// jsonNode is the wire form of one logical node. Only the fields of its
+// kind are populated.
+type jsonNode struct {
+	Kind string `json:"kind"`
+	In   []int  `json:"in,omitempty"`
+
+	// scan
+	Table string   `json:"table,omitempty"`
+	Cols  []string `json:"cols,omitempty"`
+
+	// select
+	Preds []jsonPred `json:"preds,omitempty"`
+
+	// project
+	Exprs []jsonProjExpr `json:"exprs,omitempty"`
+
+	// aggregate
+	GroupBy []int     `json:"group_by,omitempty"`
+	Aggs    []jsonAgg `json:"aggs,omitempty"`
+
+	// hash join
+	JoinKind  string   `json:"join_kind,omitempty"`
+	BuildKey  string   `json:"build_key,omitempty"`
+	ProbeKey  string   `json:"probe_key,omitempty"`
+	Payload   []string `json:"payload,omitempty"`
+	BloomBits int      `json:"bloom_bits,omitempty"`
+
+	// merge join
+	LeftKey  string   `json:"left_key,omitempty"`
+	RightKey string   `json:"right_key,omitempty"`
+	LeftOut  []string `json:"left_out,omitempty"`
+	RightOut []string `json:"right_out,omitempty"`
+
+	// sort / top-n / limit
+	Keys  []jsonSortKey `json:"keys,omitempty"`
+	Limit int           `json:"limit,omitempty"`
+}
+
+// jsonPred mirrors engine.Pred plus the optional scalar deferral. RHSCol
+// is a pointer because 0 is a valid column index and -1 ("no column") is
+// the Go-side default.
+type jsonPred struct {
+	Col    int         `json:"col"`
+	Op     string      `json:"op"`
+	RHSCol *int        `json:"rhs_col,omitempty"`
+	I64    int64       `json:"i64,omitempty"`
+	F64    float64     `json:"f64,omitempty"`
+	Str    string      `json:"str,omitempty"`
+	Set    []string    `json:"set,omitempty"`
+	SetI32 []int32     `json:"set_i32,omitempty"`
+	Scalar *jsonScalar `json:"scalar,omitempty"`
+}
+
+type jsonScalar struct {
+	From int    `json:"from"`
+	Col  string `json:"col"`
+	Div  int64  `json:"div,omitempty"`
+}
+
+type jsonProjExpr struct {
+	Name string    `json:"name"`
+	Expr *jsonExpr `json:"expr"`
+}
+
+// jsonExpr is the tagged-union wire form of an expression tree.
+type jsonExpr struct {
+	Kind string `json:"kind"`
+
+	Idx     int       `json:"idx,omitempty"`     // col
+	I64     int64     `json:"i64,omitempty"`     // const i64
+	I32     int32     `json:"i32,omitempty"`     // const i32
+	F64     float64   `json:"f64,omitempty"`     // const f64
+	Op      string    `json:"op,omitempty"`      // bin
+	L       *jsonExpr `json:"l,omitempty"`       // bin
+	R       *jsonExpr `json:"r,omitempty"`       // bin
+	Child   *jsonExpr `json:"child,omitempty"`   // widen / to_f64 / map_i64 / substr
+	Fn      string    `json:"fn,omitempty"`      // map_i64 registry name
+	Cost    float64   `json:"cost,omitempty"`    // map_i64
+	From    int       `json:"from,omitempty"`    // substr
+	Len     int       `json:"len,omitempty"`     // substr
+	Col     *jsonExpr `json:"col,omitempty"`     // case_* input
+	Value   string    `json:"value,omitempty"`   // case_eq
+	Values  []string  `json:"values,omitempty"`  // case_in
+	Pattern string    `json:"pattern,omitempty"` // case_like
+	Then    int64     `json:"then,omitempty"`    // case_*
+	Else    int64     `json:"else,omitempty"`    // case_*
+}
+
+type jsonAgg struct {
+	Fn  string `json:"fn"`
+	Col int    `json:"col,omitempty"`
+	As  string `json:"as"`
+}
+
+type jsonSortKey struct {
+	Col  int  `json:"col"`
+	Desc bool `json:"desc,omitempty"`
+}
+
+// kindNames maps node kinds to their wire tags (and back, via wireKinds).
+var kindNames = map[Kind]string{
+	KindScan: "scan", KindSelect: "select", KindProject: "project",
+	KindAgg: "agg", KindHashJoin: "hash_join", KindMergeJoin: "merge_join",
+	KindSort: "sort", KindTopN: "top_n", KindLimit: "limit",
+}
+
+// validPredOps is the closed set of predicate operators the engine accepts.
+var validPredOps = map[string]bool{
+	"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true,
+	"like": true, "notlike": true, "in": true,
+}
+
+// MarshalPlan serializes the builder's DAG. It fails on constructs with no
+// wire form: a MapI64 without a registered function name, or a CaseLikeStr
+// with a bare Match function instead of a pattern.
+func MarshalPlan(b *Builder) ([]byte, error) {
+	jp := jsonPlan{Name: b.name}
+	for _, n := range b.nodes {
+		jn, err := encodeNode(n)
+		if err != nil {
+			return nil, fmt.Errorf("plan: marshal %s: %w", n.label, err)
+		}
+		jp.Nodes = append(jp.Nodes, jn)
+	}
+	for _, r := range b.roots {
+		jp.Roots = append(jp.Roots, jsonRoot{Name: r.Name, Node: r.Node.id})
+	}
+	return json.Marshal(&jp)
+}
+
+func encodeNode(n *Node) (jsonNode, error) {
+	jn := jsonNode{Kind: kindNames[n.kind]}
+	for _, c := range n.in {
+		jn.In = append(jn.In, c.id)
+	}
+	switch n.kind {
+	case KindScan:
+		if n.table.Name == "" {
+			return jn, fmt.Errorf("scan of unnamed table")
+		}
+		jn.Table = n.table.Name
+		jn.Cols = n.cols
+	case KindSelect:
+		for _, p := range n.preds {
+			jn.Preds = append(jn.Preds, encodePred(p))
+		}
+	case KindProject:
+		for _, e := range n.exprs {
+			je, err := encodeExpr(e.Expr)
+			if err != nil {
+				return jn, fmt.Errorf("column %s: %w", e.Name, err)
+			}
+			jn.Exprs = append(jn.Exprs, jsonProjExpr{Name: e.Name, Expr: je})
+		}
+	case KindAgg:
+		jn.GroupBy = n.groupBy
+		for _, a := range n.aggs {
+			jn.Aggs = append(jn.Aggs, jsonAgg{Fn: string(a.Fn), Col: a.Col, As: a.As})
+		}
+	case KindHashJoin:
+		switch n.joinKind {
+		case engine.InnerJoin:
+			jn.JoinKind = "inner"
+		case engine.SemiJoin:
+			jn.JoinKind = "semi"
+		case engine.AntiJoin:
+			jn.JoinKind = "anti"
+		}
+		jn.BuildKey, jn.ProbeKey = n.buildKey, n.probeKey
+		jn.Payload = n.payload
+		jn.BloomBits = n.bloomBits
+	case KindMergeJoin:
+		jn.LeftKey, jn.RightKey = n.leftKey, n.rightKey
+		jn.LeftOut, jn.RightOut = n.leftOut, n.rightOut
+	case KindSort, KindTopN, KindLimit:
+		for _, k := range n.keys {
+			jn.Keys = append(jn.Keys, jsonSortKey{Col: k.Col, Desc: k.Desc})
+		}
+		jn.Limit = n.limit
+	default:
+		return jn, fmt.Errorf("unknown node kind %d", n.kind)
+	}
+	return jn, nil
+}
+
+func encodePred(p Pred) jsonPred {
+	ep := p.pred
+	jp := jsonPred{Col: ep.Col, Op: ep.Op, I64: ep.I64, F64: ep.F64,
+		Str: ep.Str, Set: ep.Set, SetI32: ep.SetI32}
+	if ep.RHSCol >= 0 {
+		rhs := ep.RHSCol
+		jp.RHSCol = &rhs
+	}
+	if p.scalar != nil {
+		jp.Scalar = &jsonScalar{From: p.scalar.From.id, Col: p.scalar.Col, Div: p.scalar.Div}
+	}
+	return jp
+}
+
+func encodeExpr(e expr.Node) (*jsonExpr, error) {
+	switch n := e.(type) {
+	case *expr.Col:
+		return &jsonExpr{Kind: "col", Idx: n.Idx}, nil
+	case *expr.ConstI64:
+		return &jsonExpr{Kind: "i64", I64: n.V}, nil
+	case *expr.ConstI32:
+		return &jsonExpr{Kind: "i32", I32: n.V}, nil
+	case *expr.ConstF64:
+		return &jsonExpr{Kind: "f64", F64: n.V}, nil
+	case *expr.BinOp:
+		l, err := encodeExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "bin", Op: n.Op, L: l, R: r}, nil
+	case *expr.Widen:
+		c, err := encodeExpr(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "widen", Child: c}, nil
+	case *expr.ToF64:
+		c, err := encodeExpr(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "to_f64", Child: c}, nil
+	case *expr.MapI64:
+		if n.Name == "" {
+			return nil, fmt.Errorf("MapI64 with unregistered function (set Name via plan.RegisterMapI64)")
+		}
+		if _, ok := lookupMapI64(n.Name); !ok {
+			return nil, fmt.Errorf("MapI64 function %q not registered", n.Name)
+		}
+		c, err := encodeExpr(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "map_i64", Fn: n.Name, Cost: n.Cost, Child: c}, nil
+	case *expr.Substr:
+		c, err := encodeExpr(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "substr", Child: c, From: n.From, Len: n.Len}, nil
+	case *expr.CaseEqStr:
+		c, err := encodeExpr(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "case_eq", Col: c, Value: n.Value, Then: n.Then, Else: n.Else}, nil
+	case *expr.CaseInStr:
+		c, err := encodeExpr(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "case_in", Col: c, Values: n.Values, Then: n.Then, Else: n.Else}, nil
+	case *expr.CaseLikeStr:
+		if n.Match != nil || n.Pattern == "" {
+			return nil, fmt.Errorf("CaseLikeStr with opaque Match function (set Pattern instead)")
+		}
+		c, err := encodeExpr(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Kind: "case_like", Col: c, Pattern: n.Pattern, Then: n.Then, Else: n.Else}, nil
+	default:
+		return nil, fmt.Errorf("unserializable expression %T", e)
+	}
+}
+
+// UnmarshalPlan validates and rebuilds a serialized plan against the
+// resolver's tables. The rebuilt builder replays the original's node
+// creation order, so derived labels, schemas and explain output match the
+// plan that was marshalled. All validation failures — unknown tables,
+// kinds, operators or functions, out-of-range node/column references,
+// schema mismatches — return errors; nothing in this path panics, because
+// the input is wire data from an untrusted client.
+func UnmarshalPlan(data []byte, resolve TableResolver) (b *Builder, err error) {
+	// The Builder API reports schema lookup failures (bad column name, bad
+	// column index, type mismatch) by panicking: fine for hand-written
+	// plans, wrong for wire input. One recover turns every such report
+	// into a decode error.
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, fmt.Errorf("plan: invalid plan: %v", r)
+		}
+	}()
+
+	var jp jsonPlan
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	if jp.Name == "" {
+		return nil, fmt.Errorf("plan: missing name")
+	}
+	if len(jp.Nodes) == 0 {
+		return nil, fmt.Errorf("plan: no nodes")
+	}
+	if len(jp.Nodes) > MaxPlanNodes {
+		return nil, fmt.Errorf("plan: %d nodes exceeds limit %d", len(jp.Nodes), MaxPlanNodes)
+	}
+	if len(jp.Roots) == 0 {
+		return nil, fmt.Errorf("plan: no roots")
+	}
+
+	b = New(jp.Name)
+	for id, jn := range jp.Nodes {
+		if err := decodeNode(b, id, jn, resolve); err != nil {
+			return nil, fmt.Errorf("plan: node %d (%s): %w", id, jn.Kind, err)
+		}
+	}
+	for _, r := range jp.Roots {
+		if r.Node < 0 || r.Node >= len(b.nodes) {
+			return nil, fmt.Errorf("plan: root %q references node %d of %d", r.Name, r.Node, len(b.nodes))
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("plan: unnamed root")
+		}
+		b.NamedRoot(r.Name, b.nodes[r.Node])
+	}
+	return b, nil
+}
+
+// inputs resolves a node's input references; every reference must point at
+// an already-built node, which is also what makes cycles unrepresentable.
+func inputs(b *Builder, id int, refs []int, want int) ([]*Node, error) {
+	if len(refs) != want {
+		return nil, fmt.Errorf("want %d inputs, have %d", want, len(refs))
+	}
+	out := make([]*Node, len(refs))
+	for i, r := range refs {
+		if r < 0 || r >= id {
+			return nil, fmt.Errorf("input %d out of range (must be an earlier node)", r)
+		}
+		out[i] = b.nodes[r]
+	}
+	return out, nil
+}
+
+func decodeNode(b *Builder, id int, jn jsonNode, resolve TableResolver) error {
+	switch jn.Kind {
+	case "scan":
+		if _, err := inputs(b, id, jn.In, 0); err != nil {
+			return err
+		}
+		if resolve == nil {
+			return fmt.Errorf("no table resolver")
+		}
+		t, ok := resolve(jn.Table)
+		if !ok {
+			return fmt.Errorf("unknown table %q", jn.Table)
+		}
+		b.Scan(t, jn.Cols...)
+	case "select":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		preds := make([]Pred, len(jn.Preds))
+		for i, jpred := range jn.Preds {
+			p, err := decodePred(b, id, jpred, in[0].sch)
+			if err != nil {
+				return fmt.Errorf("pred %d: %w", i, err)
+			}
+			preds[i] = p
+		}
+		in[0].Select(preds...)
+	case "project":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		if len(jn.Exprs) == 0 {
+			return fmt.Errorf("project with no expressions")
+		}
+		exprs := make([]engine.ProjExpr, len(jn.Exprs))
+		for i, je := range jn.Exprs {
+			e, err := decodeExpr(je.Expr, in[0].sch)
+			if err != nil {
+				return fmt.Errorf("column %s: %w", je.Name, err)
+			}
+			exprs[i] = engine.ProjExpr{Name: je.Name, Expr: e}
+		}
+		in[0].Project(exprs...)
+	case "agg":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		for _, g := range jn.GroupBy {
+			if g < 0 || g >= len(in[0].sch) {
+				return fmt.Errorf("group-by column %d out of range", g)
+			}
+		}
+		aggs := make([]engine.AggSpec, len(jn.Aggs))
+		for i, ja := range jn.Aggs {
+			switch engine.AggFn(ja.Fn) {
+			case engine.AggSum, engine.AggCount, engine.AggMin, engine.AggMax, engine.AggAvg, engine.AggFirst:
+			default:
+				return fmt.Errorf("unknown aggregate %q", ja.Fn)
+			}
+			if engine.AggFn(ja.Fn) != engine.AggCount && (ja.Col < 0 || ja.Col >= len(in[0].sch)) {
+				return fmt.Errorf("aggregate column %d out of range", ja.Col)
+			}
+			aggs[i] = engine.AggSpec{Fn: engine.AggFn(ja.Fn), Col: ja.Col, As: ja.As}
+		}
+		in[0].Agg(jn.GroupBy, aggs...)
+	case "hash_join":
+		in, err := inputs(b, id, jn.In, 2)
+		if err != nil {
+			return err
+		}
+		var opts []JoinOption
+		if jn.BloomBits > 0 {
+			opts = append(opts, WithBloom(jn.BloomBits))
+		}
+		switch jn.JoinKind {
+		case "inner":
+			b.HashJoin(in[0], in[1], jn.BuildKey, jn.ProbeKey, jn.Payload, opts...)
+		case "semi":
+			b.SemiJoin(in[0], in[1], jn.BuildKey, jn.ProbeKey, opts...)
+		case "anti":
+			b.AntiJoin(in[0], in[1], jn.BuildKey, jn.ProbeKey, opts...)
+		default:
+			return fmt.Errorf("unknown join kind %q", jn.JoinKind)
+		}
+	case "merge_join":
+		in, err := inputs(b, id, jn.In, 2)
+		if err != nil {
+			return err
+		}
+		b.MergeJoin(in[0], in[1], jn.LeftKey, jn.RightKey, jn.LeftOut, jn.RightOut)
+	case "sort":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		keys, err := decodeKeys(jn.Keys, in[0].sch)
+		if err != nil {
+			return err
+		}
+		in[0].Sort(keys...)
+	case "top_n":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		keys, err := decodeKeys(jn.Keys, in[0].sch)
+		if err != nil {
+			return err
+		}
+		if jn.Limit < 1 {
+			return fmt.Errorf("top_n limit %d", jn.Limit)
+		}
+		in[0].TopN(jn.Limit, keys...)
+	case "limit":
+		in, err := inputs(b, id, jn.In, 1)
+		if err != nil {
+			return err
+		}
+		if jn.Limit < 1 {
+			return fmt.Errorf("limit %d", jn.Limit)
+		}
+		in[0].Limit(jn.Limit)
+	default:
+		return fmt.Errorf("unknown node kind %q", jn.Kind)
+	}
+	return nil
+}
+
+func decodeKeys(jks []jsonSortKey, sch vector.Schema) ([]engine.SortKey, error) {
+	if len(jks) == 0 {
+		return nil, fmt.Errorf("no sort keys")
+	}
+	keys := make([]engine.SortKey, len(jks))
+	for i, jk := range jks {
+		if jk.Col < 0 || jk.Col >= len(sch) {
+			return nil, fmt.Errorf("sort column %d out of range", jk.Col)
+		}
+		keys[i] = engine.SortKey{Col: jk.Col, Desc: jk.Desc}
+	}
+	return keys, nil
+}
+
+func decodePred(b *Builder, id int, jp jsonPred, sch vector.Schema) (Pred, error) {
+	if !validPredOps[jp.Op] {
+		return Pred{}, fmt.Errorf("unknown operator %q", jp.Op)
+	}
+	if jp.Col < 0 || jp.Col >= len(sch) {
+		return Pred{}, fmt.Errorf("column %d out of range", jp.Col)
+	}
+	ep := engine.Pred{Col: jp.Col, Op: jp.Op, RHSCol: -1,
+		I64: jp.I64, F64: jp.F64, Str: jp.Str, Set: jp.Set, SetI32: jp.SetI32}
+	if jp.RHSCol != nil {
+		if *jp.RHSCol < 0 || *jp.RHSCol >= len(sch) {
+			return Pred{}, fmt.Errorf("rhs column %d out of range", *jp.RHSCol)
+		}
+		ep.RHSCol = *jp.RHSCol
+	}
+	p := Pred{pred: ep}
+	if jp.Scalar != nil {
+		if jp.Scalar.From < 0 || jp.Scalar.From >= id {
+			return Pred{}, fmt.Errorf("scalar source %d out of range (must be an earlier node)", jp.Scalar.From)
+		}
+		src := b.nodes[jp.Scalar.From]
+		if _, err := indexOf(src.sch, jp.Scalar.Col); err != nil {
+			return Pred{}, fmt.Errorf("scalar column: %w", err)
+		}
+		p.scalar = &Scalar{From: src, Col: jp.Scalar.Col, Div: jp.Scalar.Div}
+	}
+	return p, nil
+}
+
+// indexOf is the error-returning twin of Schema.MustIndexOf for wire input.
+func indexOf(sch vector.Schema, name string) (int, error) {
+	for i, c := range sch {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("unknown column %q", name)
+}
+
+func decodeExpr(je *jsonExpr, sch vector.Schema) (expr.Node, error) {
+	if je == nil {
+		return nil, fmt.Errorf("missing expression")
+	}
+	switch je.Kind {
+	case "col":
+		if je.Idx < 0 || je.Idx >= len(sch) {
+			return nil, fmt.Errorf("column %d out of range", je.Idx)
+		}
+		return &expr.Col{Idx: je.Idx}, nil
+	case "i64":
+		return &expr.ConstI64{V: je.I64}, nil
+	case "i32":
+		return &expr.ConstI32{V: je.I32}, nil
+	case "f64":
+		return &expr.ConstF64{V: je.F64}, nil
+	case "bin":
+		switch je.Op {
+		case "+", "-", "*", "/":
+		default:
+			return nil, fmt.Errorf("unknown arithmetic operator %q", je.Op)
+		}
+		l, err := decodeExpr(je.L, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(je.R, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.BinOp{Op: je.Op, L: l, R: r}, nil
+	case "widen":
+		c, err := decodeExpr(je.Child, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Widen{Child: c}, nil
+	case "to_f64":
+		c, err := decodeExpr(je.Child, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.ToF64{Child: c}, nil
+	case "map_i64":
+		fn, ok := lookupMapI64(je.Fn)
+		if !ok {
+			return nil, fmt.Errorf("unknown map function %q", je.Fn)
+		}
+		c, err := decodeExpr(je.Child, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.MapI64{Child: c, Fn: fn, Name: je.Fn, Cost: je.Cost}, nil
+	case "substr":
+		if je.From < 0 || je.Len < 0 {
+			return nil, fmt.Errorf("substr bounds [%d, +%d)", je.From, je.Len)
+		}
+		c, err := decodeExpr(je.Child, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Substr{Child: c, From: je.From, Len: je.Len}, nil
+	case "case_eq":
+		c, err := decodeExpr(je.Col, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.CaseEqStr{Col: c, Value: je.Value, Then: je.Then, Else: je.Else}, nil
+	case "case_in":
+		c, err := decodeExpr(je.Col, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.CaseInStr{Col: c, Values: je.Values, Then: je.Then, Else: je.Else}, nil
+	case "case_like":
+		if je.Pattern == "" {
+			return nil, fmt.Errorf("case_like without pattern")
+		}
+		c, err := decodeExpr(je.Col, sch)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.CaseLikeStr{Col: c, Pattern: je.Pattern, Then: je.Then, Else: je.Else}, nil
+	default:
+		return nil, fmt.Errorf("unknown expression kind %q", je.Kind)
+	}
+}

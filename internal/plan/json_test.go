@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/expr"
+	"microadapt/internal/vector"
+)
+
+// jsonTestTable builds a small named table for codec tests.
+func jsonTestTable() *engine.Table {
+	return engine.NewTable("t",
+		vector.Schema{{Name: "a", Type: vector.I64}, {Name: "b", Type: vector.I64}},
+		[]*vector.Vector{
+			vector.FromI64([]int64{3, 1, 2, 5, 4}),
+			vector.FromI64([]int64{30, 10, 20, 50, 40}),
+		})
+}
+
+func jsonTestResolver(t *engine.Table) TableResolver {
+	return func(name string) (*engine.Table, bool) {
+		if name == t.Name {
+			return t, true
+		}
+		return nil, false
+	}
+}
+
+// mutate unmarshals the wire form into a generic document, applies f, and
+// re-marshals — the codec equivalent of a hostile client editing one field.
+func mutate(t *testing.T, data []byte, f func(doc map[string]any)) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	f(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func node(doc map[string]any, i int) map[string]any {
+	return doc["nodes"].([]any)[i].(map[string]any)
+}
+
+// TestJSONRejectsMalformedPlans feeds the decoder a corpus of invalid wire
+// plans; every one must come back as an error — never a panic, never a
+// silently mis-built plan.
+func TestJSONRejectsMalformedPlans(t *testing.T) {
+	tab := jsonTestTable()
+	b := New("T")
+	sel := b.Scan(tab, "a", "b").Select(CmpVal(0, ">", 1))
+	b.Root(sel.Agg(nil, engine.Agg(engine.AggSum, 1, "s")))
+	valid, err := MarshalPlan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPlan(valid, jsonTestResolver(tab)); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"junk", []byte("{"), "unexpected end"},
+		{"no nodes", []byte(`{"name":"T","nodes":[],"roots":[{"name":"out","node":0}]}`), "no nodes"},
+		{"no roots", mutate(t, valid, func(d map[string]any) { d["roots"] = []any{} }), "no roots"},
+		{"no name", mutate(t, valid, func(d map[string]any) { d["name"] = "" }), "missing name"},
+		{"unknown table", mutate(t, valid, func(d map[string]any) { node(d, 0)["table"] = "nope" }), "unknown table"},
+		{"unknown kind", mutate(t, valid, func(d map[string]any) { node(d, 1)["kind"] = "warp" }), "unknown node kind"},
+		{"unknown op", mutate(t, valid, func(d map[string]any) {
+			node(d, 1)["preds"].([]any)[0].(map[string]any)["op"] = "~="
+		}), "unknown operator"},
+		{"pred column out of range", mutate(t, valid, func(d map[string]any) {
+			node(d, 1)["preds"].([]any)[0].(map[string]any)["col"] = 9.0
+		}), "out of range"},
+		{"forward input reference", mutate(t, valid, func(d map[string]any) {
+			node(d, 1)["in"] = []any{2.0} // select fed by its own consumer: a cycle
+		}), "earlier node"},
+		{"self input reference", mutate(t, valid, func(d map[string]any) {
+			node(d, 1)["in"] = []any{1.0}
+		}), "earlier node"},
+		{"root out of range", mutate(t, valid, func(d map[string]any) {
+			d["roots"].([]any)[0].(map[string]any)["node"] = 7.0
+		}), "references node"},
+		{"unknown aggregate", mutate(t, valid, func(d map[string]any) {
+			node(d, 2)["aggs"].([]any)[0].(map[string]any)["fn"] = "median"
+		}), "unknown aggregate"},
+		{"scan with inputs", mutate(t, valid, func(d map[string]any) {
+			node(d, 0)["in"] = []any{0.0}
+		}), "inputs"},
+		{"wrong input arity", mutate(t, valid, func(d map[string]any) {
+			node(d, 1)["in"] = []any{}
+		}), "inputs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalPlan(tc.data, jsonTestResolver(tab))
+			if err == nil {
+				t.Fatalf("accepted invalid plan %s", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJSONRecoversSchemaPanics drives wire input into Builder paths that
+// report failure by panicking (bad join key names) and asserts the decoder
+// converts them to errors.
+func TestJSONRecoversSchemaPanics(t *testing.T) {
+	tab := jsonTestTable()
+	b := New("J")
+	left := b.Scan(tab, "a", "b")
+	right := b.Scan(tab, "a")
+	b.Root(b.HashJoin(left, right, "b", "a", []string{"b"}))
+	valid, err := MarshalPlan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mutate(t, valid, func(d map[string]any) { node(d, 2)["build_key"] = "zzz" })
+	if _, err := UnmarshalPlan(bad, jsonTestResolver(tab)); err == nil {
+		t.Fatal("accepted join with unknown key column")
+	} else if !strings.Contains(err.Error(), "invalid plan") {
+		t.Errorf("panic not converted to decode error: %v", err)
+	}
+}
+
+// TestJSONUnserializableExprs pins the marshal-side contract: expression
+// nodes carrying opaque Go functions refuse to serialize instead of
+// producing a wire form that cannot be rebuilt.
+func TestJSONUnserializableExprs(t *testing.T) {
+	tab := jsonTestTable()
+
+	b := New("M")
+	scan := b.Scan(tab, "a")
+	b.Root(scan.Project(engine.ProjExpr{Name: "x", Expr: &expr.MapI64{
+		Child: scan.Col("a"), Fn: func(v int64) int64 { return v }}}))
+	if _, err := MarshalPlan(b); err == nil || !strings.Contains(err.Error(), "RegisterMapI64") {
+		t.Errorf("unnamed MapI64 marshalled: %v", err)
+	}
+
+	b2 := New("L")
+	scan2 := b2.Scan(tab, "a")
+	b2.Root(scan2.Project(engine.ProjExpr{Name: "x", Expr: &expr.CaseLikeStr{
+		Col: scan2.Col("a"), Match: func(string) bool { return true }, Then: 1}}))
+	if _, err := MarshalPlan(b2); err == nil || !strings.Contains(err.Error(), "Pattern") {
+		t.Errorf("opaque CaseLikeStr marshalled: %v", err)
+	}
+}
+
+// TestJSONRegisteredMapFn round-trips a MapI64 through the registry.
+func TestJSONRegisteredMapFn(t *testing.T) {
+	RegisterMapI64("test.double", func(v int64) int64 { return 2 * v })
+	tab := jsonTestTable()
+	build := func() *Builder {
+		b := New("R")
+		scan := b.Scan(tab, "a")
+		b.Root(scan.Project(engine.ProjExpr{Name: "x", Expr: &expr.MapI64{
+			Child: scan.Col("a"), Name: "test.double",
+			Fn: func(v int64) int64 { return 2 * v }}}))
+		return b
+	}
+	data, err := MarshalPlan(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := UnmarshalPlan(data, jsonTestResolver(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.Explain(1), build().Explain(1); got != want {
+		t.Errorf("explain drift:\n%s\nvs\n%s", got, want)
+	}
+	bad := mutate(t, data, func(d map[string]any) {
+		node(d, 1)["exprs"].([]any)[0].(map[string]any)["expr"].(map[string]any)["fn"] = "test.missing"
+	})
+	if _, err := UnmarshalPlan(bad, jsonTestResolver(tab)); err == nil || !strings.Contains(err.Error(), "unknown map function") {
+		t.Errorf("unknown map function accepted: %v", err)
+	}
+}

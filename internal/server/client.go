@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks madaptd's wire protocol. A shed (429) or drain (503)
+// answer is a well-formed protocol outcome, not an error: the soak
+// harness must distinguish "the server said back off" (expected under
+// overload) from a genuinely broken exchange.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for a server base URL ("http://host:port").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 2 * time.Minute}}
+}
+
+// Outcome is one request's protocol-level result.
+type Outcome struct {
+	Status int
+	// Response is set on 200.
+	Response *QueryResponse
+	// Err is set on non-2xx, decoded from the error body.
+	Err *ErrorResponse
+	// RetryAfter is the suggested backoff on 429.
+	RetryAfter time.Duration
+}
+
+// Shed reports a 429 load-shed answer.
+func (o *Outcome) Shed() bool { return o.Status == http.StatusTooManyRequests }
+
+// Draining reports a 503 drain answer.
+func (o *Outcome) Draining() bool { return o.Status == http.StatusServiceUnavailable }
+
+// OK reports a 200 answer.
+func (o *Outcome) OK() bool { return o.Status == http.StatusOK }
+
+func (c *Client) post(path string, body any) (*Outcome, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return decodeOutcome(resp)
+}
+
+func decodeOutcome(resp *http.Response) (*Outcome, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		var qr QueryResponse
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			return nil, fmt.Errorf("server: malformed 200 body %q: %w", raw, err)
+		}
+		out.Response = &qr
+		return out, nil
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		return nil, fmt.Errorf("server: malformed error body (status %d) %q: %w", resp.StatusCode, raw, err)
+	}
+	out.Err = &er
+	if er.RetryAfterMS > 0 {
+		out.RetryAfter = time.Duration(er.RetryAfterMS) * time.Millisecond
+	}
+	return out, nil
+}
+
+// CreateSession mints a server-side session and returns its id.
+func (c *Client) CreateSession() (string, error) {
+	resp, err := c.http.Post(c.base+"/v1/session", "application/json", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: create session: status %d: %s", resp.StatusCode, raw)
+	}
+	var sr SessionResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return "", err
+	}
+	return sr.Session, nil
+}
+
+// DeleteSession drops a session; unknown ids are an error.
+func (c *Client) DeleteSession(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/session/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server: delete session %s: status %d: %s", id, resp.StatusCode, raw)
+	}
+	return nil
+}
+
+// SessionStats fetches a session's accumulated adaptation counters.
+func (c *Client) SessionStats(id string) (SessionStats, error) {
+	resp, err := c.http.Get(c.base + "/v1/session/" + id)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return SessionStats{}, fmt.Errorf("server: session stats %s: status %d: %s", id, resp.StatusCode, raw)
+	}
+	var st SessionStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return SessionStats{}, err
+	}
+	return st, nil
+}
+
+// Query runs one TPC-H query.
+func (c *Client) Query(req QueryRequest) (*Outcome, error) { return c.post("/v1/query", req) }
+
+// Plan ships a marshalled plan for server-side validation and execution.
+func (c *Client) Plan(req PlanRequest) (*Outcome, error) { return c.post("/v1/plan", req) }
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics() (MetricsSnapshot, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return MetricsSnapshot{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MetricsSnapshot{}, errors.New("server: metrics: non-200")
+	}
+	return m, nil
+}
+
+// Healthy reports whether /healthz answers 200.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// WaitReady polls /healthz until it answers 200 or the timeout passes —
+// the shared readiness helper for tests, the soak harness, and CI.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Healthy() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("server: %s not ready after %v", c.base, timeout)
+}

@@ -1,0 +1,177 @@
+// Wire protocol of madaptd: the JSON request/response bodies, the result
+// fingerprint, and a typed-column table encoding that survives a JSON
+// round trip bit-identically (encoding/json prints float64 in shortest
+// form, which decodes back to the same bits).
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/service"
+	"microadapt/internal/vector"
+)
+
+// QueryRequest asks the server to run one TPC-H query by number.
+type QueryRequest struct {
+	// Session is a session id from POST /v1/session; empty runs
+	// sessionless (still warm-started from the shared cache, but not
+	// counted against any client session).
+	Session string `json:"session,omitempty"`
+	// Query is the TPC-H query number, 1-22.
+	Query int `json:"query"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IncludeResult returns the full result table, not just its
+	// fingerprint. The soak harness samples with this on to prove wire
+	// results bit-identical to in-process execution.
+	IncludeResult bool `json:"include_result,omitempty"`
+}
+
+// PlanRequest ships a client-built logical plan (the plan JSON wire form
+// produced by plan.MarshalPlan) for server-side validation and execution.
+type PlanRequest struct {
+	Session       string          `json:"session,omitempty"`
+	Plan          json.RawMessage `json:"plan"`
+	TimeoutMS     int             `json:"timeout_ms,omitempty"`
+	IncludeResult bool            `json:"include_result,omitempty"`
+}
+
+// StatsJSON is the per-job execution statistics in wire form.
+type StatsJSON struct {
+	LatencyUS     int64   `json:"latency_us"`
+	PrimCycles    float64 `json:"prim_cycles"`
+	Instances     int     `json:"instances"`
+	AdaptiveCalls int64   `json:"adaptive_calls"`
+	OffBestCalls  int64   `json:"off_best_calls"`
+}
+
+func statsJSON(st service.JobStats) StatsJSON {
+	return StatsJSON{
+		LatencyUS:     st.Latency.Microseconds(),
+		PrimCycles:    st.PrimCycles,
+		Instances:     st.Instances,
+		AdaptiveCalls: st.AdaptiveCalls,
+		OffBestCalls:  st.OffBestCalls,
+	}
+}
+
+// QueryResponse is the success body of /v1/query and /v1/plan.
+type QueryResponse struct {
+	Query       int        `json:"query,omitempty"` // 0 for plan requests
+	Plan        string     `json:"plan,omitempty"`  // plan name for plan requests
+	Session     string     `json:"session,omitempty"`
+	Rows        int        `json:"rows"`
+	Fingerprint string     `json:"fingerprint"`
+	Stats       StatsJSON  `json:"stats"`
+	Result      *TableJSON `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 (load shed): how long the client
+	// should back off. Mirrors the Retry-After header in milliseconds,
+	// since the header's granularity is whole seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// SessionResponse is the body of POST /v1/session.
+type SessionResponse struct {
+	Session string `json:"session"`
+}
+
+// Fingerprint digests a result table — full render plus row count, the
+// same material the service equivalence tests compare — into a short hex
+// string clients can check without shipping the table.
+func Fingerprint(t *engine.Table) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%srows=%d", engine.TableString(t, 0), t.Rows())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ColumnJSON is one typed column of a wire-encoded result. Exactly one of
+// the value arrays is set, per Type.
+type ColumnJSON struct {
+	Name string `json:"name"`
+	// Type uses the engine's type names: schr, sint, slng, dbl, str.
+	// Integer columns of every width travel in I64.
+	Type string    `json:"type"`
+	I64  []int64   `json:"i64,omitempty"`
+	F64  []float64 `json:"f64,omitempty"`
+	Str  []string  `json:"str,omitempty"`
+}
+
+// TableJSON is a result table in wire form.
+type TableJSON struct {
+	Name string       `json:"name"`
+	Rows int          `json:"rows"`
+	Cols []ColumnJSON `json:"cols"`
+}
+
+// EncodeTable converts a result table to wire form.
+func EncodeTable(t *engine.Table) *TableJSON {
+	out := &TableJSON{Name: t.Name, Rows: t.Rows(), Cols: make([]ColumnJSON, len(t.Sch))}
+	for ci, f := range t.Sch {
+		col := ColumnJSON{Name: f.Name, Type: f.Type.String()}
+		v := t.Cols[ci]
+		switch f.Type {
+		case vector.I16, vector.I32, vector.I64:
+			col.I64 = make([]int64, t.Rows())
+			for r := range col.I64 {
+				col.I64[r] = v.GetI64(r)
+			}
+		case vector.F64:
+			col.F64 = make([]float64, t.Rows())
+			for r := range col.F64 {
+				col.F64[r] = v.GetF64(r)
+			}
+		case vector.Str:
+			col.Str = make([]string, t.Rows())
+			for r := range col.Str {
+				col.Str[r] = v.GetStr(r)
+			}
+		}
+		out.Cols[ci] = col
+	}
+	return out
+}
+
+// Equal reports whether two wire tables hold bit-identical results. Float
+// comparison is exact (==, no epsilon): the whole point of the wire
+// encoding is that a JSON round trip preserves float64 bits, so any
+// difference is a real divergence.
+func (t *TableJSON) Equal(o *TableJSON) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Rows != o.Rows || len(t.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range t.Cols {
+		a, b := &t.Cols[i], &o.Cols[i]
+		if a.Name != b.Name || a.Type != b.Type ||
+			len(a.I64) != len(b.I64) || len(a.F64) != len(b.F64) || len(a.Str) != len(b.Str) {
+			return false
+		}
+		for r := range a.I64 {
+			if a.I64[r] != b.I64[r] {
+				return false
+			}
+		}
+		for r := range a.F64 {
+			if a.F64[r] != b.F64[r] {
+				return false
+			}
+		}
+		for r := range a.Str {
+			if a.Str[r] != b.Str[r] {
+				return false
+			}
+		}
+	}
+	return true
+}

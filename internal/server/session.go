@@ -1,0 +1,161 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// session is one client's identity on the server. Execution state (flavor
+// knowledge) lives in the service's shared FlavorCache, not here — a
+// session exists so the server can attribute load and adaptation metrics
+// to a client and so tests can watch off-best fractions fall as the cache
+// warms across a session's query stream.
+type session struct {
+	id       string
+	created  time.Time
+	lastUsed time.Time
+
+	queries  int64
+	adaptive int64
+	offBest  int64
+}
+
+// SessionStats is one session's public snapshot.
+type SessionStats struct {
+	ID            string `json:"id"`
+	Queries       int64  `json:"queries"`
+	AdaptiveCalls int64  `json:"adaptive_calls"`
+	OffBestCalls  int64  `json:"off_best_calls"`
+}
+
+// sessionMap tracks live sessions with a TTL and a size cap. When the cap
+// is hit, the least recently used session is evicted — a client that lost
+// its session gets 404 and creates a new one, losing only attribution,
+// never correctness (the FlavorCache it warmed survives).
+type sessionMap struct {
+	mu   sync.Mutex
+	m    map[string]*session
+	max  int
+	ttl  time.Duration
+	now  func() time.Time // injectable for eviction tests
+	seq  int64            // tiebreak id source if crypto/rand fails
+	evd  int64            // sessions evicted (LRU or TTL)
+	made int64            // sessions ever created
+}
+
+func newSessionMap(max int, ttl time.Duration, now func() time.Time) *sessionMap {
+	if max < 1 {
+		max = 256
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &sessionMap{m: make(map[string]*session), max: max, ttl: ttl, now: now}
+}
+
+// create mints a new session, evicting expired then LRU entries to stay
+// under the cap.
+func (sm *sessionMap) create() *session {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	now := sm.now()
+	sm.expireLocked(now)
+	for len(sm.m) >= sm.max {
+		sm.evictOldestLocked()
+	}
+	id := sm.newIDLocked()
+	s := &session{id: id, created: now, lastUsed: now}
+	sm.m[id] = s
+	sm.made++
+	return s
+}
+
+func (sm *sessionMap) newIDLocked() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		sm.seq++
+		return hex.EncodeToString([]byte{byte(sm.seq >> 8), byte(sm.seq)})
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// touch looks up a session and marks it used; false if unknown or expired.
+func (sm *sessionMap) touch(id string) (*session, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	now := sm.now()
+	sm.expireLocked(now)
+	s, ok := sm.m[id]
+	if !ok {
+		return nil, false
+	}
+	s.lastUsed = now
+	return s, true
+}
+
+// record accumulates one executed query's adaptation stats onto a session.
+func (sm *sessionMap) record(id string, adaptive, offBest int64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if s, ok := sm.m[id]; ok {
+		s.queries++
+		s.adaptive += adaptive
+		s.offBest += offBest
+	}
+}
+
+// drop removes a session; false if it did not exist.
+func (sm *sessionMap) drop(id string) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	_, ok := sm.m[id]
+	delete(sm.m, id)
+	return ok
+}
+
+// stats returns a session's snapshot.
+func (sm *sessionMap) stats(id string) (SessionStats, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.expireLocked(sm.now())
+	s, ok := sm.m[id]
+	if !ok {
+		return SessionStats{}, false
+	}
+	return SessionStats{ID: s.id, Queries: s.queries, AdaptiveCalls: s.adaptive, OffBestCalls: s.offBest}, true
+}
+
+func (sm *sessionMap) expireLocked(now time.Time) {
+	for id, s := range sm.m {
+		if now.Sub(s.lastUsed) > sm.ttl {
+			delete(sm.m, id)
+			sm.evd++
+		}
+	}
+}
+
+func (sm *sessionMap) evictOldestLocked() {
+	var oldest *session
+	for _, s := range sm.m {
+		if oldest == nil || s.lastUsed.Before(oldest.lastUsed) {
+			oldest = s
+		}
+	}
+	if oldest != nil {
+		delete(sm.m, oldest.id)
+		sm.evd++
+	}
+}
+
+// counts snapshots (live, created, evicted) for /metrics.
+func (sm *sessionMap) counts() (live int, created, evicted int64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.expireLocked(sm.now())
+	return len(sm.m), sm.made, sm.evd
+}

@@ -9,6 +9,7 @@ import (
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/hw"
+	"microadapt/internal/plan"
 	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/tpch"
@@ -261,6 +262,55 @@ func (svc *Service) Execute(q int) (*engine.Table, JobStats, error) {
 	st.AdaptiveCalls, st.OffBestCalls = adaptationCost(s)
 	return tab, st, nil
 }
+
+// ExecutePlan runs an arbitrary logical plan — typically one a client
+// shipped over the wire and the plan JSON codec rebuilt — in a fresh
+// warm-started session, harvests the learned flavor knowledge exactly like
+// Execute, and returns the materialized main root. All registered roots
+// run (sharing materialized subtrees), so a multi-root plan's side outputs
+// learn too, but only the main root's table is returned.
+//
+// Unlike the hand-audited TPC-H specs, a wire plan can reach engine states
+// the builder's validation cannot rule out statically (type mismatches
+// deep in an expression, a merge join over unsorted input); the engine
+// reports those by panicking. A network server must not crash on a bad
+// plan, so this is the one execution path that converts panics to errors.
+func (svc *Service) ExecutePlan(b *plan.Builder) (tab *engine.Table, st JobStats, err error) {
+	if svc.policyErr != nil {
+		return nil, JobStats{}, fmt.Errorf("service: %w", svc.policyErr)
+	}
+	if len(b.Roots()) == 0 {
+		return nil, JobStats{}, fmt.Errorf("service: plan %s has no roots", b.Name())
+	}
+	s := svc.newSession()
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			tab, st, err = nil, JobStats{Latency: time.Since(start)},
+				fmt.Errorf("service: plan %s: %v", b.Name(), r)
+		}
+	}()
+	exec := b.Bind(s)
+	for _, root := range b.Roots() {
+		t, rerr := exec.Run(root.Node)
+		if rerr != nil {
+			return nil, JobStats{Latency: time.Since(start)}, fmt.Errorf("service: plan %s: %w", b.Name(), rerr)
+		}
+		if tab == nil {
+			tab = t
+		}
+	}
+	st = JobStats{Latency: time.Since(start)}
+	svc.cache.Harvest(s)
+	st.PrimCycles = s.Ctx.PrimCycles
+	st.Instances = len(s.AllInstances())
+	st.AdaptiveCalls, st.OffBestCalls = adaptationCost(s)
+	return tab, st, nil
+}
+
+// DB exposes the shared database (the server's plan codec resolves scan
+// tables against it).
+func (svc *Service) DB() *tpch.DB { return svc.db }
 
 // Explain renders TPC-H query q's logical plan and the physical lowering
 // the service's sessions will execute — including which pipelines fan out

@@ -1,0 +1,102 @@
+package tpch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/hw"
+	"microadapt/internal/plan"
+	"microadapt/internal/primitive"
+)
+
+// resolveTest resolves scan tables against the shared test database, the
+// way the query server resolves client plans against its own.
+func resolveTest(name string) (*engine.Table, bool) { return testDB.TableByName(name) }
+
+// TestPlanJSONRoundTrip is the codec property test over the full query
+// corpus: every TPC-H logical DAG must marshal -> unmarshal -> explain
+// identically, at P=1 and P=4, and the round-tripped explain must equal
+// the committed golden file — so the wire form provably carries everything
+// the planner derives labels, schemas and partitionability from. A second
+// marshal of the rebuilt plan must reproduce the wire bytes (the encoding
+// is canonical, not just lossless).
+func TestPlanJSONRoundTrip(t *testing.T) {
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			orig := q.Plan(testDB)
+			data, err := plan.MarshalPlan(orig)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			rebuilt, err := plan.UnmarshalPlan(data, resolveTest)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			for _, p := range []int{1, 4} {
+				if got, want := rebuilt.Explain(p), orig.Explain(p); got != want {
+					t.Fatalf("explain(P=%d) drift after round trip:\ngot:\n%s\nwant:\n%s", p, got, want)
+				}
+			}
+			golden := fmt.Sprintf("# golden explain for TPC-H Q%02d (testDB sf=0.005 seed=42)\n", q.ID) +
+				rebuilt.Explain(1) + rebuilt.Explain(4)
+			path := filepath.Join("testdata", "explain", fmt.Sprintf("q%02d.golden", q.ID))
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			if golden != string(want) {
+				t.Errorf("round-tripped plan differs from golden %s", path)
+			}
+			again, err := plan.MarshalPlan(rebuilt)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(again) != string(data) {
+				t.Errorf("re-marshal not canonical:\nfirst:  %s\nsecond: %s", data, again)
+			}
+		})
+	}
+}
+
+// TestPlanJSONExecutesIdentically executes round-tripped plans and asserts
+// the result tables are bit-identical to the original plans' — the
+// correctness contract the soak harness leans on when it replays wire
+// plans against in-process execution.
+func TestPlanJSONExecutesIdentically(t *testing.T) {
+	queries := []int{1, 6, 11, 14, 19, 22} // group-by, scalar subquery, map fn, case exprs, disjunct roots
+	if testing.Short() {
+		queries = []int{6, 14}
+	}
+	session := func() *core.Session {
+		dict := primitive.NewDictionary(primitive.Defaults())
+		return core.NewSession(dict, hw.Machine1(), core.WithVectorSize(128), core.WithSeed(11))
+	}
+	for _, qn := range queries {
+		q := Query(qn)
+		orig := q.Plan(testDB)
+		data, err := plan.MarshalPlan(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", q.Name, err)
+		}
+		rebuilt, err := plan.UnmarshalPlan(data, resolveTest)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", q.Name, err)
+		}
+		want, err := orig.Bind(session()).Run(orig.MainRoot())
+		if err != nil {
+			t.Fatalf("%s: run original: %v", q.Name, err)
+		}
+		got, err := rebuilt.Bind(session()).Run(rebuilt.MainRoot())
+		if err != nil {
+			t.Fatalf("%s: run rebuilt: %v", q.Name, err)
+		}
+		if tableFingerprint(got) != tableFingerprint(want) {
+			t.Errorf("%s: round-tripped plan result differs from original", q.Name)
+		}
+	}
+}

@@ -232,9 +232,7 @@ func q14Plan(db *DB) *plan.Builder {
 	proj := j.Project(
 		engine.ProjExpr{Name: "rev", Expr: rev},
 		engine.ProjExpr{Name: "promo_rev", Expr: expr.Mul(
-			&expr.CaseLikeStr{Col: j.Col("p_type"), Match: func(v string) bool {
-				return len(v) >= 5 && v[:5] == "PROMO"
-			}, Then: 1, Else: 0},
+			&expr.CaseLikeStr{Col: j.Col("p_type"), Pattern: "PROMO%", Then: 1, Else: 0},
 			rev)})
 	agg := proj.Agg(nil,
 		engine.Agg(engine.AggSum, 1, "promo"),

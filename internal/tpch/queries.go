@@ -74,10 +74,14 @@ func revenue(n *plan.Node, priceCol, discCol string) expr.Node {
 		&expr.ConstI64{V: 100})
 }
 
-// yearOf builds year(dateCol) as an expression.
+// yearOf builds year(dateCol) as an expression. The function carries its
+// registry name so the node survives plan JSON serialization.
 func yearOf(n *plan.Node, dateCol string) expr.Node {
-	return &expr.MapI64{Child: expr.ToI64(n.Col(dateCol)), Fn: YearOf}
+	return &expr.MapI64{Child: expr.ToI64(n.Col(dateCol)), Fn: YearOf, Name: "tpch.year_of"}
 }
+
+// The plan JSON codec rebuilds MapI64 nodes from this registration.
+func init() { plan.RegisterMapI64("tpch.year_of", YearOf) }
 
 // packKey builds partkey*1_000_000 + suppkey, the composite-key packing
 // used for partsupp joins (Q9, Q20).

@@ -15,6 +15,19 @@ func (db *DB) Tables() []*engine.Table {
 	}
 }
 
+// TableByName resolves a base table by its schema name ("lineitem",
+// "orders", ...); the second result is false for unknown names. It is the
+// table resolver the plan JSON codec uses to rebuild client-shipped plans
+// against this database.
+func (db *DB) TableByName(name string) (*engine.Table, bool) {
+	for _, t := range db.Tables() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
 // Encode analyzes every base table and makes it resident in compressed
 // columnar form: plans then scan through the adaptive decompression
 // primitives instead of the flat zero-copy cursor. Encoding is idempotent;

@@ -35,6 +35,7 @@ import (
 	"microadapt/internal/plan"
 	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
+	"microadapt/internal/server"
 	"microadapt/internal/service"
 	"microadapt/internal/storage"
 	"microadapt/internal/tpch"
@@ -108,6 +109,23 @@ type (
 	// EncodedColumn is one column resident in an encoding (dictionary,
 	// run-length, bit-packed, or flat passthrough).
 	EncodedColumn = storage.EncodedColumn
+	// Server is the HTTP/JSON serving layer over a Service: per-client
+	// sessions, bounded admission with per-request deadlines, load
+	// shedding, graceful drain, and a metrics endpoint (see
+	// internal/server and cmd/madaptd).
+	Server = server.Server
+	// ServerConfig parameterizes a Server.
+	ServerConfig = server.Config
+	// ServerClient talks the madaptd wire protocol.
+	ServerClient = server.Client
+	// SoakConfig parameterizes a sustained open-loop load run against a
+	// server, with sampled bit-identical result verification.
+	SoakConfig = server.SoakConfig
+	// SoakReport is a soak run's outcome; Validate applies the acceptance
+	// criteria (zero protocol errors, zero mismatches, stable p99).
+	SoakReport = server.SoakReport
+	// TableResolver resolves scan-table names when decoding wire plans.
+	TableResolver = plan.TableResolver
 )
 
 // Aggregate functions usable in plan aggregation nodes.
@@ -323,6 +341,37 @@ func DefaultServiceConfig() ServiceConfig { return service.DefaultConfig() }
 // are created fresh per query; with cfg.WarmStart they seed their choosers
 // from the per-flavor costs earlier queries observed.
 func NewService(db *DB, cfg ServiceConfig) *Service { return service.New(db, cfg) }
+
+// NewServer builds the HTTP/JSON serving layer over a service; serve it
+// with server.Start or mount it on any http mux (it implements
+// http.Handler). cmd/madaptd is the packaged binary.
+func NewServer(cfg ServerConfig) *Server { return server.NewServer(cfg) }
+
+// NewServerClient builds a client for a running madaptd base URL.
+func NewServerClient(base string) *ServerClient { return server.NewClient(base) }
+
+// MarshalPlan serializes a logical plan DAG to its canonical JSON wire
+// form — the body of madaptd's /v1/plan endpoint. Plans referencing
+// opaque Go functions refuse to marshal; use RegisterPlanMapFn names and
+// pattern-based CaseLikeStr instead.
+func MarshalPlan(b *PlanBuilder) ([]byte, error) { return plan.MarshalPlan(b) }
+
+// UnmarshalPlan validates a wire plan and rebuilds it against the tables
+// resolve provides. All structural validation (node kinds, operator and
+// aggregate sets, backward-only references, arity, column ranges) happens
+// here; untrusted input comes back as an error, never a panic.
+func UnmarshalPlan(data []byte, resolve TableResolver) (*PlanBuilder, error) {
+	return plan.UnmarshalPlan(data, resolve)
+}
+
+// RegisterPlanMapFn names an int64 map function so MapI64 expressions
+// using it survive the plan wire format.
+func RegisterPlanMapFn(name string, fn func(int64) int64) { plan.RegisterMapI64(name, fn) }
+
+// RunSoak drives a sustained open-loop load run (query mix, burst
+// phases, sampled bit-identical result checks) against a running server,
+// or an in-process one when cfg.URL is empty.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) { return server.RunSoak(cfg) }
 
 // UnknownExperimentError reports a bad experiment id.
 type UnknownExperimentError struct{ ID string }
