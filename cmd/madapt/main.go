@@ -28,6 +28,7 @@ import (
 	"microadapt/internal/policy"
 	"microadapt/internal/primitive"
 	"microadapt/internal/server"
+	"microadapt/internal/service"
 	"microadapt/internal/tpch"
 
 	"microadapt/internal/hw"
@@ -48,6 +49,12 @@ func main() {
 		err = cmdTPCH(os.Args[2:])
 	case "bench-concurrent":
 		err = cmdBenchConcurrent(os.Args[2:])
+	case "bench-all":
+		err = cmdBenchAll(os.Args[2:])
+	case "bench-compare":
+		err = cmdBenchCompare(os.Args[2:])
+	case "distverify":
+		err = cmdDistVerify(os.Args[2:])
 	case "soak":
 		err = cmdSoak(os.Args[2:])
 	case "policies":
@@ -74,6 +81,9 @@ func usage() {
   madapt explain [-sf F] [-q N] [-pipeline-parallel P] [-encoded]
   madapt tpch [-sf F] [-q N] [-flavors defaults|everything|branch|compiler|fission|compute|unroll|decompress] [-policy SPEC] [-pipeline-parallel P] [-encoded]
   madapt bench-concurrent [-workers N] [-jobs N] [-duration D] [-mix 1,6,12|all] [-flavors SET] [-policy SPEC] [-pipeline-parallel P] [-encoded] [-cold-only]
+  madapt bench-all [-sf F] [-seed N] [-vecsize N] [-json] [-out FILE]
+  madapt bench-compare [-wall] baseline.json current.json
+  madapt distverify -addr URL [-sf F] [-seed N] [-mix 1,6,12|all]
   madapt soak [-addr URL] [-duration D] [-rate R] [-clients N] [-mix 1,6,12] [-zipf S] [-burst] [-plan-every N] [-sample-every N] [-sf F] [-seed N]
   madapt policies
   madapt flavors
@@ -297,6 +307,127 @@ func cmdBenchConcurrent(args []string) error {
 		return err
 	}
 	fmt.Println(rep.String())
+	return nil
+}
+
+// cmdBenchAll runs the performance trajectory suite — single-process,
+// distributed at two fleet sizes, and the federation cold/warm phases —
+// and emits it as a table or as the machine-readable JSON form that is
+// checked in as BENCH_<pr>.json and gated in CI via bench-compare.
+func cmdBenchAll(args []string) error {
+	fs := flag.NewFlagSet("bench-all", flag.ExitOnError)
+	cfg, finish := benchFlags(fs)
+	asJSON := fs.Bool("json", false, "emit the machine-readable suite JSON")
+	out := fs.String("out", "", "write output to FILE instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	suite, err := bench.RunPerfSuite(*cfg)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *asJSON {
+		if data, err = suite.MarshalIndent(); err != nil {
+			return err
+		}
+	} else {
+		data = []byte(suite.String() + "\n")
+	}
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// cmdBenchCompare gates a fresh suite against a checked-in baseline.
+func cmdBenchCompare(args []string) error {
+	fs := flag.NewFlagSet("bench-compare", flag.ExitOnError)
+	wall := fs.Bool("wall", false, "also gate host-dependent wall-clock metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: madapt bench-compare [-wall] baseline.json current.json")
+	}
+	load := func(path string) (*bench.PerfSuite, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return bench.LoadPerfSuite(data)
+	}
+	baseline, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	current, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if err := bench.ComparePerf(baseline, current, *wall); err != nil {
+		return err
+	}
+	fmt.Printf("perf gate ok: %d entries within tolerance of %s\n",
+		len(baseline.Entries), fs.Arg(0))
+	return nil
+}
+
+// cmdDistVerify checks a running server — single-process, shard, or a
+// coordinator fronting a fleet — for bit-identical results: every query
+// of the mix is executed remotely and its fingerprint compared against
+// local single-process execution over the same (sf, seed) database.
+func cmdDistVerify(args []string) error {
+	fs := flag.NewFlagSet("distverify", flag.ExitOnError)
+	addr := fs.String("addr", "", "target server base URL (required)")
+	sf := fs.Float64("sf", 0.01, "scale factor of the target's database")
+	seed := fs.Int64("seed", 42, "database generator seed of the target")
+	mixFlag := fs.String("mix", "1,3,6,12,14,19", "comma-separated TPC-H query numbers, or \"all\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("distverify: -addr is required")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distverify: local ground truth at sf=%g seed=%d\n", *sf, *seed)
+	svc := service.New(tpch.Generate(*sf, *seed), service.DefaultConfig())
+	c := server.NewClient(*addr)
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		return err
+	}
+	mismatches := 0
+	for _, q := range mix {
+		tab, _, err := svc.Execute(q)
+		if err != nil {
+			return fmt.Errorf("local Q%02d: %w", q, err)
+		}
+		want := server.Fingerprint(tab)
+		out, err := c.Query(server.QueryRequest{Query: q})
+		if err != nil {
+			return fmt.Errorf("remote Q%02d: %w", q, err)
+		}
+		if !out.OK() {
+			return fmt.Errorf("remote Q%02d: status %d", q, out.Status)
+		}
+		status := "ok"
+		if out.Response.Fingerprint != want {
+			status = "MISMATCH"
+			mismatches++
+		}
+		fmt.Printf("  Q%02d %-8s %d rows %s\n", q, status, out.Response.Rows, out.Response.Fingerprint[:12])
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("distverify: %d/%d queries differ from local ground truth", mismatches, len(mix))
+	}
+	fmt.Printf("distverify: %d queries bit-identical to local execution\n", len(mix))
 	return nil
 }
 

@@ -8,6 +8,18 @@
 //
 //	madaptd -addr 127.0.0.1:7433 -sf 0.01 -workers 4
 //
+// Distributed tiers (see docs/ARCHITECTURE.md):
+//
+//	madaptd -shard 0 -shards 2 ...      serve one row-range shard
+//	madaptd -coordinator URL,URL ...    front a shard fleet
+//
+// A shard process generates the same database as a single-process server
+// and serves shard i's contiguous row range of every table over the
+// identical HTTP surface. A coordinator process holds only the schema,
+// lowers each query into per-shard plan fragments, merges the partials
+// bit-identically, finishes the residual locally, and gossips flavor
+// knowledge across the fleet through /v1/flavors.
+//
 // Endpoints:
 //
 //	GET    /healthz            readiness (503 once draining)
@@ -30,6 +42,9 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
+	"microadapt/internal/dist"
 	"microadapt/internal/server"
 	"microadapt/internal/service"
 	"microadapt/internal/tpch"
@@ -50,12 +65,26 @@ func main() {
 	pp := fs.Int("pipeline-parallel", 1, "intra-query pipeline parallelism (morsel partitions)")
 	encoded := fs.Bool("encoded", false, "serve a compressed-resident database")
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "cap on graceful shutdown")
+	shard := fs.Int("shard", -1, "serve shard I of a range-partitioned fleet (requires -shards)")
+	shards := fs.Int("shards", 0, "fleet size N when serving a shard")
+	coordinator := fs.String("coordinator", "", "comma-separated shard URLs: run as fleet coordinator")
+	gossip := fs.Duration("gossip", 2*time.Second, "coordinator flavor-gossip interval (0 disables)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 
 	log.SetPrefix("madaptd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	if *coordinator != "" && *shard >= 0 {
+		log.Fatal("-coordinator and -shard are mutually exclusive")
+	}
+	if (*shard >= 0) != (*shards > 0) {
+		log.Fatal("-shard and -shards must be set together")
+	}
+	if *shard >= 0 && *shard >= *shards {
+		log.Fatalf("-shard %d out of range for -shards %d", *shard, *shards)
+	}
 
 	log.Printf("generating TPC-H database (sf=%g seed=%d)", *sf, *seed)
 	db := tpch.Generate(*sf, *seed)
@@ -65,10 +94,43 @@ func main() {
 	svcCfg.Policy = *policy
 	svcCfg.PipelineParallelism = *pp
 	svcCfg.EncodedStorage = *encoded
-	svc := service.New(db, svcCfg)
+
+	var (
+		executor server.Executor
+		coord    *dist.Coordinator
+		role     string
+	)
+	switch {
+	case *coordinator != "":
+		urls := strings.Split(*coordinator, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		var err error
+		coord, err = dist.New(dist.Config{Shards: urls, DB: db, Service: svcCfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("coordinator: waiting for %d shards", coord.Shards())
+		if err := coord.WaitReady(time.Minute); err != nil {
+			log.Fatal(err)
+		}
+		if *gossip > 0 {
+			coord.StartGossip(*gossip)
+			defer coord.Stop()
+		}
+		executor = coord
+		role = fmt.Sprintf("coordinator over %d shards", coord.Shards())
+	case *shard >= 0:
+		executor = service.New(db.Shard(*shard, *shards), svcCfg)
+		role = fmt.Sprintf("shard %d/%d", *shard, *shards)
+	default:
+		executor = service.New(db, svcCfg)
+		role = "single-process"
+	}
 
 	run, err := server.Start(server.NewServer(server.Config{
-		Service:        svc,
+		Service:        executor,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -82,7 +144,8 @@ func main() {
 	// The URL line doubles as the readiness handshake for wrappers that
 	// scrape stdout instead of polling /healthz.
 	fmt.Printf("madaptd listening on %s\n", run.URL)
-	log.Printf("serving %d tables, policy %s, workers=%d queue=%d", len(db.Tables()), *policy, *workers, *queue)
+	log.Printf("serving %d tables (%s), policy %s, workers=%d queue=%d",
+		len(executor.DB().Tables()), role, *policy, *workers, *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

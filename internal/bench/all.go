@@ -51,6 +51,8 @@ func Experiments() []Experiment {
 		Experiment{"policycmp", "Policy comparison: cold vs. warm per policy", serialOnly(PolicyComparison)},
 		Experiment{"scaling", "Pipeline scaling: wall time and off-best vs. parallelism", Scaling},
 		Experiment{"storage", "Compressed storage: flavor-adaptive scans vs. flat", serialOnly(StorageComparison)},
+		Experiment{"dist", "Distributed execution: shard scaling with bit-identity", DistScaling},
+		Experiment{"federation", "Flavor-knowledge federation: cold vs. warm-started shard", Federation},
 	)
 	return exps
 }

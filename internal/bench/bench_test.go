@@ -20,12 +20,13 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Errorf("experiments = %d, want 20 (every table and figure + policycmp + scaling + storage)", len(exps))
+	if len(exps) != 22 {
+		t.Errorf("experiments = %d, want 22 (every table and figure + policycmp + scaling + storage + dist + federation)", len(exps))
 	}
 	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4",
 		"fig8", "fig10", "table5", "table6", "table7", "table8", "table9",
-		"table10", "fig11", "table11", "policycmp", "scaling", "storage"}
+		"table10", "fig11", "table11", "policycmp", "scaling", "storage",
+		"dist", "federation"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)

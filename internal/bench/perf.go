@@ -1,0 +1,268 @@
+// Performance trajectory suite: the machine-readable benchmark record
+// checked in as BENCH_<pr>.json and regression-gated in CI.
+//
+// Each entry carries two kinds of metrics. Deterministic ones — off-best
+// percentage, virtual primitive cycles (the hw.Machine cost model is
+// simulated, so cycles are hardware-independent), resident bytes — are
+// reproducible on any machine at the same (sf, seed, vector size) and are
+// gated strictly. Wall-clock metrics (wall, p50, p99) vary with the host
+// and are recorded for trajectory only; ComparePerf checks them only on
+// request.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"microadapt/internal/server"
+	"microadapt/internal/service"
+	"microadapt/internal/stats"
+)
+
+// PerfEntry is one experiment's record in the suite.
+type PerfEntry struct {
+	Name string `json:"name"`
+
+	// Host-dependent, trajectory-only.
+	WallMS float64 `json:"wall_ms"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+
+	// Deterministic at fixed (sf, seed, vecsize): regression-gated.
+	OffBestPct    float64 `json:"off_best_pct"`
+	PrimCycles    float64 `json:"prim_cycles"`
+	ResidentBytes int64   `json:"resident_bytes"`
+}
+
+// PerfSuite is the whole record.
+type PerfSuite struct {
+	Schema     int         `json:"schema"`
+	SF         float64     `json:"sf"`
+	Seed       int64       `json:"seed"`
+	VectorSize int         `json:"vector_size"`
+	Entries    []PerfEntry `json:"entries"`
+}
+
+// perfSchemaVersion bumps when entry semantics change incompatibly.
+const perfSchemaVersion = 1
+
+// measureService runs rounds of the mix through any executor-shaped run
+// function and folds the per-query stats into one entry.
+func measureRun(name string, rounds int, mix []int,
+	exec func(q int) (service.JobStats, error)) (PerfEntry, error) {
+	e := PerfEntry{Name: name}
+	lat := stats.NewWindow(4096)
+	var adaptive, offBest int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range mix {
+			st, err := exec(q)
+			if err != nil {
+				return e, fmt.Errorf("%s Q%02d: %w", name, q, err)
+			}
+			lat.Add(float64(st.Latency))
+			adaptive += st.AdaptiveCalls
+			offBest += st.OffBestCalls
+			e.PrimCycles += st.PrimCycles
+		}
+	}
+	e.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	ps := lat.Percentiles(50, 99)
+	e.P50US, e.P99US = ps[0]/1e3, ps[1]/1e3
+	if adaptive > 0 {
+		e.OffBestPct = 100 * float64(offBest) / float64(adaptive)
+	}
+	return e, nil
+}
+
+// RunPerfSuite produces the PR's benchmark record: single-process
+// execution, distributed execution at two fleet sizes, and the two
+// federation phases, all over the same database and query mix.
+func RunPerfSuite(cfg Config) (*PerfSuite, error) {
+	suite := &PerfSuite{Schema: perfSchemaVersion, SF: cfg.SF, Seed: cfg.Seed, VectorSize: cfg.VectorSize}
+	db := cfg.DB()
+	sc := distServiceConfig(cfg)
+	flat, resident := db.StorageFootprint()
+	_ = flat
+	const rounds = 3
+
+	// Single-process baseline, plus the ground-truth fingerprints the
+	// distributed tiers are checked against.
+	single := service.New(db, sc)
+	want := map[int]string{}
+	e, err := measureRun("single", rounds, distMix, func(q int) (service.JobStats, error) {
+		tab, st, err := single.Execute(q)
+		if err == nil {
+			if fp := server.Fingerprint(tab); want[q] == "" {
+				want[q] = fp
+			}
+		}
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.ResidentBytes = int64(resident)
+	suite.Entries = append(suite.Entries, e)
+
+	for _, n := range []int{2, 4} {
+		c, stop, err := startDistFleet(db, n, sc)
+		if err != nil {
+			return nil, err
+		}
+		e, err := measureRun(fmt.Sprintf("dist-n%d", n), rounds, distMix, func(q int) (service.JobStats, error) {
+			tab, st, err := c.Execute(q)
+			if err == nil && server.Fingerprint(tab) != want[q] {
+				return st, fmt.Errorf("result differs from single-process")
+			}
+			return st, err
+		})
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		e.ResidentBytes = int64(resident)
+		suite.Entries = append(suite.Entries, e)
+	}
+
+	// Federation: cold shard vs. the same shard warm-started from fleet
+	// knowledge gossiped out of a 2-shard fleet.
+	c, stop, err := startDistFleet(db, 2, sc)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rounds; r++ {
+		for _, q := range distMix {
+			if _, _, err := c.Execute(q); err != nil {
+				stop()
+				return nil, fmt.Errorf("federation warmup Q%02d: %w", q, err)
+			}
+		}
+	}
+	if _, err := c.GossipOnce(); err != nil {
+		stop()
+		return nil, fmt.Errorf("federation gossip: %w", err)
+	}
+	fleet := c.Cache().Export()
+	stop()
+	shardDB := db.Shard(0, 2)
+	shardFlat, shardResident := shardDB.StorageFootprint()
+	_ = shardFlat
+	for _, phase := range []struct {
+		name string
+		snap *service.KnowledgeSnapshot
+	}{{"federation-cold", nil}, {"federation-warm", &fleet}} {
+		svc := service.New(shardDB, sc)
+		if phase.snap != nil {
+			svc.Cache().Import(*phase.snap)
+		}
+		e, err := measureRun(phase.name, 1, distMix, func(q int) (service.JobStats, error) {
+			_, st, err := svc.Execute(q)
+			return st, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.ResidentBytes = int64(shardResident)
+		suite.Entries = append(suite.Entries, e)
+	}
+	return suite, nil
+}
+
+// String renders the suite as an aligned table.
+func (s *PerfSuite) String() string {
+	rows := [][]string{{"entry", "wall ms", "p50 us", "p99 us", "off-best %", "prim Gcycles", "resident MB"}}
+	for _, e := range s.Entries {
+		rows = append(rows, []string{
+			e.Name,
+			fmt.Sprintf("%.1f", e.WallMS),
+			fmt.Sprintf("%.0f", e.P50US),
+			fmt.Sprintf("%.0f", e.P99US),
+			fmt.Sprintf("%.2f", e.OffBestPct),
+			fmt.Sprintf("%.3f", e.PrimCycles/1e9),
+			fmt.Sprintf("%.1f", float64(e.ResidentBytes)/1e6),
+		})
+	}
+	return fmt.Sprintf("perf suite (sf=%g seed=%d vecsize=%d)\n", s.SF, s.Seed, s.VectorSize) +
+		stats.FormatTable(rows)
+}
+
+// MarshalIndent renders the suite as the checked-in JSON form.
+func (s *PerfSuite) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadPerfSuite parses a suite from its JSON form.
+func LoadPerfSuite(data []byte) (*PerfSuite, error) {
+	var s PerfSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: parse perf suite: %w", err)
+	}
+	return &s, nil
+}
+
+// relDiff is |a-b| relative to max(|a|,|b|); 0 when both are 0.
+func relDiff(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}
+
+// ComparePerf gates current against baseline. Deterministic metrics
+// (off-best %, prim cycles, resident bytes) must be within detTol
+// relative difference (2% when <= 0); wall metrics are checked within
+// wallTol only when includeWall is set — the CI default leaves
+// host-dependent timing ungated. Baselines at a different (sf, seed,
+// vecsize, schema) are rejected outright: cross-configuration numbers are
+// not comparable.
+func ComparePerf(baseline, current *PerfSuite, includeWall bool) error {
+	const detTol, wallTol = 0.02, 0.5
+	if baseline.Schema != current.Schema {
+		return fmt.Errorf("schema %d vs %d: regenerate the baseline", baseline.Schema, current.Schema)
+	}
+	if baseline.SF != current.SF || baseline.Seed != current.Seed || baseline.VectorSize != current.VectorSize {
+		return fmt.Errorf("configuration mismatch: baseline (sf=%g seed=%d vec=%d) vs current (sf=%g seed=%d vec=%d)",
+			baseline.SF, baseline.Seed, baseline.VectorSize, current.SF, current.Seed, current.VectorSize)
+	}
+	byName := map[string]PerfEntry{}
+	for _, e := range current.Entries {
+		byName[e.Name] = e
+	}
+	var errs []error
+	for _, b := range baseline.Entries {
+		c, ok := byName[b.Name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("entry %q missing from current run", b.Name))
+			continue
+		}
+		check := func(metric string, bv, cv, tol float64) {
+			if d := relDiff(bv, cv); d > tol {
+				errs = append(errs, fmt.Errorf("%s.%s: %.4g -> %.4g (%.1f%% drift, tolerance %.0f%%)",
+					b.Name, metric, bv, cv, 100*d, 100*tol))
+			}
+		}
+		check("off_best_pct", b.OffBestPct, c.OffBestPct, detTol)
+		check("prim_cycles", b.PrimCycles, c.PrimCycles, detTol)
+		check("resident_bytes", float64(b.ResidentBytes), float64(c.ResidentBytes), detTol)
+		if includeWall {
+			check("wall_ms", b.WallMS, c.WallMS, wallTol)
+			check("p99_us", b.P99US, c.P99US, wallTol)
+		}
+	}
+	if len(errs) > 0 {
+		msg := "perf regression gate failed:"
+		for _, e := range errs {
+			msg += "\n  " + e.Error()
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

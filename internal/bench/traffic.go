@@ -1,132 +1,20 @@
 package bench
 
-import (
-	"fmt"
-	"math"
-	"math/rand"
-	"sort"
-	"time"
+import "microadapt/internal/traffic"
+
+// The open-loop traffic generator lives in internal/traffic so that the
+// server package (soak harness) can use it without importing bench.
+// These aliases keep the bench-facing names that experiments and
+// cmd/madapt were written against.
+type (
+	Traffic       = traffic.Traffic
+	WeightedQuery = traffic.WeightedQuery
+	Phase         = traffic.Phase
+	Arrival       = traffic.Arrival
 )
 
-// Traffic describes an open-loop load model: arrivals are scheduled by a
-// Poisson process whose instantaneous rate the client imposes on the
-// server regardless of how fast responses come back. This is the honest
-// way to load-test an admission controller — a closed loop (send, wait,
-// send) self-throttles exactly when the server slows down, hiding the
-// overload behavior the controller exists for.
-type Traffic struct {
-	// Duration is the length of the run.
-	Duration time.Duration
-	// Rate is the base arrival rate in requests per second.
-	Rate float64
-	// Mix is the weighted query mix; arrivals draw queries independently
-	// with probability proportional to weight.
-	Mix []WeightedQuery
-	// Bursts are phases during which the arrival rate is multiplied —
-	// e.g. a 3x burst for two seconds in the middle of the run. Phases
-	// may overlap; multipliers compound.
-	Bursts []Phase
-	// Seed makes the schedule deterministic.
-	Seed int64
-}
-
-// WeightedQuery is one entry of a query mix.
-type WeightedQuery struct {
-	Query  int
-	Weight float64
-}
-
-// Phase is a burst window relative to the start of the run.
-type Phase struct {
-	Start    time.Duration
-	Duration time.Duration
-	// RateMultiplier scales the base rate while the phase is active
-	// (values < 1 model lulls).
-	RateMultiplier float64
-}
-
-// Arrival is one scheduled request.
-type Arrival struct {
-	At    time.Duration // offset from the start of the run
-	Query int
-}
-
 // UniformMix weights every query equally.
-func UniformMix(queries ...int) []WeightedQuery {
-	mix := make([]WeightedQuery, len(queries))
-	for i, q := range queries {
-		mix[i] = WeightedQuery{Query: q, Weight: 1}
-	}
-	return mix
-}
+var UniformMix = traffic.UniformMix
 
-// ZipfMix weights queries by a Zipf law: the i-th listed query gets
-// weight 1/(i+1)^s, so early entries dominate. s=0 degenerates to
-// uniform; s=1 is the classic heavy skew.
-func ZipfMix(s float64, queries ...int) []WeightedQuery {
-	mix := make([]WeightedQuery, len(queries))
-	for i, q := range queries {
-		mix[i] = WeightedQuery{Query: q, Weight: 1 / math.Pow(float64(i+1), s)}
-	}
-	return mix
-}
-
-// rateAt returns the instantaneous rate multiplier at offset t.
-func (tr Traffic) rateAt(t time.Duration) float64 {
-	m := 1.0
-	for _, p := range tr.Bursts {
-		if t >= p.Start && t < p.Start+p.Duration {
-			m *= p.RateMultiplier
-		}
-	}
-	return m
-}
-
-// Schedule materializes the arrival times and query choices for one run.
-// The same Traffic value always yields the same schedule. Inter-arrival
-// gaps are exponential with the rate active at the previous arrival —
-// the standard thinning-free approximation for piecewise-constant rates,
-// exact away from phase edges.
-func (tr Traffic) Schedule() ([]Arrival, error) {
-	if tr.Duration <= 0 {
-		return nil, fmt.Errorf("bench: traffic duration %v", tr.Duration)
-	}
-	if tr.Rate <= 0 {
-		return nil, fmt.Errorf("bench: traffic rate %v", tr.Rate)
-	}
-	if len(tr.Mix) == 0 {
-		return nil, fmt.Errorf("bench: traffic mix is empty")
-	}
-	total := 0.0
-	cum := make([]float64, len(tr.Mix))
-	for i, wq := range tr.Mix {
-		if wq.Weight < 0 {
-			return nil, fmt.Errorf("bench: negative weight for Q%d", wq.Query)
-		}
-		total += wq.Weight
-		cum[i] = total
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("bench: traffic mix has zero total weight")
-	}
-	for _, p := range tr.Bursts {
-		if p.RateMultiplier <= 0 || p.Duration <= 0 {
-			return nil, fmt.Errorf("bench: bad burst phase %+v", p)
-		}
-	}
-
-	rng := rand.New(rand.NewSource(tr.Seed))
-	var out []Arrival
-	t := time.Duration(0)
-	for {
-		rate := tr.Rate * tr.rateAt(t)
-		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-		t += gap
-		if t >= tr.Duration {
-			return out, nil
-		}
-		u := rng.Float64() * total
-		q := tr.Mix[sort.SearchFloat64s(cum, u)].Query
-		out = append(out, Arrival{At: t, Query: q})
-	}
-}
+// ZipfMix weights queries by a Zipf law; see traffic.ZipfMix.
+var ZipfMix = traffic.ZipfMix

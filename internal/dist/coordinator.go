@@ -1,0 +1,325 @@
+// Package dist is the sharded distributed execution tier: a coordinator
+// that fronts N shard processes, each an ordinary madaptd serving a
+// contiguous row-range of every TPC-H table (tpch.DB.Shard).
+//
+// The coordinator plans queries against a schema-only catalog, derives
+// per-shard plan fragments at the base-table scans (plan.FragmentSites),
+// fans the fragments out over madaptd's existing HTTP/JSON plan endpoint,
+// merges the partial tables bit-identically (concatenation in shard
+// order, or exact partial-aggregate folding), presets the merged results
+// into the original plan's executor, and runs the residual — joins, final
+// aggregates, delivery steps — locally. Results are byte-for-byte the
+// tables a single process produces.
+//
+// Micro-adaptivity crosses the process boundary twice. Shard-side
+// fragments carry the original plan's node labels, so their primitive
+// instances learn under the same partition-free cache keys as a
+// single-process run; the coordinator's residual session learns the
+// non-fragment instances. Federation (gossip.go) then exchanges
+// FlavorCache snapshots through /v1/flavors, so a shard joining cold
+// warm-starts from the fleet's knowledge.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microadapt/internal/core"
+	"microadapt/internal/engine"
+	"microadapt/internal/plan"
+	"microadapt/internal/server"
+	"microadapt/internal/service"
+	"microadapt/internal/stats"
+	"microadapt/internal/tpch"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Shards are the shard base URLs in shard order. Shard i must hold
+	// tpch DB.Shard(i, len(Shards)) of the same generated database —
+	// range order is what makes concatenated partials bit-identical.
+	// Required, at least one.
+	Shards []string
+	// DB is the coordinator's catalog. Only its schema matters: the
+	// coordinator plans and validates against a zero-row SchemaOnly view,
+	// and every base-table row it processes arrives from a shard.
+	// Required.
+	DB *tpch.DB
+	// Service configures the residual-execution service (policy, flavors,
+	// vector size, warm start). Zero value takes service defaults.
+	Service service.Config
+	// Retry is the per-shard client retry policy; zero value installs
+	// server.DefaultRetry.
+	Retry *server.RetryPolicy
+	// FragmentTimeoutMS bounds one fragment round trip (default 60s).
+	FragmentTimeoutMS int
+	// LatencyWindow is the per-shard fragment RTT window capacity
+	// (default 1024).
+	LatencyWindow int
+}
+
+// shardConn is one shard's client plus its observability.
+type shardConn struct {
+	url    string
+	client *server.Client
+	lat    *stats.Window // fragment round-trip time, ns
+}
+
+// Coordinator fans plan fragments out to shards and finishes queries
+// locally. It implements server.Executor, so madaptd serves the same
+// HTTP surface in coordinator mode as in single-process mode, and
+// server.FleetReporter, so /metrics grows a fleet section.
+type Coordinator struct {
+	svc       *service.Service
+	shards    []*shardConn
+	timeoutMS int
+
+	fragments      atomic.Int64 // fragment requests sent
+	gossipRounds   atomic.Int64
+	gossipImported atomic.Int64
+
+	gossipOnce sync.Once
+	gossipStop chan struct{}
+	gossipDone chan struct{}
+}
+
+// New builds a coordinator over the given shard fleet. It does not touch
+// the network — WaitReady waits for the fleet.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("dist: no shards configured")
+	}
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("dist: Config.DB is required")
+	}
+	retry := server.DefaultRetry
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
+	if cfg.FragmentTimeoutMS <= 0 {
+		cfg.FragmentTimeoutMS = 60_000
+	}
+	if cfg.LatencyWindow < 1 {
+		cfg.LatencyWindow = 1024
+	}
+	svc := service.New(cfg.DB.SchemaOnly(), cfg.Service)
+	if err := svc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	c := &Coordinator{svc: svc, timeoutMS: cfg.FragmentTimeoutMS}
+	for _, url := range cfg.Shards {
+		c.shards = append(c.shards, &shardConn{
+			url:    url,
+			client: server.NewClient(url).WithRetry(retry),
+			lat:    stats.NewWindow(cfg.LatencyWindow),
+		})
+	}
+	return c, nil
+}
+
+// Shards returns the fleet size.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// WaitReady blocks until every shard answers /healthz or the timeout
+// passes.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, sh := range c.shards {
+		left := time.Until(deadline)
+		if left <= 0 {
+			left = time.Millisecond
+		}
+		if err := sh.client.WaitReady(left); err != nil {
+			return fmt.Errorf("dist: shard %s: %w", sh.url, err)
+		}
+	}
+	return nil
+}
+
+// DB implements server.Executor: the schema-only catalog wire plans are
+// validated against.
+func (c *Coordinator) DB() *tpch.DB { return c.svc.DB() }
+
+// Cache implements server.Executor: the coordinator's own knowledge
+// store, which gossip keeps merged with the shards'.
+func (c *Coordinator) Cache() *service.FlavorCache { return c.svc.Cache() }
+
+// SeededInstances implements server.Executor for the coordinator's
+// residual sessions.
+func (c *Coordinator) SeededInstances() (seeded, cold int64) { return c.svc.SeededInstances() }
+
+// Execute implements server.Executor: one TPC-H query, distributed.
+func (c *Coordinator) Execute(q int) (*engine.Table, service.JobStats, error) {
+	if q < 1 || q > 22 {
+		return nil, service.JobStats{}, fmt.Errorf("dist: no TPC-H query %d", q)
+	}
+	sp := tpch.Query(q)
+	b := sp.Plan(c.svc.DB())
+	tab, st, err := c.run(b, sp.Finish)
+	st.Query = q
+	if err != nil {
+		return nil, st, fmt.Errorf("dist: Q%02d: %w", q, err)
+	}
+	return tab, st, nil
+}
+
+// ExecutePlan implements server.Executor: an arbitrary wire plan,
+// distributed. Like the single-process ExecutePlan it runs every root
+// (side outputs learn too) and returns the main root's table.
+func (c *Coordinator) ExecutePlan(b *plan.Builder) (*engine.Table, service.JobStats, error) {
+	if len(b.Roots()) == 0 {
+		return nil, service.JobStats{}, fmt.Errorf("dist: plan %s has no roots", b.Name())
+	}
+	tab, st, err := c.run(b, func(b *plan.Builder, ex *plan.Exec) (tab *engine.Table, err error) {
+		// Wire plans can reach engine panics the builder cannot rule out
+		// statically; convert them like service.ExecutePlan does.
+		defer func() {
+			if r := recover(); r != nil {
+				tab, err = nil, fmt.Errorf("plan %s: %v", b.Name(), r)
+			}
+		}()
+		for _, root := range b.Roots() {
+			t, rerr := ex.Run(root.Node)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if tab == nil {
+				tab = t
+			}
+		}
+		return tab, nil
+	})
+	if err != nil {
+		return nil, st, fmt.Errorf("dist: %w", err)
+	}
+	return tab, st, nil
+}
+
+// run is the distributed execution spine: derive fragment sites, fan each
+// fragment out to every shard, merge the partials, preset them into the
+// original plan, and finish locally.
+func (c *Coordinator) run(b *plan.Builder, finish func(*plan.Builder, *plan.Exec) (*engine.Table, error)) (*engine.Table, service.JobStats, error) {
+	if err := c.svc.Err(); err != nil {
+		return nil, service.JobStats{}, err
+	}
+	start := time.Now()
+	st := service.JobStats{}
+
+	sites := plan.FragmentSites(b)
+	merged := make([]*engine.Table, len(sites))
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		fanErr error
+	)
+	for si, site := range sites {
+		wire, err := plan.MarshalPlan(site.Fragment)
+		if err != nil {
+			return nil, st, fmt.Errorf("marshal fragment %s: %w", site.Table, err)
+		}
+		parts := make([]*engine.Table, len(c.shards))
+		for shi, sh := range c.shards {
+			wg.Add(1)
+			go func(si, shi int, sh *shardConn) {
+				defer wg.Done()
+				part, pst, err := c.fetchPartial(sh, wire)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if fanErr == nil {
+						fanErr = fmt.Errorf("shard %s: fragment %s: %w", sh.url, sites[si].Table, err)
+					}
+					return
+				}
+				parts[shi] = part
+				st.PrimCycles += pst.PrimCycles
+				st.Instances += pst.Instances
+				st.AdaptiveCalls += pst.AdaptiveCalls
+				st.OffBestCalls += pst.OffBestCalls
+			}(si, shi, sh)
+		}
+		wg.Wait()
+		if fanErr != nil {
+			return nil, st, fanErr
+		}
+		m, err := site.MergePartials(parts)
+		if err != nil {
+			return nil, st, err
+		}
+		merged[si] = m
+	}
+
+	// Residual execution: the original plan with every fragment site's
+	// merged table preset, in a fresh warm-started session that learns the
+	// coordinator-side instances.
+	s := c.svc.NewSession()
+	ex := b.Bind(s)
+	for si, site := range sites {
+		if err := ex.Preset(site.Node, merged[si]); err != nil {
+			return nil, st, err
+		}
+	}
+	tab, err := finish(b, ex)
+	st.Latency = time.Since(start)
+	if err != nil {
+		return nil, st, err
+	}
+	c.svc.Cache().Harvest(s)
+	st.PrimCycles += s.Ctx.PrimCycles
+	st.Instances += len(s.AllInstances())
+	adaptive, offBest := core.AdaptationCost(s.AllInstances())
+	st.AdaptiveCalls += adaptive
+	st.OffBestCalls += offBest
+	return tab, st, nil
+}
+
+// fetchPartial ships one fragment to one shard and decodes the partial.
+func (c *Coordinator) fetchPartial(sh *shardConn, wire []byte) (*engine.Table, server.StatsJSON, error) {
+	c.fragments.Add(1)
+	start := time.Now()
+	out, err := sh.client.Plan(server.PlanRequest{
+		Plan:          wire,
+		TimeoutMS:     c.timeoutMS,
+		IncludeResult: true,
+	})
+	if err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	sh.lat.Add(float64(time.Since(start)))
+	if !out.OK() {
+		msg := "(no body)"
+		if out.Err != nil {
+			msg = out.Err.Error
+		}
+		return nil, server.StatsJSON{}, fmt.Errorf("status %d: %s", out.Status, msg)
+	}
+	if out.Response.Result == nil {
+		return nil, server.StatsJSON{}, fmt.Errorf("shard answered without result table")
+	}
+	tab, err := server.DecodeTable(out.Response.Result)
+	if err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	return tab, out.Response.Stats, nil
+}
+
+// Fleet implements server.FleetReporter: fleet-wide fragment latency from
+// the per-shard windows folded with stats.Window.Merge, plus gossip
+// counters.
+func (c *Coordinator) Fleet() server.FleetMetrics {
+	all := stats.NewWindow(len(c.shards) * 1024)
+	for _, sh := range c.shards {
+		all.Merge(sh.lat)
+	}
+	ps := all.Percentiles(50, 99)
+	return server.FleetMetrics{
+		Shards:         len(c.shards),
+		FragmentsSent:  c.fragments.Load(),
+		GossipRounds:   c.gossipRounds.Load(),
+		GossipImported: c.gossipImported.Load(),
+		FragmentP50US:  ps[0] / 1e3,
+		FragmentP99US:  ps[1] / 1e3,
+	}
+}

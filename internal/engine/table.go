@@ -49,6 +49,25 @@ func NewTable(name string, sch vector.Schema, cols []*vector.Vector) *Table {
 // Rows returns the number of tuples.
 func (t *Table) Rows() int { return t.RowCnt }
 
+// Slice returns a zero-copy view of rows [lo, hi), clamped to the table.
+// The view is flat (no compressed-resident form) regardless of t's.
+func (t *Table) Slice(lo, hi int) *Table {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.RowCnt {
+		hi = t.RowCnt
+	}
+	if hi < lo {
+		hi = lo
+	}
+	cols := make([]*vector.Vector, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return NewTable(t.Name, t.Sch, cols)
+}
+
 // Col returns the named column vector.
 func (t *Table) Col(name string) *vector.Vector { return t.Cols[t.Sch.MustIndexOf(name)] }
 

@@ -91,7 +91,7 @@ func (r *renderer) physical(w *strings.Builder, n *Node, depth int) {
 		fmt.Fprintf(w, "Materialize %s\n", n.label)
 		depth++
 	}
-	if c := chainOf(n, r.refs); c != nil {
+	if c := chainOf(n, r.refs, nil); c != nil {
 		r.renderChain(w, c, depth)
 		return
 	}

@@ -1,0 +1,458 @@
+// Fragment derivation for distributed execution: the coordinator-side
+// analysis that splits a logical plan at its base-table scans into
+// shippable per-shard fragments plus a merge step.
+//
+// A fragment site is one base-table scan together with the maximal prefix
+// of the plan that can run on a shard holding only a row-range of that
+// table: the scan's unbroken single-consumer select/project chain
+// (scalar-predicate selects stay on the coordinator — their subplans may
+// read other tables), optionally extended through a partial aggregate.
+// Because shards own contiguous row ranges in table order, concatenating
+// their partial outputs in shard order reproduces exactly the stream a
+// single process would produce — streaming selects and projects preserve
+// row order, and HashAgg assigns dense group ids in first-seen order, so
+// even aggregate group order survives the split.
+//
+// Aggregate pushdown is exactness-gated: a fragment carries the Agg only
+// when every aggregate merges bit-identically from per-shard partials —
+// count, integer sum, min/max, integer avg (shipped as sum+count, finalized
+// exactly like the engine), and grouped first. Float sums and avgs are not
+// associative, so those chains ship only the select/project prefix and
+// aggregate on the coordinator.
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microadapt/internal/engine"
+	"microadapt/internal/vector"
+)
+
+// MergeKind says how per-shard partial tables combine into the site node's
+// result.
+type MergeKind uint8
+
+const (
+	// MergeConcat concatenates the partials in shard order.
+	MergeConcat MergeKind = iota
+	// MergePartialAgg folds partial aggregates group-wise.
+	MergePartialAgg
+)
+
+// aggMerge describes how one original aggregate folds across partials.
+type aggMerge struct {
+	fn     engine.AggFn // original aggregate function
+	col    int          // partial column holding the partial aggregate
+	cntCol int          // avg only: partial column holding the count; -1 otherwise
+}
+
+// FragmentSite is one distribution point of a plan: the original node whose
+// result the merged partials stand in for (via Exec.Preset), and the
+// shippable fragment plan each shard executes over its row range.
+type FragmentSite struct {
+	Node     *Node    // node of the original plan the merge result presets
+	Fragment *Builder // per-shard partial plan (marshal with MarshalPlan)
+	Table    string   // base table the fragment scans
+
+	merge     MergeKind
+	groupCols int
+	aggs      []aggMerge
+}
+
+// Merge returns how this site's partials combine.
+func (s *FragmentSite) Merge() MergeKind { return s.merge }
+
+// hasScalarPred reports whether any conjunct of a select defers its
+// constant to a scalar subplan (which a shard cannot resolve).
+func hasScalarPred(n *Node) bool {
+	for _, p := range n.preds {
+		if p.scalar != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// decomposableAggs reports whether every aggregate of an Agg node merges
+// exactly from per-shard partials. The gates mirror the engine's
+// accumulator semantics:
+//
+//   - float sums and avgs accumulate in float64, and float addition is not
+//     associative — splitting them would break bit-identity;
+//   - global (group-less) float min/max finalize an empty input to 0, not
+//     ±Inf, so an empty shard's partial is not a neutral element;
+//   - a global first cannot be produced by a row-less shard at all.
+func decomposableAggs(in vector.Schema, groupBy []int, aggs []engine.AggSpec) bool {
+	for _, a := range aggs {
+		switch a.Fn {
+		case engine.AggCount:
+		case engine.AggSum, engine.AggAvg:
+			if in[a.Col].Type == vector.F64 || in[a.Col].Type == vector.Str {
+				return false
+			}
+		case engine.AggMin, engine.AggMax:
+			t := in[a.Col].Type
+			if t == vector.Str || (t == vector.F64 && len(groupBy) == 0) {
+				return false
+			}
+		case engine.AggFirst:
+			if len(groupBy) == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FragmentSites derives the plan's distribution points: one site per
+// base-table scan. Chain climbing stops at shared nodes, plan roots and
+// scalar-referenced nodes — their tables are consumed by more than the
+// chain above, so the merge result must be preset exactly there.
+func FragmentSites(b *Builder) []*FragmentSite {
+	refs := b.refCounts()
+	parents := make([][]*Node, len(b.nodes))
+	for _, n := range b.nodes {
+		for _, c := range n.in {
+			parents[c.id] = append(parents[c.id], n)
+		}
+	}
+	isRoot := make([]bool, len(b.nodes))
+	for _, r := range b.roots {
+		isRoot[r.Node.id] = true
+	}
+	soleParent := func(n *Node) *Node {
+		if isRoot[n.id] || refs[n.id] != 1 || len(parents[n.id]) != 1 {
+			return nil
+		}
+		return parents[n.id][0]
+	}
+
+	var sites []*FragmentSite
+	for _, n := range b.nodes {
+		if n.kind != KindScan {
+			continue
+		}
+		chainNodes := []*Node{n}
+		frontier := n
+		for {
+			p := soleParent(frontier)
+			if p == nil {
+				break
+			}
+			if p.kind == KindProject || (p.kind == KindSelect && !hasScalarPred(p)) {
+				frontier = p
+				chainNodes = append(chainNodes, p)
+				continue
+			}
+			break
+		}
+		var aggNode *Node
+		if p := soleParent(frontier); p != nil && p.kind == KindAgg &&
+			decomposableAggs(frontier.sch, p.groupBy, p.aggs) {
+			aggNode = p
+		}
+		sites = append(sites, buildSite(b, chainNodes, aggNode))
+	}
+	return sites
+}
+
+// buildSite replays the chain (and optional partial aggregate) into a
+// fresh shippable builder. Node labels are copied from the original plan,
+// so the shard-side primitive instances key into the FlavorCache under the
+// same plan positions as a single-process run — which is what makes
+// federated flavor knowledge transferable in both directions.
+func buildSite(b *Builder, chainNodes []*Node, aggNode *Node) *FragmentSite {
+	scan := chainNodes[0]
+	fb := New(b.name)
+	cur := fb.Scan(scan.table, scan.cols...)
+	cur.label = scan.label
+	for _, nd := range chainNodes[1:] {
+		switch nd.kind {
+		case KindSelect:
+			cur = cur.Select(nd.preds...)
+		case KindProject:
+			cur = cur.Project(nd.exprs...)
+		}
+		cur.label = nd.label
+	}
+	site := &FragmentSite{
+		Node:  chainNodes[len(chainNodes)-1],
+		Table: scan.table.Name,
+		merge: MergeConcat,
+	}
+	if aggNode != nil {
+		var partial []engine.AggSpec
+		col := len(aggNode.groupBy)
+		for _, a := range aggNode.aggs {
+			if a.Fn == engine.AggAvg {
+				// An exact distributed avg ships as sum+count; the merge
+				// finalizes float64(sum)/float64(count) exactly like the
+				// engine's accumulator does.
+				partial = append(partial,
+					engine.Agg(engine.AggSum, a.Col, a.As+"$sum"),
+					engine.Agg(engine.AggCount, -1, a.As+"$cnt"))
+				site.aggs = append(site.aggs, aggMerge{fn: a.Fn, col: col, cntCol: col + 1})
+				col += 2
+				continue
+			}
+			partial = append(partial, a)
+			site.aggs = append(site.aggs, aggMerge{fn: a.Fn, col: col, cntCol: -1})
+			col++
+		}
+		cur = cur.Agg(aggNode.groupBy, partial...)
+		cur.label = aggNode.label
+		site.Node = aggNode
+		site.merge = MergePartialAgg
+		site.groupCols = len(aggNode.groupBy)
+	}
+	fb.NamedRoot("partial", cur)
+	site.Fragment = fb
+	return site
+}
+
+// MergePartials combines per-shard partial tables (in shard order) into
+// the site node's result table. Every partial must carry the fragment
+// root's schema; the output carries the site node's schema and label.
+func (s *FragmentSite) MergePartials(parts []*engine.Table) (*engine.Table, error) {
+	want := s.Fragment.MainRoot().sch
+	for i, p := range parts {
+		if err := schemaMatches(p.Sch, want); err != nil {
+			return nil, fmt.Errorf("plan: merge %s: shard %d: %w", s.Node.label, i, err)
+		}
+	}
+	if s.merge == MergeConcat {
+		return concatTables(s.Node.label, s.Node.sch, parts)
+	}
+	return s.mergePartialAggs(parts)
+}
+
+func schemaMatches(have, want vector.Schema) error {
+	if len(have) != len(want) {
+		return fmt.Errorf("schema has %d columns, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return fmt.Errorf("column %d is %s %s, want %s %s",
+				i, have[i].Name, have[i].Type, want[i].Name, want[i].Type)
+		}
+	}
+	return nil
+}
+
+// concatTables stacks the partials in order, preserving global row order
+// because shard ranges partition the base table contiguously.
+func concatTables(name string, sch vector.Schema, parts []*engine.Table) (*engine.Table, error) {
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows()
+	}
+	cols := make([]*vector.Vector, len(sch))
+	for ci, c := range sch {
+		switch c.Type {
+		case vector.I16:
+			out := make([]int16, 0, rows)
+			for _, p := range parts {
+				out = append(out, p.Cols[ci].I16()[:p.Rows()]...)
+			}
+			cols[ci] = vector.FromI16(out)
+		case vector.I32:
+			out := make([]int32, 0, rows)
+			for _, p := range parts {
+				out = append(out, p.Cols[ci].I32()[:p.Rows()]...)
+			}
+			cols[ci] = vector.FromI32(out)
+		case vector.I64:
+			out := make([]int64, 0, rows)
+			for _, p := range parts {
+				out = append(out, p.Cols[ci].I64()[:p.Rows()]...)
+			}
+			cols[ci] = vector.FromI64(out)
+		case vector.F64:
+			out := make([]float64, 0, rows)
+			for _, p := range parts {
+				out = append(out, p.Cols[ci].F64()[:p.Rows()]...)
+			}
+			cols[ci] = vector.FromF64(out)
+		case vector.Str:
+			out := make([]string, 0, rows)
+			for _, p := range parts {
+				out = append(out, p.Cols[ci].Str()[:p.Rows()]...)
+			}
+			cols[ci] = vector.FromStr(out)
+		default:
+			return nil, fmt.Errorf("plan: concat: unsupported column type %s", c.Type)
+		}
+	}
+	return engine.NewTable(name, sch, cols), nil
+}
+
+// groupKey renders one row's group-by key exactly the way the engine's
+// multi-column keying does (stringified values joined by NUL), so any
+// group collision behavior is reproduced, not just approximated.
+func groupKey(t *engine.Table, groupCols int, row int, sb *strings.Builder) string {
+	sb.Reset()
+	for ci := 0; ci < groupCols; ci++ {
+		if ci > 0 {
+			sb.WriteByte(0)
+		}
+		v := t.Cols[ci]
+		switch v.Type() {
+		case vector.Str:
+			sb.WriteString(v.Str()[row])
+		case vector.F64:
+			sb.WriteString(strconv.FormatFloat(v.F64()[row], 'g', -1, 64))
+		default:
+			sb.WriteString(strconv.FormatInt(v.GetI64(row), 10))
+		}
+	}
+	return sb.String()
+}
+
+// mergePartialAggs folds partial aggregates group-wise. Groups are
+// discovered in (shard order, partial row order), which equals the global
+// first-seen order of a single-process HashAgg; a group's group-column and
+// first-aggregate values come from the first partial that contains it.
+func (s *FragmentSite) mergePartialAggs(parts []*engine.Table) (*engine.Table, error) {
+	sch := s.Node.sch
+	// One accumulator per OUTPUT column: group columns first, then one per
+	// original aggregate (avg folds two partial columns into one output).
+	accs := make([]partialAcc, len(sch))
+	cnts := make([][]int64, len(s.aggs)) // avg counts, folded separately
+	idx := make(map[string]int)
+	var sb strings.Builder
+
+	for _, p := range parts {
+		for row := 0; row < p.Rows(); row++ {
+			key := groupKey(p, s.groupCols, row, &sb)
+			g, seen := idx[key]
+			if !seen {
+				g = len(idx)
+				idx[key] = g
+				// Capture first-seen group column values.
+				for ci := 0; ci < s.groupCols; ci++ {
+					switch sch[ci].Type {
+					case vector.I64:
+						accs[ci].i64 = append(accs[ci].i64, p.Cols[ci].I64()[row])
+					case vector.F64:
+						accs[ci].f64 = append(accs[ci].f64, p.Cols[ci].F64()[row])
+					case vector.Str:
+						accs[ci].str = append(accs[ci].str, p.Cols[ci].Str()[row])
+					}
+				}
+			}
+			for ai, m := range s.aggs {
+				oc := s.groupCols + ai
+				acc := &accs[oc]
+				switch m.fn {
+				case engine.AggAvg:
+					if !seen {
+						acc.i64 = append(acc.i64, 0)
+						cnts[ai] = append(cnts[ai], 0)
+					}
+					acc.i64[g] += p.Cols[m.col].I64()[row]
+					cnts[ai][g] += p.Cols[m.cntCol].I64()[row]
+				case engine.AggCount:
+					if !seen {
+						acc.i64 = append(acc.i64, 0)
+					}
+					acc.i64[g] += p.Cols[m.col].I64()[row]
+				case engine.AggSum:
+					if !seen {
+						acc.i64 = append(acc.i64, 0)
+					}
+					acc.i64[g] += p.Cols[m.col].I64()[row]
+				case engine.AggMin, engine.AggMax:
+					foldMinMax(acc, p.Cols[m.col], row, g, seen, m.fn == engine.AggMin)
+				case engine.AggFirst:
+					if !seen {
+						switch p.Cols[m.col].Type() {
+						case vector.I64:
+							acc.i64 = append(acc.i64, p.Cols[m.col].I64()[row])
+						case vector.F64:
+							acc.f64 = append(acc.f64, p.Cols[m.col].F64()[row])
+						case vector.Str:
+							acc.str = append(acc.str, p.Cols[m.col].Str()[row])
+						}
+					}
+				default:
+					return nil, fmt.Errorf("plan: merge %s: unmergeable aggregate %q", s.Node.label, m.fn)
+				}
+			}
+		}
+	}
+
+	groups := len(idx)
+	cols := make([]*vector.Vector, len(sch))
+	for ci, c := range sch {
+		acc := &accs[ci]
+		ai := ci - s.groupCols
+		if ai >= 0 && s.aggs[ai].fn == engine.AggAvg {
+			out := make([]float64, groups)
+			for g := 0; g < groups; g++ {
+				if n := cnts[ai][g]; n > 0 {
+					out[g] = float64(acc.i64[g]) / float64(n)
+				}
+			}
+			cols[ci] = vector.FromF64(out)
+			continue
+		}
+		switch c.Type {
+		case vector.I64:
+			cols[ci] = vector.FromI64(sized(acc.i64, groups))
+		case vector.F64:
+			cols[ci] = vector.FromF64(sized(acc.f64, groups))
+		case vector.Str:
+			cols[ci] = vector.FromStr(sized(acc.str, groups))
+		default:
+			return nil, fmt.Errorf("plan: merge %s: unsupported output type %s", s.Node.label, c.Type)
+		}
+	}
+	return engine.NewTable(s.Node.label, sch, cols), nil
+}
+
+// partialAcc accumulates one merged output column in its native domain.
+type partialAcc struct {
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+// foldMinMax folds one min/max partial value in the accumulator's native
+// numeric domain.
+func foldMinMax(acc *partialAcc, v *vector.Vector, row, g int, seen, isMin bool) {
+	if v.Type() == vector.F64 {
+		x := v.F64()[row]
+		if !seen {
+			acc.f64 = append(acc.f64, x)
+			return
+		}
+		if (isMin && x < acc.f64[g]) || (!isMin && x > acc.f64[g]) {
+			acc.f64[g] = x
+		}
+		return
+	}
+	x := v.I64()[row]
+	if !seen {
+		acc.i64 = append(acc.i64, x)
+		return
+	}
+	if (isMin && x < acc.i64[g]) || (!isMin && x > acc.i64[g]) {
+		acc.i64[g] = x
+	}
+}
+
+// sized pads-or-trims an accumulator to the group count (a group whose
+// accumulator never appended — impossible today — would surface as a
+// mismatch here rather than as silent corruption).
+func sized[T any](v []T, groups int) []T {
+	if len(v) != groups {
+		out := make([]T, groups)
+		copy(out, v)
+		return out
+	}
+	return v
+}

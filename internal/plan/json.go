@@ -72,6 +72,14 @@ type jsonNode struct {
 	Kind string `json:"kind"`
 	In   []int  `json:"in,omitempty"`
 
+	// Label pins the node's plan-position label instead of re-deriving it
+	// from the receiving builder's node ordinals. Plan fragments shipped to
+	// shards carry their original labels this way, so shard-side primitive
+	// instances key into the FlavorCache under the same plan positions as
+	// the coordinator and any single-process deployment. Empty means
+	// "derive as usual" (every pre-fragment wire plan).
+	Label string `json:"label,omitempty"`
+
 	// scan
 	Table string   `json:"table,omitempty"`
 	Cols  []string `json:"cols,omitempty"`
@@ -197,7 +205,7 @@ func MarshalPlan(b *Builder) ([]byte, error) {
 }
 
 func encodeNode(n *Node) (jsonNode, error) {
-	jn := jsonNode{Kind: kindNames[n.kind]}
+	jn := jsonNode{Kind: kindNames[n.kind], Label: n.label}
 	for _, c := range n.in {
 		jn.In = append(jn.In, c.id)
 	}
@@ -380,6 +388,9 @@ func UnmarshalPlan(data []byte, resolve TableResolver) (b *Builder, err error) {
 	for id, jn := range jp.Nodes {
 		if err := decodeNode(b, id, jn, resolve); err != nil {
 			return nil, fmt.Errorf("plan: node %d (%s): %w", id, jn.Kind, err)
+		}
+		if jn.Label != "" {
+			b.nodes[id].label = jn.Label
 		}
 	}
 	for _, r := range jp.Roots {

@@ -26,6 +26,28 @@ func (b *Builder) Bind(s *core.Session) *Exec {
 	return &Exec{sess: s, b: b, refs: b.refCounts(), mat: make(map[int]*engine.Table)}
 }
 
+// Preset installs t as node n's materialized result before execution, the
+// hook distributed execution hangs off: the coordinator presets each
+// fragment site with the merged per-shard partials, then runs the original
+// plan — every consumer of n (parents, roots, scalar references, chain
+// lowering) reads the preset table instead of recomputing the subtree.
+func (e *Exec) Preset(n *Node, t *engine.Table) error {
+	if n.b != e.b {
+		return fmt.Errorf("plan: preset node %s belongs to a different plan", n.label)
+	}
+	if len(t.Sch) != len(n.sch) {
+		return fmt.Errorf("plan: preset %s: table has %d columns, node wants %d", n.label, len(t.Sch), len(n.sch))
+	}
+	for i, c := range n.sch {
+		if t.Sch[i] != c {
+			return fmt.Errorf("plan: preset %s: column %d is %s %s, want %s %s",
+				n.label, i, t.Sch[i].Name, t.Sch[i].Type, c.Name, c.Type)
+		}
+	}
+	e.mat[n.id] = t
+	return nil
+}
+
 // Run materializes node n's result table, executing (and memoizing) every
 // upstream shared subtree and scalar on the way. Running several roots of
 // one plan reuses all shared work.
@@ -117,13 +139,20 @@ type chain struct {
 // partitionable pipeline: an unbroken run of single-consumer Select /
 // Project nodes over a row range that can be scanned per morsel. This is
 // the analysis that replaces the hand-maintained list of partitionable
-// queries.
-func chainOf(n *Node, refs []int) *chain {
+// queries. A node with a preset/materialized table in mat terminates the
+// chain as its base — walking past it would re-execute work the preset
+// replaced (on a distributed coordinator, against empty local tables). The
+// static explain renderer passes mat=nil.
+func chainOf(n *Node, refs []int, mat map[int]*engine.Table) *chain {
 	c := &chain{}
 	cur := n
 	for cur.kind == KindSelect || cur.kind == KindProject {
 		c.stack = append(c.stack, cur)
 		child := cur.in[0]
+		if _, ok := mat[child.id]; ok {
+			c.base = child
+			return c
+		}
 		switch {
 		case child.kind == KindScan:
 			c.scan = child
@@ -163,7 +192,7 @@ func (c *chain) pushdownSelect() *Node {
 // an order-preserving exchange); otherwise n lowers to a single operator
 // over its lowered children.
 func (e *Exec) pipeline(n *Node) (engine.Operator, error) {
-	c := chainOf(n, e.refs)
+	c := chainOf(n, e.refs, e.mat)
 	if c == nil {
 		return e.build(n)
 	}

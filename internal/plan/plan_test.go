@@ -232,13 +232,13 @@ func TestChainDetection(t *testing.T) {
 	overAgg := agg.Select(CmpVal(0, ">", 0)) // select over a blocking agg
 	b.Root(overAgg)
 	refs := b.refCounts()
-	if c := chainOf(sel, refs); c == nil || c.scan == nil || len(c.stack) != 1 {
+	if c := chainOf(sel, refs, nil); c == nil || c.scan == nil || len(c.stack) != 1 {
 		t.Errorf("scan→select chain not detected: %+v", c)
 	}
-	if c := chainOf(overAgg, refs); c != nil {
+	if c := chainOf(overAgg, refs, nil); c != nil {
 		t.Errorf("select over aggregate wrongly detected as partitionable chain")
 	}
-	if c := chainOf(agg, refs); c != nil {
+	if c := chainOf(agg, refs, nil); c != nil {
 		t.Errorf("aggregate wrongly detected as chain top")
 	}
 }

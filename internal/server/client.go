@@ -6,22 +6,101 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"microadapt/internal/service"
 )
+
+// RetryPolicy governs automatic retry of load-shed (429) answers inside
+// the client. Backoff is capped exponential — Base doubling per attempt
+// up to Cap — but never shorter than the server's Retry-After hint, and
+// jittered ±50% so a herd of shed clients does not re-arrive in phase.
+// Drain (503) answers are never retried: a draining server is going
+// away, not momentarily busy.
+type RetryPolicy struct {
+	// Max is how many retries follow the first attempt; 0 disables
+	// retrying entirely and surfaces every shed to the caller.
+	Max int
+	// Base is the first backoff (default 25ms). Attempt k waits
+	// min(Base<<k, Cap), floored by the server's Retry-After.
+	Base time.Duration
+	// Cap bounds the backoff (default 1s).
+	Cap time.Duration
+}
+
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// DefaultRetry is what NewClient installs: a handful of attempts capped
+// at a second, enough to ride out a transient queue-full without hiding
+// a persistently saturated server.
+var DefaultRetry = RetryPolicy{Max: 4, Base: 25 * time.Millisecond, Cap: time.Second}
 
 // Client talks madaptd's wire protocol. A shed (429) or drain (503)
 // answer is a well-formed protocol outcome, not an error: the soak
 // harness must distinguish "the server said back off" (expected under
-// overload) from a genuinely broken exchange.
+// overload) from a genuinely broken exchange. Sheds are retried with
+// backoff per the client's RetryPolicy before being surfaced.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	retries atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
-// NewClient builds a client for a server base URL ("http://host:port").
+// NewClient builds a client for a server base URL ("http://host:port")
+// with DefaultRetry installed.
 func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{Timeout: 2 * time.Minute}}
+	return &Client{
+		base:  base,
+		http:  &http.Client{Timeout: 2 * time.Minute},
+		retry: DefaultRetry,
+		rng:   rand.New(rand.NewSource(int64(len(base)) + 0x9e3779b9)),
+	}
+}
+
+// WithRetry replaces the retry policy and returns the client, so callers
+// can chain it off NewClient. RetryPolicy{} turns retrying off.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
+// Retries reports how many shed answers the client retried (and so hid
+// from callers) since construction.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// jitter spreads d over [d/2, 3d/2) so retries from many clients decohere.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.rngMu.Lock()
+	f := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // Outcome is one request's protocol-level result.
@@ -49,11 +128,18 @@ func (c *Client) post(path string, body any) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		out, err := decodeOutcome(resp)
+		if err != nil || !out.Shed() || attempt >= c.retry.Max {
+			return out, err
+		}
+		c.retries.Add(1)
+		time.Sleep(c.jitter(c.retry.delay(attempt, out.RetryAfter)))
 	}
-	return decodeOutcome(resp)
 }
 
 func decodeOutcome(resp *http.Response) (*Outcome, error) {
@@ -147,6 +233,54 @@ func (c *Client) Query(req QueryRequest) (*Outcome, error) { return c.post("/v1/
 
 // Plan ships a marshalled plan for server-side validation and execution.
 func (c *Client) Plan(req PlanRequest) (*Outcome, error) { return c.post("/v1/plan", req) }
+
+// Flavors pulls the server's flavor-knowledge snapshot — one half of the
+// federation gossip exchange.
+func (c *Client) Flavors() (service.KnowledgeSnapshot, error) {
+	resp, err := c.http.Get(c.base + "/v1/flavors")
+	if err != nil {
+		return service.KnowledgeSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.KnowledgeSnapshot{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.KnowledgeSnapshot{}, fmt.Errorf("server: flavors: status %d: %s", resp.StatusCode, raw)
+	}
+	var snap service.KnowledgeSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return service.KnowledgeSnapshot{}, err
+	}
+	return snap, nil
+}
+
+// PushFlavors merges a knowledge snapshot into the server's cache and
+// returns how many estimates it accepted — the other half of gossip.
+func (c *Client) PushFlavors(snap service.KnowledgeSnapshot) (int, error) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/flavors", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("server: push flavors: status %d: %s", resp.StatusCode, raw)
+	}
+	var pr FlavorsPushResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return 0, err
+	}
+	return pr.Accepted, nil
+}
 
 // Metrics fetches the server's metrics snapshot.
 func (c *Client) Metrics() (MetricsSnapshot, error) {

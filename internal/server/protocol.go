@@ -9,6 +9,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"microadapt/internal/engine"
 	"microadapt/internal/service"
@@ -138,6 +139,92 @@ func EncodeTable(t *engine.Table) *TableJSON {
 		out.Cols[ci] = col
 	}
 	return out
+}
+
+// DecodeTable rebuilds an engine table from its wire form — the inverse
+// of EncodeTable. Integer columns travel widened to I64, so decode
+// narrows them back per the declared type name, rejecting out-of-range
+// values rather than silently truncating: the coordinator feeds decoded
+// shard partials straight into merge and Preset, and a corrupt wire
+// table must fail loudly there, not fingerprint-mismatch later.
+func DecodeTable(tj *TableJSON) (*engine.Table, error) {
+	if tj == nil {
+		return nil, fmt.Errorf("server: decode table: nil table")
+	}
+	sch := make(vector.Schema, len(tj.Cols))
+	cols := make([]*vector.Vector, len(tj.Cols))
+	for ci := range tj.Cols {
+		c := &tj.Cols[ci]
+		typ, err := typeByName(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("server: decode table %s col %s: %w", tj.Name, c.Name, err)
+		}
+		sch[ci] = vector.Col{Name: c.Name, Type: typ}
+		var vals int
+		switch typ {
+		case vector.F64:
+			vals = len(c.F64)
+		case vector.Str:
+			vals = len(c.Str)
+		default:
+			vals = len(c.I64)
+		}
+		if vals != tj.Rows {
+			return nil, fmt.Errorf("server: decode table %s col %s: %d values, want %d rows",
+				tj.Name, c.Name, vals, tj.Rows)
+		}
+		switch typ {
+		case vector.I16:
+			xs := make([]int16, vals)
+			for r, v := range c.I64 {
+				if v < math.MinInt16 || v > math.MaxInt16 {
+					return nil, fmt.Errorf("server: decode table %s col %s row %d: %d overflows %s",
+						tj.Name, c.Name, r, v, c.Type)
+				}
+				xs[r] = int16(v)
+			}
+			cols[ci] = vector.FromI16(xs)
+		case vector.I32:
+			xs := make([]int32, vals)
+			for r, v := range c.I64 {
+				if v < math.MinInt32 || v > math.MaxInt32 {
+					return nil, fmt.Errorf("server: decode table %s col %s row %d: %d overflows %s",
+						tj.Name, c.Name, r, v, c.Type)
+				}
+				xs[r] = int32(v)
+			}
+			cols[ci] = vector.FromI32(xs)
+		case vector.I64:
+			xs := make([]int64, vals)
+			copy(xs, c.I64)
+			cols[ci] = vector.FromI64(xs)
+		case vector.F64:
+			xs := make([]float64, vals)
+			copy(xs, c.F64)
+			cols[ci] = vector.FromF64(xs)
+		case vector.Str:
+			xs := make([]string, vals)
+			copy(xs, c.Str)
+			cols[ci] = vector.FromStr(xs)
+		}
+	}
+	return engine.NewTable(tj.Name, sch, cols), nil
+}
+
+func typeByName(name string) (vector.Type, error) {
+	switch name {
+	case vector.I16.String():
+		return vector.I16, nil
+	case vector.I32.String():
+		return vector.I32, nil
+	case vector.I64.String():
+		return vector.I64, nil
+	case vector.F64.String():
+		return vector.F64, nil
+	case vector.Str.String():
+		return vector.Str, nil
+	}
+	return 0, fmt.Errorf("unknown column type %q", name)
 }
 
 // Equal reports whether two wire tables hold bit-identical results. Float

@@ -16,15 +16,58 @@ import (
 	"sync/atomic"
 	"time"
 
+	"microadapt/internal/engine"
 	"microadapt/internal/plan"
 	"microadapt/internal/service"
 	"microadapt/internal/stats"
+	"microadapt/internal/tpch"
 )
+
+// Executor is the execution backend a Server fronts. *service.Service is
+// the single-process implementation; dist.Coordinator implements the same
+// contract over a fleet of shard processes, so madaptd serves an
+// identical HTTP surface whether it executes locally or distributes
+// fragments.
+type Executor interface {
+	// Execute runs TPC-H query q (1-22).
+	Execute(q int) (*engine.Table, service.JobStats, error)
+	// ExecutePlan runs an already-validated logical plan.
+	ExecutePlan(b *plan.Builder) (*engine.Table, service.JobStats, error)
+	// DB exposes the table catalog plans are validated against. For a
+	// coordinator this is a schema-only view — fragment execution happens
+	// on the shards, so the coordinator's own tables may hold zero rows.
+	DB() *tpch.DB
+	// SeededInstances reports warm-start counters for /metrics.
+	SeededInstances() (seeded, cold int64)
+	// Cache is the flavor-knowledge store /v1/flavors exports and imports.
+	Cache() *service.FlavorCache
+}
+
+// FleetMetrics extends /metrics when the executor fronts a shard fleet.
+type FleetMetrics struct {
+	Shards        int   `json:"shards"`
+	FragmentsSent int64 `json:"fragments_sent"`
+	GossipRounds  int64 `json:"gossip_rounds"`
+	// GossipImported counts flavor estimates accepted from shards across
+	// all gossip rounds.
+	GossipImported int64 `json:"gossip_imported"`
+	// Fragment round-trip latency percentiles across every shard, from
+	// per-shard windows folded with stats.Window.Merge.
+	FragmentP50US float64 `json:"fragment_p50_us"`
+	FragmentP99US float64 `json:"fragment_p99_us"`
+}
+
+// FleetReporter is an optional Executor capability: executors that fan
+// work out to shards report fleet-wide numbers in /metrics.
+type FleetReporter interface {
+	Fleet() FleetMetrics
+}
 
 // Config parameterizes a Server. Only Service is required.
 type Config struct {
-	// Service executes the queries. Required.
-	Service *service.Service
+	// Service executes the queries. Required. *service.Service for a
+	// single-process server, dist.Coordinator for the front of a fleet.
+	Service Executor
 	// Workers is the number of concurrent query executors (default:
 	// GOMAXPROCS via the admission controller).
 	Workers int
@@ -56,7 +99,7 @@ type Config struct {
 // implements http.Handler; use Start for a listening instance with
 // lifecycle helpers.
 type Server struct {
-	svc  *service.Service
+	svc  Executor
 	adm  *Admission
 	sess *sessionMap
 	mux  *http.ServeMux
@@ -104,6 +147,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/flavors", s.handleFlavorsGet)
+	s.mux.HandleFunc("POST /v1/flavors", s.handleFlavorsPost)
 	return s
 }
 
@@ -280,6 +325,31 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFlavorsGet exports the flavor cache's current knowledge. The
+// coordinator's gossip loop pulls shard caches through this endpoint.
+func (s *Server) handleFlavorsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Cache().Export())
+}
+
+// FlavorsPushResponse is the body of POST /v1/flavors.
+type FlavorsPushResponse struct {
+	// Accepted counts flavor estimates merged into the cache; entries
+	// with non-finite costs are dropped, not errors.
+	Accepted int `json:"accepted"`
+}
+
+// handleFlavorsPost merges a pushed knowledge snapshot into the local
+// cache. Imports go through the cache's Observe path, so pushed fleet
+// knowledge EWMA-merges with local observations rather than replacing
+// them — pushing is idempotent-ish, never destructive.
+func (s *Server) handleFlavorsPost(w http.ResponseWriter, r *http.Request) {
+	var snap service.KnowledgeSnapshot
+	if !s.decodeBody(w, r, &snap) {
+		return
+	}
+	writeJSON(w, http.StatusOK, FlavorsPushResponse{Accepted: s.svc.Cache().Import(snap)})
+}
+
 // MetricsSnapshot is the body of GET /metrics.
 type MetricsSnapshot struct {
 	Admission  AdmissionStats `json:"admission"`
@@ -310,6 +380,10 @@ type MetricsSnapshot struct {
 	CacheColdInsts    int64   `json:"cache_cold_instances"`
 	CacheHitRatePct   float64 `json:"cache_hit_rate_pct"`
 	CacheInstanceKeys int     `json:"cache_instance_keys"`
+
+	// Fleet is present only when the executor fronts a shard fleet
+	// (implements FleetReporter), i.e. on a coordinator.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
 }
 
 // Metrics assembles the current snapshot.
@@ -338,6 +412,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 		m.CacheHitRatePct = 100 * float64(seeded) / float64(seeded+cold)
 	}
 	m.CacheInstanceKeys = s.svc.Cache().Len()
+	if fr, ok := s.svc.(FleetReporter); ok {
+		f := fr.Fleet()
+		m.Fleet = &f
+	}
 	return m
 }
 

@@ -384,6 +384,9 @@ func TestServerWarmStartAcrossSessions(t *testing.T) {
 // under arbitrary scheduler load.)
 func TestServerShedsUnderSaturation(t *testing.T) {
 	run, c := startTestServer(t, Config{Workers: 1, QueueDepth: -1, RetryAfter: 25 * time.Millisecond})
+	// Retries off: this test counts raw sheds, so the client's backoff
+	// loop must not absorb (and re-trigger) them.
+	c.WithRetry(RetryPolicy{})
 	running := make(chan struct{})
 	release := make(chan struct{})
 	blockerDone := make(chan error, 1)

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"microadapt/internal/bench"
 	"microadapt/internal/core"
 	"microadapt/internal/engine"
 	"microadapt/internal/hw"
@@ -16,6 +15,7 @@ import (
 	"microadapt/internal/service"
 	"microadapt/internal/stats"
 	"microadapt/internal/tpch"
+	"microadapt/internal/traffic"
 )
 
 // SoakConfig parameterizes a sustained open-loop load run against a
@@ -26,11 +26,11 @@ type SoakConfig struct {
 	// and tears it down afterwards.
 	URL string
 	// Duration, Rate, Mix, Bursts, Seed define the open-loop arrival
-	// schedule (see bench.Traffic).
+	// schedule (see traffic.Traffic).
 	Duration time.Duration
 	Rate     float64
-	Mix      []bench.WeightedQuery
-	Bursts   []bench.Phase
+	Mix      []traffic.WeightedQuery
+	Bursts   []traffic.Phase
 	Seed     int64
 	// Clients is how many concurrent client sessions carry the load
 	// (round-robin over arrivals). Minimum 1; the acceptance soak uses 4+.
@@ -143,7 +143,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		cfg.Rate = 40
 	}
 	if len(cfg.Mix) == 0 {
-		cfg.Mix = bench.ZipfMix(1, 6, 1, 12, 14)
+		cfg.Mix = traffic.ZipfMix(1, 6, 1, 12, 14)
 	}
 	if cfg.Clients < 1 {
 		cfg.Clients = 4
@@ -166,7 +166,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 
-	schedule, err := (bench.Traffic{
+	schedule, err := (traffic.Traffic{
 		Duration: cfg.Duration, Rate: cfg.Rate, Mix: cfg.Mix,
 		Bursts: cfg.Bursts, Seed: cfg.Seed,
 	}).Schedule()
@@ -211,7 +211,10 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	clients := make([]*Client, cfg.Clients)
 	sessions := make([]string, cfg.Clients)
 	for i := range clients {
-		clients[i] = NewClient(url)
+		// Retries off: the soak harness measures the server's shedding
+		// behavior, so every 429 must reach the accounting below instead
+		// of being absorbed by the client's backoff loop.
+		clients[i] = NewClient(url).WithRetry(RetryPolicy{})
 		if i == 0 {
 			if err := clients[0].WaitReady(10 * time.Second); err != nil {
 				return nil, err
@@ -242,7 +245,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(i int, a bench.Arrival) {
+		go func(i int, a traffic.Arrival) {
 			defer wg.Done()
 			r := &results[i]
 			r.at = a.At

@@ -166,6 +166,18 @@ func (svc *Service) SeededInstances() (seeded, cold int64) {
 	return svc.seededInsts.Load(), svc.coldInsts.Load()
 }
 
+// Err reports the service's construction-time configuration error (an
+// invalid policy spec), the same error Execute would return. Callers that
+// build sessions directly (the distributed coordinator) check it up front.
+func (svc *Service) Err() error { return svc.policyErr }
+
+// NewSession builds a fresh warm-started session outside Execute. The
+// distributed coordinator binds residual plans — everything above the
+// preset fragment results — to sessions built here, then harvests them
+// into the cache like any query session. Callers must check Err first and
+// must not share the session across goroutines.
+func (svc *Service) NewSession() *core.Session { return svc.newSession() }
+
 // newSession builds a fresh session for one query. Sessions draw distinct
 // deterministic seeds from the service's sequence, so concurrent runs are
 // reproducible in aggregate even though job interleaving is not. The

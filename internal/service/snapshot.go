@@ -1,0 +1,63 @@
+// FlavorCache wire form: the JSON snapshot flavor knowledge travels in
+// between processes. Federation is symmetric — a shard exports its cache
+// for the coordinator to pull, and imports merged fleet knowledge the
+// coordinator pushes back — and lossy-merge-friendly: Import routes every
+// remote estimate through Observe, so remote knowledge EWMA-merges with
+// local observations instead of overwriting them, and the cache's
+// finite-cost invariants hold for wire input exactly as for local
+// harvests.
+package service
+
+// FlavorStat is the wire form of one flavor's cached estimate.
+type FlavorStat struct {
+	Cost    float64 `json:"cost"`    // EWMA cycles/tuple
+	Samples int64   `json:"samples"` // sessions that contributed
+}
+
+// KnowledgeSnapshot is the wire form of a FlavorCache: instance key →
+// flavor name → estimate. Instance keys are partition-free plan positions
+// ("Q1/sel0/...") and flavors travel by name, so snapshots transfer
+// between processes with different shard data, parallelism, or even
+// registered flavor sets — unknown flavors simply never match an arm.
+type KnowledgeSnapshot struct {
+	Entries map[string]map[string]FlavorStat `json:"entries"`
+}
+
+// Len returns the number of instance keys in the snapshot.
+func (s KnowledgeSnapshot) Len() int { return len(s.Entries) }
+
+// Export snapshots the cache's current knowledge.
+func (c *FlavorCache) Export() KnowledgeSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := KnowledgeSnapshot{Entries: make(map[string]map[string]FlavorStat, len(c.entries))}
+	for key, flavors := range c.entries {
+		e := make(map[string]FlavorStat, len(flavors))
+		for name, k := range flavors {
+			if !finiteCost(k.cost) {
+				continue
+			}
+			e[name] = FlavorStat{Cost: k.cost, Samples: k.samples}
+		}
+		if len(e) > 0 {
+			snap.Entries[key] = e
+		}
+	}
+	return snap
+}
+
+// Import merges a snapshot into the cache through Observe (EWMA, finite
+// costs only) and returns how many flavor estimates were accepted.
+func (c *FlavorCache) Import(snap KnowledgeSnapshot) int {
+	n := 0
+	for key, flavors := range snap.Entries {
+		for name, st := range flavors {
+			if !finiteCost(st.Cost) {
+				continue
+			}
+			c.Observe(key, name, st.Cost)
+			n++
+		}
+	}
+	return n
+}

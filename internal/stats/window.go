@@ -83,6 +83,32 @@ func (w *Window) Percentiles(ps ...float64) []float64 {
 	return out
 }
 
+// Merge adds the samples currently held by other into w, oldest first, so
+// the receiver's ring evicts in global-ish chronological order. The
+// coordinator uses it to fold per-shard latency windows into one
+// fleet-wide distribution for /metrics: percentiles over the merged
+// window reflect every shard's recent samples, not just the local tier's.
+// Merging a window into itself is a no-op.
+func (w *Window) Merge(other *Window) {
+	if other == nil || other == w {
+		return
+	}
+	other.mu.Lock()
+	snapshot := make([]float64, len(other.buf))
+	// Unwind the ring: oldest sample first. When the buffer is not yet
+	// full, next == len(buf) and the copy below is identity order.
+	if len(other.buf) < cap(other.buf) {
+		copy(snapshot, other.buf)
+	} else {
+		n := copy(snapshot, other.buf[other.next:])
+		copy(snapshot[n:], other.buf[:other.next])
+	}
+	other.mu.Unlock()
+	for _, x := range snapshot {
+		w.Add(x)
+	}
+}
+
 // Max returns the maximum sample currently in the window; 0 when empty
 // (matching Percentile's empty-input convention rather than Min/Max's
 // infinities, since this feeds a metrics report).

@@ -132,3 +132,71 @@ func TestWindowConcurrentAdd(t *testing.T) {
 		t.Errorf("len = %d, want 64", w.Len())
 	}
 }
+
+func TestWindowMerge(t *testing.T) {
+	a, b := NewWindow(8), NewWindow(8)
+	for i := 1; i <= 4; i++ {
+		a.Add(float64(i))      // a: 1 2 3 4
+		b.Add(float64(i * 10)) // b: 10 20 30 40
+	}
+	a.Merge(b)
+	if a.Len() != 8 {
+		t.Fatalf("merged len = %d, want 8", a.Len())
+	}
+	if got := a.Percentile(100); got != 40 {
+		t.Errorf("merged max = %v, want 40", got)
+	}
+	if got := a.Percentile(0); got != 1 {
+		t.Errorf("merged min = %v, want 1", got)
+	}
+}
+
+func TestWindowMergeWrappedRing(t *testing.T) {
+	// other's ring has wrapped; Merge must unwind oldest-first so the
+	// receiver's eviction order stays chronological.
+	other := NewWindow(4)
+	for i := 1; i <= 6; i++ {
+		other.Add(float64(i)) // holds 3 4 5 6, ring-rotated
+	}
+	w := NewWindow(4)
+	w.Merge(other)
+	// Receiver capacity 4 and 4 merged samples: exactly 3 4 5 6, and a
+	// subsequent Add must evict the oldest merged sample (3).
+	w.Add(7)
+	if got := w.Percentile(0); got != 4 {
+		t.Errorf("post-merge eviction dropped %v, want oldest (3) gone, min 4", got)
+	}
+	if got := w.Percentile(100); got != 7 {
+		t.Errorf("merged+added max = %v, want 7", got)
+	}
+}
+
+func TestWindowMergeSelfAndNil(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(1)
+	w.Merge(nil)
+	w.Merge(w)
+	if w.Len() != 1 {
+		t.Errorf("self/nil merge changed len to %d", w.Len())
+	}
+}
+
+func TestWindowMergeConcurrent(t *testing.T) {
+	dst := NewWindow(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		src := NewWindow(64)
+		for i := 0; i < 64; i++ {
+			src.Add(float64(i))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst.Merge(src)
+		}()
+	}
+	wg.Wait()
+	if dst.Len() != 256 {
+		t.Errorf("concurrent merge len = %d, want 256", dst.Len())
+	}
+}

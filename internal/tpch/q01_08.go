@@ -48,7 +48,7 @@ func q1Plan(db *DB) *plan.Builder {
 }
 
 // Q1 runs the pricing summary report.
-func Q1(db *DB, s *core.Session) (*engine.Table, error) { return pure(q1Plan)(db, s) }
+func Q1(db *DB, s *core.Session) (*engine.Table, error) { return Query(1).Run(db, s) }
 
 // q2Plan finds the minimum-cost supplier per part in EUROPE for size-15
 // %BRASS parts; the min-cost correlated subquery is an aggregate over the
@@ -86,7 +86,7 @@ func q2Plan(db *DB) *plan.Builder {
 }
 
 // Q2 runs the minimum-cost supplier query.
-func Q2(db *DB, s *core.Session) (*engine.Table, error) { return pure(q2Plan)(db, s) }
+func Q2(db *DB, s *core.Session) (*engine.Table, error) { return Query(2).Run(db, s) }
 
 // q3Plan is the shipping-priority query: BUILDING customers, pre-date
 // orders, post-date lineitems, top-10 revenue. orders-lineitem is a merge
@@ -117,7 +117,7 @@ func q3Plan(db *DB) *plan.Builder {
 }
 
 // Q3 runs the shipping-priority query.
-func Q3(db *DB, s *core.Session) (*engine.Table, error) { return pure(q3Plan)(db, s) }
+func Q3(db *DB, s *core.Session) (*engine.Table, error) { return Query(3).Run(db, s) }
 
 // q4Plan is the order-priority check: orders in a quarter having at least
 // one late lineitem (semi join), counted per priority.
@@ -136,7 +136,7 @@ func q4Plan(db *DB) *plan.Builder {
 }
 
 // Q4 runs the order-priority check.
-func Q4(db *DB, s *core.Session) (*engine.Table, error) { return pure(q4Plan)(db, s) }
+func Q4(db *DB, s *core.Session) (*engine.Table, error) { return Query(4).Run(db, s) }
 
 // q5Plan is local-supplier volume in ASIA for 1994: a five-way join with
 // the customer-nation = supplier-nation constraint as a column-column
@@ -175,7 +175,7 @@ func q5Plan(db *DB) *plan.Builder {
 }
 
 // Q5 runs the local-supplier volume query.
-func Q5(db *DB, s *core.Session) (*engine.Table, error) { return pure(q5Plan)(db, s) }
+func Q5(db *DB, s *core.Session) (*engine.Table, error) { return Query(5).Run(db, s) }
 
 // q6Plan is the forecasting revenue-change query: three selections on one
 // lineitem scan and a global aggregate — the paper's canonical selection-
@@ -198,7 +198,7 @@ func q6Plan(db *DB) *plan.Builder {
 }
 
 // Q6 runs the forecasting revenue-change query.
-func Q6(db *DB, s *core.Session) (*engine.Table, error) { return pure(q6Plan)(db, s) }
+func Q6(db *DB, s *core.Session) (*engine.Table, error) { return Query(6).Run(db, s) }
 
 // q7Plan is the volume-shipping query between FRANCE and GERMANY, grouped
 // by the shipping year; orders-lineitem runs as the merge join of
@@ -246,7 +246,7 @@ func q7Plan(db *DB) *plan.Builder {
 }
 
 // Q7 runs the volume-shipping query.
-func Q7(db *DB, s *core.Session) (*engine.Table, error) { return pure(q7Plan)(db, s) }
+func Q7(db *DB, s *core.Session) (*engine.Table, error) { return Query(7).Run(db, s) }
 
 // q8Plan is national market share: BRAZIL's fraction of AMERICA's ECONOMY
 // ANODIZED STEEL volume per year, via an indicator CASE expression; the
@@ -296,12 +296,13 @@ func q8Plan(db *DB) *plan.Builder {
 	return b
 }
 
-// Q8 runs the national market-share query: the plan delivers per-year
-// brazil/total volumes, and the share division happens in the delivery
-// step.
-func Q8(db *DB, s *core.Session) (*engine.Table, error) {
-	b := q8Plan(db)
-	aggTab, err := b.Bind(s).Run(b.MainRoot())
+// Q8 runs the national market-share query.
+func Q8(db *DB, s *core.Session) (*engine.Table, error) { return Query(8).Run(db, s) }
+
+// deliverQ8 finishes Q8: the plan delivers per-year brazil/total volumes,
+// and the share division happens here.
+func deliverQ8(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
+	aggTab, err := ex.Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}

@@ -59,7 +59,7 @@ func q9Plan(db *DB) *plan.Builder {
 }
 
 // Q9 runs the product-type profit query.
-func Q9(db *DB, s *core.Session) (*engine.Table, error) { return pure(q9Plan)(db, s) }
+func Q9(db *DB, s *core.Session) (*engine.Table, error) { return Query(9).Run(db, s) }
 
 // q10Plan is returned-item reporting: revenue lost to returns per customer
 // in a quarter, top 20.
@@ -90,7 +90,7 @@ func q10Plan(db *DB) *plan.Builder {
 }
 
 // Q10 runs the returned-item reporting query.
-func Q10(db *DB, s *core.Session) (*engine.Table, error) { return pure(q10Plan)(db, s) }
+func Q10(db *DB, s *core.Session) (*engine.Table, error) { return Query(10).Run(db, s) }
 
 // q11Plan is important-stock identification in GERMANY. The HAVING
 // threshold is a scalar subplan inside the plan: the shared value
@@ -115,7 +115,7 @@ func q11Plan(db *DB) *plan.Builder {
 }
 
 // Q11 runs the important-stock query.
-func Q11(db *DB, s *core.Session) (*engine.Table, error) { return pure(q11Plan)(db, s) }
+func Q11(db *DB, s *core.Session) (*engine.Table, error) { return Query(11).Run(db, s) }
 
 // q12Plan is the shipping-modes query of Figure 2: the receiptdate range
 // selection runs over date-clustered lineitem, so its selectivity is ~0,
@@ -151,7 +151,7 @@ func q12Plan(db *DB) *plan.Builder {
 }
 
 // Q12 runs the shipping-modes query.
-func Q12(db *DB, s *core.Session) (*engine.Table, error) { return pure(q12Plan)(db, s) }
+func Q12(db *DB, s *core.Session) (*engine.Table, error) { return Query(12).Run(db, s) }
 
 // q13Plan is customer order-count distribution. The per-customer aggregate
 // is shared by the distribution root and by the anti join counting
@@ -172,12 +172,13 @@ func q13Plan(db *DB) *plan.Builder {
 	return b
 }
 
-// Q13 runs the order-count distribution query: both plan roots share the
-// per-customer aggregate, and the zero-order bucket plus the distribution
-// ordering are assembled in the delivery step.
-func Q13(db *DB, s *core.Session) (*engine.Table, error) {
-	b := q13Plan(db)
-	ex := b.Bind(s)
+// Q13 runs the order-count distribution query.
+func Q13(db *DB, s *core.Session) (*engine.Table, error) { return Query(13).Run(db, s) }
+
+// deliverQ13 finishes Q13: both plan roots share the per-customer
+// aggregate, and the zero-order bucket plus the distribution ordering are
+// assembled here.
+func deliverQ13(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
 	roots := b.Roots()
 	distTab, err := ex.Run(roots[0].Node)
 	if err != nil {
@@ -242,9 +243,11 @@ func q14Plan(db *DB) *plan.Builder {
 }
 
 // Q14 runs the promotion-effect query.
-func Q14(db *DB, s *core.Session) (*engine.Table, error) {
-	b := q14Plan(db)
-	agg, err := b.Bind(s).Run(b.MainRoot())
+func Q14(db *DB, s *core.Session) (*engine.Table, error) { return Query(14).Run(db, s) }
+
+// deliverQ14 finishes Q14 with the promo-share division.
+func deliverQ14(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
+	agg, err := ex.Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +285,7 @@ func q15Plan(db *DB) *plan.Builder {
 }
 
 // Q15 runs the top-supplier query.
-func Q15(db *DB, s *core.Session) (*engine.Table, error) { return pure(q15Plan)(db, s) }
+func Q15(db *DB, s *core.Session) (*engine.Table, error) { return Query(15).Run(db, s) }
 
 // q16Plan is parts/supplier relationship: distinct supplier counts per
 // (brand, type, size) excluding complained-about suppliers.
@@ -308,4 +311,4 @@ func q16Plan(db *DB) *plan.Builder {
 }
 
 // Q16 runs the parts/supplier relationship query.
-func Q16(db *DB, s *core.Session) (*engine.Table, error) { return pure(q16Plan)(db, s) }
+func Q16(db *DB, s *core.Session) (*engine.Table, error) { return Query(16).Run(db, s) }

@@ -34,9 +34,11 @@ func q17Plan(db *DB) *plan.Builder {
 }
 
 // Q17 runs the small-quantity-order revenue query.
-func Q17(db *DB, s *core.Session) (*engine.Table, error) {
-	b := q17Plan(db)
-	sumAgg, err := b.Bind(s).Run(b.MainRoot())
+func Q17(db *DB, s *core.Session) (*engine.Table, error) { return Query(17).Run(db, s) }
+
+// deliverQ17 finishes Q17 with the yearly division.
+func deliverQ17(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
+	sumAgg, err := ex.Run(b.MainRoot())
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +65,7 @@ func q18Plan(db *DB) *plan.Builder {
 }
 
 // Q18 runs the large-volume customers query.
-func Q18(db *DB, s *core.Session) (*engine.Table, error) { return pure(q18Plan)(db, s) }
+func Q18(db *DB, s *core.Session) (*engine.Table, error) { return Query(18).Run(db, s) }
 
 // q19Branch declares one disjunct of Q19 (the branches are disjoint by
 // brand, so their revenues add): a brand/container/quantity-filtered semi
@@ -101,10 +103,11 @@ func q19Plan(db *DB) *plan.Builder {
 	return b
 }
 
-// Q19 runs the discounted-revenue query, summing the three branch roots.
-func Q19(db *DB, s *core.Session) (*engine.Table, error) {
-	b := q19Plan(db)
-	ex := b.Bind(s)
+// Q19 runs the discounted-revenue query.
+func Q19(db *DB, s *core.Session) (*engine.Table, error) { return Query(19).Run(db, s) }
+
+// deliverQ19 finishes Q19, summing the three branch roots.
+func deliverQ19(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
 	var total int64
 	for _, r := range b.Roots() {
 		v, err := ex.ScalarI64(r.Node, "revenue")
@@ -154,7 +157,7 @@ func q20Plan(db *DB) *plan.Builder {
 }
 
 // Q20 runs the potential part promotion query.
-func Q20(db *DB, s *core.Session) (*engine.Table, error) { return pure(q20Plan)(db, s) }
+func Q20(db *DB, s *core.Session) (*engine.Table, error) { return Query(20).Run(db, s) }
 
 // q21Plan is suppliers who kept orders waiting: the multi-exists query. Its
 // hash joins carry bloom-filter pre-filters — the sel_bloomfilter primitive
@@ -194,7 +197,7 @@ func q21Plan(db *DB) *plan.Builder {
 }
 
 // Q21 runs the waiting-suppliers query.
-func Q21(db *DB, s *core.Session) (*engine.Table, error) { return pure(q21Plan)(db, s) }
+func Q21(db *DB, s *core.Session) (*engine.Table, error) { return Query(21).Run(db, s) }
 
 // q22Plan is global sales opportunity: well-funded customers in selected
 // country codes with no orders. The code-filtered customers are a shared
@@ -225,4 +228,4 @@ func q22Plan(db *DB) *plan.Builder {
 }
 
 // Q22 runs the global sales opportunity query.
-func Q22(db *DB, s *core.Session) (*engine.Table, error) { return pure(q22Plan)(db, s) }
+func Q22(db *DB, s *core.Session) (*engine.Table, error) { return Query(22).Run(db, s) }

@@ -11,11 +11,9 @@ import (
 )
 
 // Spec describes one TPC-H query: its number, the declarative plan builder
-// (the logical DAG the physical planner lowers, partitions and labels), and
-// a runner that executes the plan(s) through the session's adaptive
-// primitive instances — plus, for the handful of queries with a scalar
-// delivery step (Q8, Q13, Q14, Q17, Q19), the small Go assembly of the
-// final result table.
+// (the logical DAG the physical planner lowers, partitions and labels),
+// and — for the handful of queries with a scalar delivery step (Q8, Q13,
+// Q14, Q17, Q19) — the small Go assembly of the final result table.
 type Spec struct {
 	ID   int
 	Name string
@@ -23,28 +21,38 @@ type Spec struct {
 	// query runs is declared here; partitionability and instance labels are
 	// derived from this structure by the planner, never hand-maintained.
 	Plan func(db *DB) *plan.Builder
-	// Run executes the query and returns its result table.
-	Run func(db *DB, s *core.Session) (*engine.Table, error)
+	// Deliver assembles the final result from the bound plan's roots for
+	// queries with a post-plan delivery step; nil means "materialize the
+	// main root".
+	Deliver func(b *plan.Builder, ex *plan.Exec) (*engine.Table, error)
 }
 
-// pure derives the runner of a single-root query without a delivery step:
-// bind the plan to the session and materialize its main root.
-func pure(build func(*DB) *plan.Builder) func(*DB, *core.Session) (*engine.Table, error) {
-	return func(db *DB, s *core.Session) (*engine.Table, error) {
-		b := build(db)
-		return b.Bind(s).Run(b.MainRoot())
+// Run executes the query over db on session s and returns its result table.
+func (sp Spec) Run(db *DB, s *core.Session) (*engine.Table, error) {
+	b := sp.Plan(db)
+	return sp.Finish(b, b.Bind(s))
+}
+
+// Finish completes execution of an already-bound plan: the delivery step
+// when the query has one, otherwise materializing the main root. The
+// distributed coordinator routes through this after presetting fragment
+// results into ex, so delivery-step queries work unchanged over shards.
+func (sp Spec) Finish(b *plan.Builder, ex *plan.Exec) (*engine.Table, error) {
+	if sp.Deliver != nil {
+		return sp.Deliver(b, ex)
 	}
+	return ex.Run(b.MainRoot())
 }
 
 // Queries returns all 22 TPC-H queries in order.
 func Queries() []Spec {
 	return []Spec{
-		{1, "Q01", q1Plan, Q1}, {2, "Q02", q2Plan, Q2}, {3, "Q03", q3Plan, Q3}, {4, "Q04", q4Plan, Q4},
-		{5, "Q05", q5Plan, Q5}, {6, "Q06", q6Plan, Q6}, {7, "Q07", q7Plan, Q7}, {8, "Q08", q8Plan, Q8},
-		{9, "Q09", q9Plan, Q9}, {10, "Q10", q10Plan, Q10}, {11, "Q11", q11Plan, Q11}, {12, "Q12", q12Plan, Q12},
-		{13, "Q13", q13Plan, Q13}, {14, "Q14", q14Plan, Q14}, {15, "Q15", q15Plan, Q15}, {16, "Q16", q16Plan, Q16},
-		{17, "Q17", q17Plan, Q17}, {18, "Q18", q18Plan, Q18}, {19, "Q19", q19Plan, Q19}, {20, "Q20", q20Plan, Q20},
-		{21, "Q21", q21Plan, Q21}, {22, "Q22", q22Plan, Q22},
+		{1, "Q01", q1Plan, nil}, {2, "Q02", q2Plan, nil}, {3, "Q03", q3Plan, nil}, {4, "Q04", q4Plan, nil},
+		{5, "Q05", q5Plan, nil}, {6, "Q06", q6Plan, nil}, {7, "Q07", q7Plan, nil}, {8, "Q08", q8Plan, deliverQ8},
+		{9, "Q09", q9Plan, nil}, {10, "Q10", q10Plan, nil}, {11, "Q11", q11Plan, nil}, {12, "Q12", q12Plan, nil},
+		{13, "Q13", q13Plan, deliverQ13}, {14, "Q14", q14Plan, deliverQ14}, {15, "Q15", q15Plan, nil}, {16, "Q16", q16Plan, nil},
+		{17, "Q17", q17Plan, deliverQ17}, {18, "Q18", q18Plan, nil}, {19, "Q19", q19Plan, deliverQ19}, {20, "Q20", q20Plan, nil},
+		{21, "Q21", q21Plan, nil}, {22, "Q22", q22Plan, nil},
 	}
 }
 

@@ -1,0 +1,51 @@
+package tpch
+
+import (
+	"fmt"
+
+	"microadapt/internal/engine"
+)
+
+// Shard returns the i-th of n range partitions of the database: every base
+// table restricted to its rows [i*rows/n, (i+1)*rows/n), zero copy.
+// Concatenating the n shards in shard order reproduces every table exactly
+// — same rows, same order — which is what makes distributed fragment
+// results mergeable bit-identically to single-process execution (order
+// clustering, e.g. lineitem/orders by order date, survives too, so merge
+// joins keep working on shards). Shard before Encode: encoding a shard
+// makes its own slice compressed-resident.
+func (db *DB) Shard(i, n int) *DB {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("tpch: shard %d of %d", i, n))
+	}
+	out := &DB{SF: db.SF}
+	dst := out.tableSlots()
+	for ti, t := range db.Tables() {
+		lo := t.Rows() * i / n
+		hi := t.Rows() * (i + 1) / n
+		*dst[ti] = t.Slice(lo, hi)
+	}
+	return out
+}
+
+// SchemaOnly returns a zero-row view of the database: full schemas, no
+// data. A distributed coordinator plans against it — every plan builds and
+// labels identically to a data-bearing process — while all row access goes
+// through shard fragments.
+func (db *DB) SchemaOnly() *DB {
+	out := &DB{SF: db.SF}
+	dst := out.tableSlots()
+	for ti, t := range db.Tables() {
+		*dst[ti] = t.Slice(0, 0)
+	}
+	return out
+}
+
+// tableSlots returns the table fields in the same order Tables() lists
+// them.
+func (db *DB) tableSlots() []**engine.Table {
+	return []**engine.Table{
+		&db.Region, &db.Nation, &db.Supplier, &db.Customer,
+		&db.Part, &db.PartSupp, &db.Orders, &db.Lineitem,
+	}
+}

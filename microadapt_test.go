@@ -94,8 +94,8 @@ func TestFacadeMachines(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := microadapt.ExperimentIDs()
-	if len(ids) != 20 {
-		t.Errorf("experiment ids = %d, want 20", len(ids))
+	if len(ids) != 22 {
+		t.Errorf("experiment ids = %d, want 22", len(ids))
 	}
 	cfg := microadapt.DefaultExperimentConfig()
 	cfg.SF = 0.002
