@@ -148,6 +148,18 @@ func (cfg Config) Session(o primitive.Options, chooser core.ChooserFactory) *cor
 	}
 	if chooser == nil {
 		chooser = policy.MustFactory(cfg.policySpec(), cfg.PolicyEnv())
+	} else {
+		// An explicitly supplied factory pins (or traces) primitive
+		// flavors; operator-level decisions stay on their default arms so
+		// every pinned run executes the same physical plan shape — a
+		// Table 6-10 study compares flavors, not join strategies.
+		pin := chooser
+		opts = append(opts, core.WithInstanceChooser(func(sig, label string, arms []string) core.Chooser {
+			if core.IsDecisionSig(sig) {
+				return core.NewFixed(0)
+			}
+			return pin(len(arms))
+		}))
 	}
 	opts = append(opts, core.WithChooser(chooser))
 	return core.NewSession(dict, cfg.Machine, opts...)

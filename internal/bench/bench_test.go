@@ -263,6 +263,35 @@ func TestPolicyComparisonRuns(t *testing.T) {
 	}
 }
 
+// TestSkewedContextualBeatsContextFree pins the acceptance criterion of the
+// skewed-workload study: a contextual policy, seeing the per-batch
+// selectivity, must hold its off-best rate at or below its context-free
+// counterpart's on a workload whose best flavor flips with the phase.
+func TestSkewedContextualBeatsContextFree(t *testing.T) {
+	cfg := tinyConfig()
+	best := skewedBestArms(cfg)
+	total := func(xs []int) (s int) {
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	for _, pair := range [][2]string{{"eps-greedy", "ctx-greedy"}, {"vw-greedy", "ctx-vw-greedy"}} {
+		rate := make(map[string]float64, 2)
+		for _, spec := range pair {
+			off, calls, err := runSkewed(cfg, spec, best, 12, 256)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			rate[spec] = float64(total(off)) / float64(total(calls))
+		}
+		if rate[pair[1]] > rate[pair[0]] {
+			t.Errorf("%s off-best %.3f > %s off-best %.3f; context should not hurt",
+				pair[1], rate[pair[1]], pair[0], rate[pair[0]])
+		}
+	}
+}
+
 // TestStorageComparisonRuns smoke-tests the compressed-storage experiment:
 // every query must report both storage forms with identical results, the
 // resident-bytes line must show a reduction, and at least one instance must

@@ -3,13 +3,19 @@ package core
 import "math"
 
 // ChooseContext carries everything a policy may inspect before picking an
-// arm: the primitive instance (profiling totals, flavor metadata) and the
-// live call (selectivity, density, auxiliary state). Both fields may be nil
-// — trace replay and synthetic tests drive choosers without an engine —
-// so policies that read them must tolerate their absence.
+// arm: the primitive instance (profiling totals, flavor metadata), the
+// live call (selectivity, density, auxiliary state), and the typed
+// per-call Features contextual policies condition on.
+//
+// The zero value is explicitly valid: Inst and Call may be nil and Feat
+// may be invalid (its zero value) — trace replay, synthetic tests and
+// operator-level decisions all drive choosers without an engine call — so
+// every policy must tolerate Choose(ChooseContext{}), degrading to
+// context-free behavior rather than panicking on absent context.
 type ChooseContext struct {
 	Inst *Instance
 	Call *Call
+	Feat Features
 }
 
 // Observation reports the measured outcome of one primitive call: which arm

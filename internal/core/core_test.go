@@ -181,16 +181,16 @@ func TestWithInstanceChooser(t *testing.T) {
 	d.AddFlavor("p1", hw.ClassMapArith, testFlavor("a", 1, 5))
 	d.AddFlavor("p1", hw.ClassMapArith, testFlavor("b", 2, 3))
 	var gotSig, gotLabel string
-	var gotN int
+	var gotArms []string
 	s := NewSession(d, hw.Machine1(),
 		WithChooser(func(n int) Chooser { t.Error("plain factory must not be used"); return NewFixed(0) }),
-		WithInstanceChooser(func(sig, label string, n int) Chooser {
-			gotSig, gotLabel, gotN = sig, label, n
+		WithInstanceChooser(func(sig, label string, arms []string) Chooser {
+			gotSig, gotLabel, gotArms = sig, label, arms
 			return NewFixed(1)
 		}))
 	inst := s.Instance("p1", "Q99/p1#0")
-	if gotSig != "p1" || gotLabel != "Q99/p1#0" || gotN != 2 {
-		t.Errorf("factory saw (%q, %q, %d), want (p1, Q99/p1#0, 2)", gotSig, gotLabel, gotN)
+	if gotSig != "p1" || gotLabel != "Q99/p1#0" || len(gotArms) != 2 || gotArms[0] != "a" || gotArms[1] != "b" {
+		t.Errorf("factory saw (%q, %q, %v), want (p1, Q99/p1#0, [a b])", gotSig, gotLabel, gotArms)
 	}
 	if inst.Chooser().Choose(ChooseContext{}) != 1 {
 		t.Error("instance should use the chooser the instance factory built")

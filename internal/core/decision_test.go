@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestDecisionSigNamespace(t *testing.T) {
+	sig := DecisionSig("join-strategy")
+	if sig != "decision:join-strategy" {
+		t.Errorf("DecisionSig = %q", sig)
+	}
+	if !IsDecisionSig(sig) {
+		t.Error("IsDecisionSig should accept decision signatures")
+	}
+	if IsDecisionSig("sel_htlookup_slng_col") {
+		t.Error("IsDecisionSig should reject primitive signatures")
+	}
+}
+
+func TestDecisionChooseObserveProfile(t *testing.T) {
+	d := NewDecision("join-strategy", "Q3/hj0/strategy", []string{"hash", "merge"}, NewRoundRobin(2))
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		arm := d.Choose(Features{Valid: true, Selectivity: 0.5})
+		seen[arm] = true
+		if arm != d.LastArm {
+			t.Fatalf("Choose returned %d but LastArm is %d", arm, d.LastArm)
+		}
+		cost := 100.0
+		if arm == 1 {
+			cost = 400
+		}
+		d.Observe(1000, cost)
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("round-robin decision visited arms %v, want both", seen)
+	}
+	if d.Calls != 4 || d.Tuples != 4000 {
+		t.Errorf("Calls=%d Tuples=%d, want 4 and 4000", d.Calls, d.Tuples)
+	}
+	if got := d.BestMeasuredArm(); got != 0 {
+		t.Errorf("BestMeasuredArm = %d, want 0", got)
+	}
+	adaptive, offBest := DecisionAdaptationCost([]*Decision{d})
+	if adaptive != 4 || offBest != 2 {
+		t.Errorf("DecisionAdaptationCost = (%d, %d), want (4, 2)", adaptive, offBest)
+	}
+}
+
+// TestDecisionClampsMisbehavingChooser: out-of-range arms must fall back
+// to arm 0 rather than crash the operator — this is what makes forcing
+// arm N safe on decisions with fewer than N+1 arms (the anti-join
+// strategy set has no bloomhash arm).
+func TestDecisionClampsMisbehavingChooser(t *testing.T) {
+	d := NewDecision("join-strategy", "L", []string{"hash", "merge"}, NewFixed(7))
+	if arm := d.Choose(Features{}); arm != 0 {
+		t.Errorf("out-of-range choice resolved to arm %d, want clamped 0", arm)
+	}
+	d.Observe(10, 1)
+	if d.PerArm[0].Calls != 1 {
+		t.Error("observation did not land on the clamped arm")
+	}
+}
+
+// TestDecisionSingleArmShortCircuits: one-arm decisions never consult the
+// policy and report no adaptation cost.
+func TestDecisionSingleArmShortCircuits(t *testing.T) {
+	d := NewDecision("parallelism", "L", []string{"only"}, NewFixed(3))
+	if arm := d.Choose(Features{}); arm != 0 {
+		t.Errorf("single-arm decision chose %d", arm)
+	}
+	adaptive, offBest := DecisionAdaptationCost([]*Decision{d})
+	if adaptive != 0 || offBest != 0 {
+		t.Errorf("single-arm decision counted toward adaptation cost: (%d, %d)", adaptive, offBest)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "strconv"
+
+// Features are the cheap per-call context signals a contextual policy may
+// condition on: quantities the operator already knows (or estimates in O(1))
+// before the call runs, never anything that requires extra data passes.
+// They were historically hidden in Call.Aux as operator-private state; the
+// typed struct lifts them into ChooseContext so every Choose sees them.
+//
+// The zero value (Valid == false) means "no context" and is always legal:
+// contextual policies must degrade to context-free behavior on it, which is
+// what keeps trace replay, synthetic tests and Choose(ChooseContext{})
+// working unchanged.
+type Features struct {
+	// Valid marks the struct as carrying real context. Policies must treat
+	// Valid == false exactly like a context-free call.
+	Valid bool
+	// Selectivity is the estimated fraction of input tuples surviving the
+	// call (a selection's observed output/input ratio, a join's match
+	// rate), in [0, 1].
+	Selectivity float64
+	// Sortedness is the fraction of adjacent element pairs already in
+	// ascending order in the relevant key column, in [0, 1]; 1 = sorted.
+	Sortedness float64
+	// DistinctRatio is distinct values / rows of the relevant column, in
+	// (0, 1]; the storage analyzer computes it per encoded column.
+	DistinctRatio float64
+	// Encoding is the storage encoding the call reads ("flat", "dict",
+	// "rle", "for"), "" when unknown or not applicable.
+	Encoding string
+}
+
+// selBuckets is the number of selectivity quantile buckets Bucket uses.
+// Four (quartiles) keeps per-bucket sample counts healthy: contextual
+// policies split their observations across buckets, and finer bucketing
+// would starve each bucket's bandit of measurements.
+const selBuckets = 4
+
+// Bucket maps the features onto a small stable context key: the
+// selectivity quartile plus the encoding kind. Contextual policies key
+// per-bucket arm statistics on it. Invalid features map to the empty
+// bucket, so a policy bucketing on Features degrades to one context-free
+// bandit when no operator supplies context.
+func (f Features) Bucket() string {
+	if !f.Valid {
+		return ""
+	}
+	s := f.Selectivity
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	q := int(s * selBuckets)
+	if q == selBuckets {
+		q = selBuckets - 1
+	}
+	b := "s" + strconv.Itoa(q)
+	if f.Encoding != "" {
+		b += "/" + f.Encoding
+	}
+	return b
+}

@@ -28,6 +28,7 @@ type Call struct {
 	Res    *vector.Vector   // output vector for map/aggregate primitives
 	SelOut []int32          // output selection buffer for selection primitives
 	Aux    any              // operator-supplied state (bloom filter, hash table, ...)
+	Feat   Features         // cheap per-call context for contextual policies
 	Inst   *Instance        // back pointer set by Instance.Run
 }
 

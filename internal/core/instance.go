@@ -118,9 +118,21 @@ func AdaptationCost(insts []*Instance) (adaptive, offBest int64) {
 // produced tuples.
 func (inst *Instance) Run(ctx *ExecCtx, c *Call) int {
 	c.Inst = inst
+	if !c.Feat.Valid {
+		// Operators that know better (encoded scans, joins) set Feat
+		// themselves; everything else gets the instance's running output
+		// selectivity as the default context — the same estimate the §4.2
+		// heuristics read, now visible to every contextual policy.
+		c.Feat.Valid = true
+		if inst.Tuples > 0 {
+			c.Feat.Selectivity = float64(inst.Produced) / float64(inst.Tuples)
+		} else {
+			c.Feat.Selectivity = 1
+		}
+	}
 	arm := 0
 	if len(inst.Prim.Flavors) > 1 {
-		arm = inst.chooser.Choose(ChooseContext{Inst: inst, Call: c})
+		arm = inst.chooser.Choose(ChooseContext{Inst: inst, Call: c, Feat: c.Feat})
 		if arm < 0 || arm >= len(inst.Prim.Flavors) {
 			arm = 0 // a misbehaving policy must not crash the engine
 		}

@@ -12,11 +12,16 @@ import (
 // ChooserFactory builds a fresh Chooser for an instance with n flavors.
 type ChooserFactory func(n int) Chooser
 
-// InstanceChooserFactory builds a Chooser knowing which primitive instance
-// it is for: the dictionary signature and the plan-unique label. This is
-// the hook warm-started sessions use to look up prior per-flavor knowledge
-// under the instance's stable identity before the first call runs.
-type InstanceChooserFactory func(sig, label string, n int) Chooser
+// InstanceChooserFactory builds a Chooser knowing which decision point it
+// is for: the identity signature (a dictionary primitive signature, or
+// DecisionSig(name) for an operator-level decision), the plan-unique
+// label, and the arm names in arm order (flavor names for primitive
+// instances, strategy names for decisions). This is the hook warm-started
+// sessions use to look up prior per-arm knowledge under the point's
+// stable identity before the first call runs; arm names arrive here so
+// the factory never needs a dictionary lookup that would fail for
+// non-primitive decisions.
+type InstanceChooserFactory func(sig, label string, arms []string) Chooser
 
 // FragmentSpawner builds the session one parallel pipeline fragment runs
 // on. It receives the partition index and must return a session that shares
@@ -41,6 +46,8 @@ type Session struct {
 	defaultPolicy  bool // newChooser is the built-in default (owns s.Rand)
 	instances      []*Instance
 	byLabel        map[string]*Instance
+	decisions      []*Decision
+	decByLabel     map[string]*Decision
 
 	seed          int64
 	parallelism   int // pipeline partitions a partitionable plan may fan into
@@ -105,6 +112,7 @@ func NewSession(dict *Dictionary, m *hw.Machine, opts ...SessionOption) *Session
 		Ctx:        NewExecCtx(m),
 		Rand:       rand.New(rand.NewSource(1)),
 		byLabel:    make(map[string]*Instance),
+		decByLabel: make(map[string]*Decision),
 		seed:       1,
 		partition:  -1,
 	}
@@ -247,7 +255,11 @@ func (s *Session) Instance(sig, label string) *Instance {
 	}
 	var chooser Chooser
 	if s.newInstChooser != nil {
-		chooser = s.newInstChooser(sig, label, len(prim.Flavors))
+		names := make([]string, len(prim.Flavors))
+		for i, f := range prim.Flavors {
+			names[i] = f.Name
+		}
+		chooser = s.newInstChooser(sig, label, names)
 	} else {
 		chooser = s.newChooser(len(prim.Flavors))
 	}
@@ -255,6 +267,55 @@ func (s *Session) Instance(sig, label string) *Instance {
 	s.instances = append(s.instances, inst)
 	s.byLabel[label] = inst
 	return inst
+}
+
+// Decision returns the operator-level decision point registered under
+// label, creating it (bound to the named arms and a fresh chooser) on
+// first use — the exact Instance protocol one level up: fragment sessions
+// tag the label with their partition, warm-started sessions build the
+// chooser through the same instance-aware factory (under the identity
+// DecisionSig(name)), and knowledge harvesting walks AllDecisions like
+// AllInstances. Arms must be stable across sessions for a given name:
+// cross-session knowledge is exchanged by arm name.
+func (s *Session) Decision(name, label string, arms []string) *Decision {
+	if s.partition >= 0 {
+		label = PartitionLabel(label, s.partition)
+	}
+	if d, ok := s.decByLabel[label]; ok {
+		return d
+	}
+	if len(arms) == 0 {
+		panic("core: decision has no arms: " + name)
+	}
+	var chooser Chooser
+	if s.newInstChooser != nil {
+		chooser = s.newInstChooser(DecisionSig(name), label, arms)
+	} else {
+		chooser = s.newChooser(len(arms))
+	}
+	d := NewDecision(name, label, arms, chooser)
+	s.decisions = append(s.decisions, d)
+	s.decByLabel[label] = d
+	return d
+}
+
+// Decisions returns the session's own decision points, in creation order.
+func (s *Session) Decisions() []*Decision { return s.decisions }
+
+// DecisionByLabel returns a registered decision point or nil.
+func (s *Session) DecisionByLabel(label string) *Decision { return s.decByLabel[label] }
+
+// AllDecisions returns the session's decision points followed by those of
+// every fragment session it spawned, mirroring AllInstances.
+func (s *Session) AllDecisions() []*Decision {
+	if len(s.fragments) == 0 {
+		return s.decisions
+	}
+	out := append([]*Decision(nil), s.decisions...)
+	for _, fs := range s.fragments {
+		out = append(out, fs.AllDecisions()...)
+	}
+	return out
 }
 
 // Instances returns all instances created so far, in creation order.
@@ -282,6 +343,8 @@ func (s *Session) FindInstances(substr string) []*Instance {
 func (s *Session) ResetInstances() {
 	s.instances = nil
 	s.byLabel = make(map[string]*Instance)
+	s.decisions = nil
+	s.decByLabel = make(map[string]*Decision)
 	s.fragments = nil
 	s.Ctx.ResetCycles()
 }

@@ -2,9 +2,11 @@ package dist
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
+	"microadapt/internal/core"
 	"microadapt/internal/server"
 	"microadapt/internal/service"
 	"microadapt/internal/tpch"
@@ -13,8 +15,9 @@ import (
 var testDB = tpch.Generate(0.002, 42)
 
 // startFleet spins up n in-process shard servers over row-range shards of
-// testDB and a coordinator fronting them.
-func startFleet(t *testing.T, n int, svcCfg service.Config) *Coordinator {
+// testDB and a coordinator fronting them, returning both the coordinator
+// and the shard URLs.
+func startFleet(t *testing.T, n int, svcCfg service.Config) (*Coordinator, []string) {
 	t.Helper()
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -37,7 +40,7 @@ func startFleet(t *testing.T, n int, svcCfg service.Config) *Coordinator {
 	if err := c.WaitReady(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	return c
+	return c, urls
 }
 
 // TestDistributedBitIdentity is the subsystem's acceptance test: every
@@ -57,7 +60,7 @@ func TestDistributedBitIdentity(t *testing.T) {
 		want[q] = server.Fingerprint(tab)
 	}
 	for _, n := range []int{1, 2, 4} {
-		c := startFleet(t, n, service.DefaultConfig())
+		c, _ := startFleet(t, n, service.DefaultConfig())
 		for q := 1; q <= 22; q++ {
 			tab, st, err := c.Execute(q)
 			if err != nil {
@@ -100,7 +103,7 @@ func TestShardRanges(t *testing.T) {
 // through a gossip round, and warm-starts its sessions — the cross-process
 // warm-start the federation exists for.
 func TestFlavorFederation(t *testing.T) {
-	c := startFleet(t, 2, service.DefaultConfig())
+	c, _ := startFleet(t, 2, service.DefaultConfig())
 
 	// Warm the fleet: distributed queries make every shard learn its
 	// fragment instances locally.
@@ -140,9 +143,63 @@ func TestFlavorFederation(t *testing.T) {
 	}
 }
 
+// TestDecisionKnowledgeFederation: operator-level decision knowledge (the
+// join-strategy and ht-sizing arms) rides the same harvest, gossip and
+// warm-start path as primitive-flavor knowledge. Joins run at the
+// coordinator, so its cache learns decision entries locally; one gossip
+// round pushes them to every shard, whose snapshot must carry them back
+// through the wire codec; and a cold process importing the fleet snapshot
+// warm-starts its decisions before its first join opens.
+func TestDecisionKnowledgeFederation(t *testing.T) {
+	c, urls := startFleet(t, 2, service.DefaultConfig())
+	for _, q := range []int{3, 5, 10} {
+		if _, _, err := c.Execute(q); err != nil {
+			t.Fatalf("Q%02d: %v", q, err)
+		}
+	}
+	prefix := core.DecisionSig("join-strategy") + "@"
+	countDecisions := func(keys []string) (n int) {
+		for _, k := range keys {
+			if strings.HasPrefix(k, prefix) {
+				n++
+			}
+		}
+		return n
+	}
+	if countDecisions(c.Cache().Keys()) == 0 {
+		t.Fatalf("coordinator cache harvested no %s* entries; keys: %v", prefix, c.Cache().Keys())
+	}
+
+	if _, err := c.GossipOnce(); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	snap, err := server.NewClient(urls[0]).Flavors()
+	if err != nil {
+		t.Fatalf("pull shard snapshot: %v", err)
+	}
+	var shardKeys []string
+	for k := range snap.Entries {
+		shardKeys = append(shardKeys, k)
+	}
+	if countDecisions(shardKeys) == 0 {
+		t.Fatalf("shard snapshot carries no %s* entries after gossip push; keys: %v", prefix, shardKeys)
+	}
+
+	cold := service.New(testDB.Shard(0, 2), service.DefaultConfig())
+	if cold.Cache().Import(snap) == 0 {
+		t.Fatal("cold shard imported nothing")
+	}
+	if _, _, err := cold.Execute(3); err != nil {
+		t.Fatal(err)
+	}
+	if seeded, _ := cold.SeededInstances(); seeded == 0 {
+		t.Error("cold process found no priors (decisions included) after federation")
+	}
+}
+
 // TestGossipLoop: the interval loop runs rounds and stops cleanly.
 func TestGossipLoop(t *testing.T) {
-	c := startFleet(t, 2, service.DefaultConfig())
+	c, _ := startFleet(t, 2, service.DefaultConfig())
 	if _, _, err := c.Execute(1); err != nil {
 		t.Fatal(err)
 	}

@@ -211,6 +211,8 @@ func (s *EncodedScan) Next() (*vector.Batch, error) {
 			SelOut: cur,
 			Aux:    &primitive.DecompressArgs{Col: s.encPred[i], Lo: lo, Scratch: s.scratch[i]},
 		}
+		call.Feat = core.Features{Valid: true, Selectivity: call.Density(),
+			Encoding: s.encPred[i].Encoding().String()}
 		k := s.selInsts[i].Run(s.sess.Ctx, call)
 		sel = cur[:k]
 		cur, spare = spare, cur
@@ -233,6 +235,8 @@ func (s *EncodedScan) Next() (*vector.Batch, error) {
 				Res: res,
 				Aux: &primitive.DecompressArgs{Col: enc, Lo: lo},
 			}
+			call.Feat = core.Features{Valid: true, Selectivity: call.Density(),
+				Encoding: enc.Encoding().String()}
 			s.decInsts[j].Run(s.sess.Ctx, call)
 		}
 		cols[j] = res

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"microadapt/internal/core"
 	"microadapt/internal/vector"
@@ -57,6 +58,9 @@ type fragment struct {
 type Parallel struct {
 	sess  *core.Session
 	frags []*fragment
+
+	fanoutDec *core.Decision // set by ParallelPipeline; observed after run
+	rows      int
 }
 
 // NewParallel partitions rows into parts morsels and builds one pipeline
@@ -67,7 +71,7 @@ func NewParallel(sess *core.Session, rows, parts int, build FragmentBuilder) (*P
 	if parts < 2 {
 		return nil, fmt.Errorf("engine: NewParallel needs >= 2 partitions, got %d", parts)
 	}
-	p := &Parallel{sess: sess}
+	p := &Parallel{sess: sess, rows: rows}
 	for i := 0; i < parts; i++ {
 		m := Morsel{Part: i, Lo: rows * i / parts, Hi: rows * (i + 1) / parts}
 		fs := sess.Fragment(i)
@@ -149,8 +153,16 @@ func (e *Exchange) Schema() vector.Schema { return e.par.frags[0].root.Schema() 
 // the partition tables in partition order.
 func (e *Exchange) Open() error {
 	e.frag, e.pos = 0, 0
+	start := time.Now()
 	if err := e.par.run(); err != nil {
 		return err
+	}
+	if d := e.par.fanoutDec; d != nil {
+		// The fan-out decision's signal is real wall time, not simulated
+		// cycles: partitioning does not change the virtual cycle sum, only
+		// how long the barrier takes on actual cores. Units are nanoseconds
+		// — consistent within the decision, which is all Observe requires.
+		d.Observe(e.par.rows, float64(time.Since(start).Nanoseconds()))
 	}
 	sess := e.par.sess
 	for _, f := range e.par.frags {
@@ -219,21 +231,39 @@ func PartitionCount(p, rows int) int {
 	return p
 }
 
+// fanoutArms are the arms of the per-pipeline fan-out decision: run the
+// eligible partition count as configured, or halve it. Halving wins when
+// the morsels are small enough that per-fragment session and goroutine
+// overhead eats the speedup; the configured count wins on scan-heavy
+// pipelines. When the eligible count is already 2 the arms coincide —
+// harmless, the decision just learns they cost the same.
+var fanoutArms = []string{"xfull", "xhalf"}
+
 // ParallelPipeline builds the scan-heavy prefix of a plan either serially
 // or as a Parallel/Exchange fan-out, depending on the session's pipeline
-// parallelism and the scanned row count. With parallelism P > 1 and at
-// least two minMorselRows-sized morsels, rows are range-partitioned into
-// PartitionCount(P, rows) fragments; otherwise the builder runs once
-// with the coordinator session and the full range, producing exactly the
-// serial plan (identical instance labels included).
-func ParallelPipeline(sess *core.Session, rows int, build FragmentBuilder) (Operator, error) {
+// parallelism and the scanned row count. label is the pipeline's plan
+// position (the top node's label), which keys the fan-out decision.
+//
+// With parallelism P > 1 and at least two minMorselRows-sized morsels,
+// rows are range-partitioned into PartitionCount(P, rows) fragments —
+// subject to the "parallelism" decision, which may halve the fan-out.
+// Otherwise the builder runs once with the coordinator session and the
+// full range, producing exactly the serial plan (identical instance
+// labels included). Either way the rows streamed are bit-identical; the
+// decision only moves wall time.
+func ParallelPipeline(sess *core.Session, label string, rows int, build FragmentBuilder) (Operator, error) {
 	parts := PartitionCount(sess.Parallelism(), rows)
 	if parts < 2 {
 		return build(sess, Morsel{Part: 0, Lo: 0, Hi: rows})
+	}
+	dec := sess.Decision("parallelism", label+"/parallelism", fanoutArms)
+	if fanoutArms[dec.Choose(core.Features{})] == "xhalf" && parts/2 >= 2 {
+		parts /= 2
 	}
 	par, err := NewParallel(sess, rows, parts, build)
 	if err != nil {
 		return nil, err
 	}
+	par.fanoutDec = dec
 	return NewExchange(par), nil
 }

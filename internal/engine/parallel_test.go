@@ -56,7 +56,7 @@ func TestRangeScanBounds(t *testing.T) {
 func TestExchangeMatchesSerial(t *testing.T) {
 	tab := numbersTable(4000)
 	serialSess := parallelSession(t, 1)
-	serialOp, err := ParallelPipeline(serialSess, tab.Rows(), selProjPipeline(tab, 31000))
+	serialOp, err := ParallelPipeline(serialSess, "T", tab.Rows(), selProjPipeline(tab, 31000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestExchangeMatchesSerial(t *testing.T) {
 
 	for _, p := range []int{2, 4, 7} {
 		s := parallelSession(t, p)
-		op, err := ParallelPipeline(s, tab.Rows(), selProjPipeline(tab, 31000))
+		op, err := ParallelPipeline(s, "T", tab.Rows(), selProjPipeline(tab, 31000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestExchangeMatchesSerial(t *testing.T) {
 func TestParallelPipelineSmallScanStaysSerial(t *testing.T) {
 	tab := numbersTable(600) // < 2*minMorselRows
 	s := parallelSession(t, 8)
-	op, err := ParallelPipeline(s, tab.Rows(), selProjPipeline(tab, 1<<30))
+	op, err := ParallelPipeline(s, "T", tab.Rows(), selProjPipeline(tab, 1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +131,14 @@ func TestParallelPipelineSmallScanStaysSerial(t *testing.T) {
 func TestExchangeFragmentError(t *testing.T) {
 	tab := numbersTable(4000)
 	s := parallelSession(t, 2)
-	if _, err := ParallelPipeline(s, tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
+	if _, err := ParallelPipeline(s, "T", tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
 		return nil, fmt.Errorf("no fragment for morsel %d", m.Part)
 	}); err == nil {
 		t.Error("builder error did not surface")
 	}
 
 	s = parallelSession(t, 2)
-	op, err := ParallelPipeline(s, tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
+	op, err := ParallelPipeline(s, "T", tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
 		return &panicOp{}, nil
 	})
 	if err != nil {
@@ -237,7 +237,7 @@ func TestHashAggHandlesOverWideBatches(t *testing.T) {
 func TestExchangeNextAfterClose(t *testing.T) {
 	s := parallelSession(t, 4)
 	tab := numbersTable(4096)
-	op, err := ParallelPipeline(s, tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
+	op, err := ParallelPipeline(s, "T", tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
 		return NewRangeScan(fs, tab, m.Lo, m.Hi), nil
 	})
 	if err != nil {

@@ -165,6 +165,10 @@ func (s *Select) Next() (*vector.Batch, error) {
 			in[1] = b.Cols[p.RHSCol]
 		}
 		call := &core.Call{N: b.N, Sel: sel, In: in, SelOut: cur}
+		// Per-batch context: the incoming selection density — what earlier
+		// conjuncts (or the child) left alive — known before the call runs,
+		// unlike this predicate's own selectivity.
+		call.Feat = core.Features{Valid: true, Selectivity: call.Density()}
 		k := s.insts[i].Run(s.sess.Ctx, call)
 		sel = cur[:k]
 		cur, spare = spare, cur

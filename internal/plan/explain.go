@@ -202,10 +202,15 @@ func (r *renderer) describe(n *Node) string {
 		case engine.AntiJoin:
 			kind = "anti"
 		}
-		s := fmt.Sprintf("HashJoin [%s] %s build.%s = probe.%s", n.label, kind, n.buildKey, n.probeKey)
+		s := fmt.Sprintf("Join [%s] %s build.%s = probe.%s", n.label, kind, n.buildKey, n.probeKey)
 		if len(n.payload) > 0 {
 			s += " payload=(" + strings.Join(n.payload, ", ") + ")"
 		}
+		// The plan no longer bakes in the algorithm: render the decision
+		// point the operator resolves at Open, arm 0 first (the default a
+		// pinned or cold policy starts from).
+		arms := engine.JoinStrategyArms(n.joinKind, n.bloomBits)
+		s += fmt.Sprintf(" strategy=decision(%s)", strings.Join(arms, "|"))
 		if n.bloomBits > 0 {
 			s += fmt.Sprintf(" bloom=%dbits/key", n.bloomBits)
 		}

@@ -239,7 +239,18 @@ func (e *Exec) pipeline(n *Node) (engine.Operator, error) {
 		pushPreds, resolved[bottom] = push, rest
 		pushLabel = nd.label
 	}
-	return engine.ParallelPipeline(e.sess, table.Rows(), func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
+	// The fan-out decision is keyed by the pipeline's plan position: the
+	// topmost node of the chain (the scan itself for bare-scan chains).
+	pipeLabel := ""
+	switch {
+	case len(c.stack) > 0:
+		pipeLabel = c.stack[0].label
+	case c.scan != nil:
+		pipeLabel = c.scan.label
+	default:
+		pipeLabel = c.base.label
+	}
+	return engine.ParallelPipeline(e.sess, pipeLabel, table.Rows(), func(fs *core.Session, m engine.Morsel) (engine.Operator, error) {
 		var op engine.Operator
 		if encoded {
 			es := engine.NewEncodedRangeScan(fs, table, c.scan.label, m.Lo, m.Hi, cols...)
@@ -300,11 +311,15 @@ func (e *Exec) build(n *Node) (engine.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := []engine.HashJoinOption{engine.WithKind(n.joinKind)}
+		// The plan no longer bakes in the join algorithm: the engine's Join
+		// resolves its strategy (hash / merge / bloomhash) on the session's
+		// decision registry at Open. bloomBits survives only as the
+		// bloomhash arm's filter-density hint.
+		opts := []engine.JoinOption{engine.WithKind(n.joinKind)}
 		if n.bloomBits > 0 {
 			opts = append(opts, engine.WithBloom(n.bloomBits))
 		}
-		return engine.NewHashJoin(e.sess, build, probe, n.label, n.buildKey, n.probeKey, n.payload, opts...), nil
+		return engine.NewJoin(e.sess, build, probe, n.label, n.buildKey, n.probeKey, n.payload, opts...), nil
 	case KindMergeJoin:
 		left, err := e.lower(n.in[0])
 		if err != nil {

@@ -81,6 +81,8 @@ var aliases = map[string]string{
 	"epsfirst":      "eps-first",
 	"epsdecreasing": "eps-decreasing",
 	"roundrobin":    "round-robin",
+	"ctxgreedy":     "ctx-greedy",
+	"ctxvwgreedy":   "ctx-vw-greedy",
 }
 
 // registry holds every known policy, in presentation order.
@@ -166,6 +168,42 @@ var registry = []Definition{
 			a.check(alpha > 0 && alpha <= 1, "alpha", alpha, "0..1")
 			rng := env.rngSeq()
 			return func(n int) core.Chooser { return core.NewThompson(n, alpha, rng()) }
+		},
+	},
+	{
+		Name:      "ctx-greedy",
+		Summary:   "contextual eps-greedy: an independent eps-greedy bandit per feature bucket (selectivity quartile x encoding)",
+		ParamDoc:  "eps=F",
+		WarmStart: true,
+		build: func(a *args, env Env) core.ChooserFactory {
+			eps := a.Float("eps", 0.05)
+			a.check(eps >= 0 && eps <= 1, "eps", eps, "0..1")
+			rng := env.rngSeq()
+			return func(n int) core.Chooser {
+				return core.NewContextual(n, func() core.Chooser { return core.NewEpsGreedy(n, eps, rng()) })
+			}
+		},
+	},
+	{
+		Name:      "ctx-vw-greedy",
+		Summary:   "contextual vw-greedy: the paper's algorithm bucketed by call features, one bandit per regime",
+		ParamDoc:  "explore=N,exploit=N,len=N,warmup=N,sweep=BOOL",
+		WarmStart: true,
+		build: func(a *args, env Env) core.ChooserFactory {
+			p := env.vw()
+			p.ExplorePeriod = a.Int("explore", p.ExplorePeriod)
+			p.ExploitPeriod = a.Int("exploit", p.ExploitPeriod)
+			p.ExploreLength = a.Int("len", p.ExploreLength)
+			p.WarmupSkip = a.Int("warmup", p.WarmupSkip)
+			p.InitialSweep = a.Bool("sweep", p.InitialSweep)
+			a.check(p.ExplorePeriod >= 1, "explore", p.ExplorePeriod, ">= 1")
+			a.check(p.ExploitPeriod >= 1, "exploit", p.ExploitPeriod, ">= 1")
+			a.check(p.ExploreLength >= 1, "len", p.ExploreLength, ">= 1")
+			a.check(p.WarmupSkip >= 0, "warmup", p.WarmupSkip, ">= 0")
+			rng := env.rngSeq()
+			return func(n int) core.Chooser {
+				return core.NewContextual(n, func() core.Chooser { return core.NewVWGreedy(n, p, rng()) })
+			}
 		},
 	},
 	{

@@ -66,7 +66,8 @@ func TestSpecRoundTrip(t *testing.T) {
 
 func TestRegistryShape(t *testing.T) {
 	want := []string{"vw-greedy", "eps-greedy", "eps-first", "eps-decreasing",
-		"fixed", "round-robin", "heuristics", "ucb1", "thompson"}
+		"fixed", "round-robin", "heuristics", "ucb1", "thompson",
+		"ctx-greedy", "ctx-vw-greedy"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d policies %v, want %d", len(names), names, len(want))
@@ -85,6 +86,29 @@ func TestRegistryShape(t *testing.T) {
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("unknown name should not resolve")
+	}
+}
+
+// TestZeroChooseContextValidEverywhere pins the ChooseContext contract:
+// the zero value means "no context" and every registry policy — contextual
+// ones included — must choose a legal arm on it and accept the matching
+// observation. This is what keeps trace replay and synthetic tests working
+// against any policy a user configures.
+func TestZeroChooseContextValidEverywhere(t *testing.T) {
+	env := Env{Seed: 11}
+	for _, def := range Definitions() {
+		factory, err := NewFactory(def.Name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		ch := factory(3)
+		for i := 0; i < 20; i++ {
+			arm := ch.Choose(core.ChooseContext{})
+			if arm < 0 || arm >= 3 {
+				t.Fatalf("%s: Choose(zero context) = %d, want 0..2", def.Name, arm)
+			}
+			ch.Observe(core.Observation{Arm: arm, Tuples: 10, Cycles: float64(10 + arm)})
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package primitive
+
+import (
+	"math"
+
+	"microadapt/internal/core"
+	"microadapt/internal/hw"
+)
+
+// Binary-search probe primitives: the merge arm of the engine's
+// join-strategy decision. The build side is a SortedTable (keys sorted,
+// ties by row), and each probe tuple runs one binary search returning the
+// lowest matching build row — the same row JoinTable.Lookup returns, so
+// swapping the strategy arm can never change a query result.
+
+// bsearchEntryBytes is the footprint of one sorted-table entry (8-byte key
+// + 4-byte row), the unit of the cached-depth estimate below.
+const bsearchEntryBytes = 12
+
+// makeBsearch builds sel_bsearch_slng_col (and its miss twin): the exact
+// call contract of makeLookup — keys in In[0] (slng), Aux *SortedTable,
+// qualifying positions appended to SelOut, build rows written to Res —
+// with a binary search in place of the hash probe.
+//
+// Cost: log2(n) dependent compares per tuple. The top levels of the
+// implicit search tree are shared by every probe and stay cache-resident;
+// only the levels beyond what the LLC holds miss, so per-tuple stalls are
+// (depth - cachedDepth) misses, zero while the table fits. That gives the
+// strategy decision a real crossover: against the hash probe's flat
+// insertElem + one-miss profile, binary search wins small or cache-warm
+// builds and loses big ones. Software prefetch cannot help a dependent
+// chain, so unlike the hash lookup the flavor axes are codegen and
+// unrolling only.
+func makeBsearch(v variant, miss bool) core.PrimFn {
+	return func(ctx *core.ExecCtx, c *core.Call) (int, float64) {
+		t := c.Aux.(*SortedTable)
+		keys := c.In[0].I64()
+		out := c.SelOut
+		var rows []int32
+		if c.Res != nil {
+			rows = c.Res.I32()
+		}
+		k := 0
+		try := func(i int32) {
+			r := t.Lookup(keys[i])
+			if miss {
+				if r < 0 {
+					out[k] = i
+					k++
+				}
+				return
+			}
+			if r >= 0 {
+				out[k] = i
+				if rows != nil {
+					rows[i] = r
+				}
+				k++
+			}
+		}
+		if c.Sel != nil {
+			for _, i := range c.Sel {
+				try(i)
+			}
+		} else {
+			for i := 0; i < c.N; i++ {
+				try(int32(i))
+			}
+		}
+		if c.Res != nil {
+			c.Res.SetLen(c.N)
+		}
+		m := ctx.Machine
+		depth := math.Log2(float64(t.Entries()) + 2)
+		cached := math.Log2(float64(m.LLCBytes)/bsearchEntryBytes + 2)
+		missProbes := depth - cached
+		if missProbes < 0 {
+			missProbes = 0
+		}
+		per := cmpElem*depth*v.mul(m) + missProbes*m.MemLat*probeMemMul + v.loopOv(m)
+		return k, m.CallOverhead + float64(c.Live())*per
+	}
+}
+
+func registerBsearch(d *core.Dictionary, o Options) {
+	for _, cg := range o.hashCodegens() {
+		for _, u := range o.unrolls() {
+			v := variant{cg: cg, unroll: u, class: hw.ClassHash}
+			meta := map[string]string{"compiler": cg.Name, "unroll": unrollTag(u)}
+			name := flavorName(cg.Name, unrollTag(u))
+			addFlavor(d, "sel_bsearch_slng_col", hw.ClassHash, &core.Flavor{
+				Name: name, Source: cg.Name, Tags: meta,
+				Fn: makeBsearch(v, false),
+			})
+			addFlavor(d, "sel_bsearchmiss_slng_col", hw.ClassHash, &core.Flavor{
+				Name: name, Source: cg.Name, Tags: meta,
+				Fn: makeBsearch(v, true),
+			})
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package primitive
 
+import "sort"
+
 // Open-addressing hash tables used by aggregation (group tables) and hash
 // joins (join tables). The tables live here rather than in the engine
 // because the vectorized insert-check and lookup primitives operate
@@ -146,9 +148,33 @@ type JoinTable struct {
 	next  []int32 // entry -> next entry with same slot key chain (+1; 0 = end)
 }
 
-// NewJoinTable builds the table from the build side's key column.
-func NewJoinTable(keys []int64) *JoinTable {
-	slots := nextPow2(len(keys)*2 + 16)
+// JoinSizings are the capacity arms of the engine's hash-table sizing
+// decision, smallest first. "snug" packs entries at up to 80% load — the
+// smallest working set, but linear probing pays for the collisions;
+// "norm" is the classic 50% load of NewJoinTable; "roomy" quarters the
+// load again, trading resident bytes (and LLC misses once the table
+// outgrows the cache) for near-collision-free probes. Which arm wins
+// depends on build cardinality versus cache size, which is exactly why it
+// is a decision rather than a constant.
+var JoinSizings = []string{"snug", "norm", "roomy"}
+
+// NewJoinTable builds the table from the build side's key column with the
+// default "norm" sizing.
+func NewJoinTable(keys []int64) *JoinTable { return NewJoinTableSized(keys, "norm") }
+
+// NewJoinTableSized builds the table under one of the JoinSizings arms.
+// Unknown sizing names fall back to "norm" so a stale cached decision can
+// never build an invalid table.
+func NewJoinTableSized(keys []int64, sizing string) *JoinTable {
+	var slots int
+	switch sizing {
+	case "snug":
+		slots = nextPow2(len(keys)*5/4 + 16)
+	case "roomy":
+		slots = nextPow2(len(keys)*4 + 16)
+	default:
+		slots = nextPow2(len(keys)*2 + 16)
+	}
 	t := &JoinTable{
 		slots: make([]int32, slots),
 		mask:  uint64(slots - 1),
@@ -226,6 +252,72 @@ func (t *JoinTable) Entries() int { return len(t.keys) }
 func (t *JoinTable) ByteSize() int {
 	return len(t.slots)*4 + len(t.keys)*8 + len(t.rows)*4 + len(t.next)*4
 }
+
+// LoadFactor is entries over slots — the α that drives the expected probe
+// count of the lookup cost model. Duplicate keys chain without consuming a
+// slot, so this slightly overstates occupancy for dup-heavy builds; the
+// cost model only needs the trend.
+func (t *JoinTable) LoadFactor() float64 {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	return float64(len(t.keys)) / float64(len(t.slots))
+}
+
+// SortedTable is the merge-strategy counterpart of JoinTable: the build
+// side's (key, row) pairs sorted by key, then row, probed by binary
+// search. Lookup returns the lowest matching build row — the same
+// first-inserted-row semantics as JoinTable.Lookup — so the hash and
+// merge arms of the join-strategy decision are bit-identical by
+// construction, never just by luck of the data.
+type SortedTable struct {
+	keys []int64
+	rows []int32
+}
+
+// NewSortedTable builds the table from the build side's key column.
+func NewSortedTable(keys []int64) *SortedTable {
+	t := &SortedTable{keys: append([]int64(nil), keys...), rows: make([]int32, len(keys))}
+	for i := range t.rows {
+		t.rows[i] = int32(i)
+	}
+	sort.Sort((*sortedByKeyRow)(t))
+	return t
+}
+
+type sortedByKeyRow SortedTable
+
+func (s *sortedByKeyRow) Len() int { return len(s.keys) }
+func (s *sortedByKeyRow) Less(i, j int) bool {
+	return s.keys[i] < s.keys[j] || (s.keys[i] == s.keys[j] && s.rows[i] < s.rows[j])
+}
+func (s *sortedByKeyRow) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// Lookup returns the lowest build row for key, or -1.
+func (t *SortedTable) Lookup(key int64) int32 {
+	lo, hi := 0, len(t.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.keys) && t.keys[lo] == key {
+		return t.rows[lo]
+	}
+	return -1
+}
+
+// Entries returns the number of build rows in the table.
+func (t *SortedTable) Entries() int { return len(t.keys) }
+
+// ByteSize approximates the resident size of the table.
+func (t *SortedTable) ByteSize() int { return len(t.keys)*8 + len(t.rows)*4 }
 
 func nextPow2(n int) int {
 	p := 16

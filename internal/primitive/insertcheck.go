@@ -129,9 +129,27 @@ func makeLookup(v variant, miss bool, prefetch int) core.PrimFn {
 			stall /= 1.8
 			perOverhead = 0.3
 		}
-		per := (insertElem+stall)*v.mul(m) + perOverhead + v.loopOv(m)
+		// The sizing decision moves the table along a probes-vs-misses
+		// curve: a snug table collides more (probeMul > 1), a roomy one
+		// barely at all, but its larger ByteSize already raised missRatio.
+		per := (insertElem+stall)*probeMul(t.LoadFactor())*v.mul(m) + perOverhead + v.loopOv(m)
 		return k, m.CallOverhead + float64(c.Live())*per
 	}
+}
+
+// probeMul scales the per-probe cost by the expected slot inspections of a
+// successful linear-probing search at load factor α — (1 + 1/(1-α))/2,
+// Knuth's classic result — normalized to the default "norm" sizing's α of
+// 0.5 so that sizing keeps its calibrated cost.
+func probeMul(alpha float64) float64 {
+	if alpha > 0.95 {
+		alpha = 0.95
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	const atNorm = (1 + 1/(1-0.5)) / 2
+	return (1 + 1/(1-alpha)) / 2 / atNorm
 }
 
 func prefetchTag(d int) string {

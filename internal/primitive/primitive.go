@@ -231,6 +231,7 @@ func RegisterAll(d *core.Dictionary, o Options) {
 	registerAggr(d, o)
 	registerInsertCheck(d, o)
 	registerLookup(d, o)
+	registerBsearch(d, o)
 	registerMergeJoin(d, o)
 	registerBloom(d, o)
 	registerDecompress(d, o)

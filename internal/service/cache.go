@@ -144,6 +144,26 @@ func (c *FlavorCache) Harvest(s *core.Session) {
 			}
 		}
 	}
+	// Operator-level decisions harvest identically: same capability, same
+	// name-keyed entries, under "decision:<name>@<label>" keys — which is
+	// all it takes for join strategies and sizings to ride the existing
+	// warm-start and gossip paths.
+	for _, d := range s.AllDecisions() {
+		if len(d.Arms) <= 1 {
+			continue
+		}
+		sn, ok := d.Chooser().(core.Snapshotter)
+		if !ok {
+			continue
+		}
+		costs, measured := sn.Snapshot()
+		key := primitive.InstanceKey(core.DecisionSig(d.Name), d.Label)
+		for i, cost := range costs {
+			if i < len(d.Arms) && i < len(measured) && measured[i] {
+				c.Observe(key, d.Arms[i], cost)
+			}
+		}
+	}
 }
 
 // Len returns the number of instance keys known to the cache.

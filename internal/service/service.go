@@ -212,17 +212,21 @@ func (svc *Service) buildSession(seed int64, part int) *core.Session {
 		panic("service: policy spec validated at New but failed at session build: " + err.Error())
 	}
 	if svc.cfg.WarmStart {
-		opts = append(opts, core.WithInstanceChooser(func(sig, label string, n int) core.Chooser {
+		opts = append(opts, core.WithInstanceChooser(func(sig, label string, arms []string) core.Chooser {
+			n := len(arms)
 			ch := factory(n)
 			ws, ok := ch.(core.WarmStarter)
 			if !ok {
 				return ch // the policy cannot ingest knowledge: run it cold
 			}
-			prim := svc.dict.MustLookup(sig)
+			// The arm names arrive from the session (flavor names for
+			// primitives, strategy names for operator-level decisions), so
+			// no dictionary lookup is needed — which is what lets decision
+			// points warm-start through the same cache as flavors.
 			// InstanceKey collapses fragment partition tags, so every
 			// partition of a parallel plan seeds from — and harvests into —
 			// the serial plan's cache entry.
-			priors, any := svc.cache.Priors(primitive.InstanceKey(sig, label), primitive.FlavorNames(prim))
+			priors, any := svc.cache.Priors(primitive.InstanceKey(sig, label), arms)
 			if n > 1 {
 				if any {
 					svc.seededInsts.Add(1)
@@ -336,7 +340,12 @@ func (svc *Service) Explain(q int) (string, error) {
 
 // adaptationCost measures how much of a session's work went into calls
 // that did not use the flavor the session ultimately found best, pipeline-
-// fragment instances included (see core.AdaptationCost).
+// fragment instances included (see core.AdaptationCost). Operator-level
+// decisions (join strategy, table sizing, partitioning) count on the same
+// ledger: an exploratory merge-join probe is exploration tax exactly like
+// an exploratory flavor call.
 func adaptationCost(s *core.Session) (adaptive, offBest int64) {
-	return core.AdaptationCost(s.AllInstances())
+	adaptive, offBest = core.AdaptationCost(s.AllInstances())
+	da, db := core.DecisionAdaptationCost(s.AllDecisions())
+	return adaptive + da, offBest + db
 }

@@ -129,7 +129,10 @@ func TestWarmStartConvergesFaster(t *testing.T) {
 // populated the cache.
 func TestWarmStartAcrossPolicies(t *testing.T) {
 	want := baselineFingerprints(t, []int{6})
-	for _, pol := range []string{"vw-greedy", "eps-greedy", "ucb1", "thompson"} {
+	// The ctx- rows run the contextual choose path (per-bucket bandits,
+	// lazy bucket creation, cached priors) under concurrency — the test is
+	// meaningful under -race for them too.
+	for _, pol := range []string{"vw-greedy", "eps-greedy", "ucb1", "thompson", "ctx-greedy", "ctx-vw-greedy"} {
 		pol := pol
 		t.Run(pol, func(t *testing.T) {
 			cfg := testConfig(true)
@@ -383,6 +386,20 @@ func TestParallelExecutionMatchesSerial(t *testing.T) {
 	queries := []int{1, 3, 6, 12, 14}
 	want := baselineFingerprints(t, queries)
 
+	// The pipeline fan-out decision only exists when a pipeline actually
+	// fans out, so its keys are legitimately parallel-only; every other
+	// key — primitive instances and operator decisions alike — must match
+	// the serial plan's exactly.
+	stripFanout := func(keys []string) []string {
+		out := keys[:0]
+		for _, k := range keys {
+			if !strings.HasPrefix(k, core.DecisionSig("parallelism")+"@") {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+
 	serialKeys := func() []string {
 		cfg := testConfig(true)
 		svc := New(testDB, cfg)
@@ -410,7 +427,7 @@ func TestParallelExecutionMatchesSerial(t *testing.T) {
 				t.Errorf("P=%d Q%02d: no adaptive calls recorded", p, q)
 			}
 		}
-		gotKeys := svc.Cache().Keys()
+		gotKeys := stripFanout(svc.Cache().Keys())
 		if len(gotKeys) != len(serialKeys) {
 			t.Fatalf("P=%d: %d cache keys, serial has %d — partition tags leaked into keys?\n%v\nvs\n%v",
 				p, len(gotKeys), len(serialKeys), gotKeys, serialKeys)

@@ -169,6 +169,60 @@ func TestQueriesFlavorEquivalence(t *testing.T) {
 	}
 }
 
+// TestQueriesJoinStrategyEquivalence is the correctness property of the
+// join-strategy decision: hash, merge (binary-search) and bloom-prefiltered
+// hash all return the lowest matching build row per probe tuple, so every
+// query must be bit-identical whichever arm is forced, serial or parallel.
+// Arms are pinned through WithInstanceChooser, which fragments inherit;
+// indices past a decision's arm count clamp to 0 (the anti-join decision
+// has no bloomhash arm).
+func TestQueriesJoinStrategyEquivalence(t *testing.T) {
+	queries := Queries()
+	if testing.Short() {
+		// The join-heavy plans plus one join-free control query.
+		queries = []Spec{Query(3), Query(5), Query(17), Query(21), Query(1)}
+	}
+	forced := func(arm int) core.SessionOption {
+		return core.WithInstanceChooser(func(sig, label string, arms []string) core.Chooser {
+			if core.IsDecisionSig(sig) {
+				return core.NewFixed(arm)
+			}
+			return core.NewFixed(0)
+		})
+	}
+	for _, q := range queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			var want string
+			first := true
+			for _, p := range []int{1, 4} {
+				for arm := 0; arm < 3; arm++ {
+					dict := primitive.NewDictionary(primitive.Everything())
+					opts := []core.SessionOption{
+						core.WithVectorSize(128), core.WithSeed(7), forced(arm),
+					}
+					if p > 1 {
+						opts = append(opts, core.WithParallelism(p))
+					}
+					s := core.NewSession(dict, hw.Machine1(), opts...)
+					tab, err := q.Run(testDB, s)
+					if err != nil {
+						t.Fatalf("%s arm=%d P=%d: %v", q.Name, arm, p, err)
+					}
+					got := tableFingerprint(tab)
+					if first {
+						want, first = got, false
+						continue
+					}
+					if got != want {
+						t.Errorf("%s: arm=%d P=%d result differs from arm=0 P=1", q.Name, arm, p)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelMatchesSerial is the acceptance property of morsel-driven
 // pipeline parallelism: with PipelineParallelism P > 1 every query must
 // return results identical to the serial plan, for every P. Queries without
