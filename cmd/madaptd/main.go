@@ -30,6 +30,8 @@
 //	DELETE /v1/session/{id}    drop a session
 //	POST   /v1/query           {"query": 6, "session": "...", ...}
 //	POST   /v1/plan            {"plan": <plan JSON>, ...}
+//	POST   /v1/plan/stream     same request, NDJSON chunked response
+//	                           (header / chunk* / trailer frames)
 package main
 
 import (
@@ -37,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux's profile endpoints
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +73,10 @@ func main() {
 	shards := fs.Int("shards", 0, "fleet size N when serving a shard")
 	coordinator := fs.String("coordinator", "", "comma-separated shard URLs: run as fleet coordinator")
 	gossip := fs.Duration("gossip", 2*time.Second, "coordinator flavor-gossip interval (0 disables)")
+	siteFanout := fs.Int("site-fanout", 0, "coordinator: concurrent fragment sites per query (0 = default, 1 = sequential)")
+	bufferedFrags := fs.Bool("buffered-fragments", false, "coordinator: disable streaming fragment fetch, buffer whole partials")
+	streamChunk := fs.Int("stream-chunk-rows", 0, "rows per /v1/plan/stream chunk frame (0 = default)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -84,6 +92,16 @@ func main() {
 	}
 	if *shard >= 0 && *shard >= *shards {
 		log.Fatalf("-shard %d out of range for -shards %d", *shard, *shards)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers on http.DefaultServeMux.
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	log.Printf("generating TPC-H database (sf=%g seed=%d)", *sf, *seed)
@@ -107,7 +125,13 @@ func main() {
 			urls[i] = strings.TrimSpace(urls[i])
 		}
 		var err error
-		coord, err = dist.New(dist.Config{Shards: urls, DB: db, Service: svcCfg})
+		coord, err = dist.New(dist.Config{
+			Shards:            urls,
+			DB:                db,
+			Service:           svcCfg,
+			SiteFanout:        *siteFanout,
+			BufferedFragments: *bufferedFrags,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,13 +154,14 @@ func main() {
 	}
 
 	run, err := server.Start(server.NewServer(server.Config{
-		Service:        executor,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		RetryAfter:     *retryAfter,
-		MaxSessions:    *maxSessions,
-		SessionTTL:     *sessionTTL,
+		Service:         executor,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		RetryAfter:      *retryAfter,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+		StreamChunkRows: *streamChunk,
 	}), *addr)
 	if err != nil {
 		log.Fatal(err)

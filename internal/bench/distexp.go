@@ -34,6 +34,14 @@ func distServiceConfig(cfg Config) service.Config {
 // shards of db plus a coordinator. The returned stop function shuts the
 // fleet down.
 func startDistFleet(db *tpch.DB, n int, sc service.Config) (*dist.Coordinator, func(), error) {
+	return startDistFleetFanout(db, n, sc, 0)
+}
+
+// startDistFleetFanout is startDistFleet with an explicit coordinator
+// site fan-out: 1 runs fragment sites sequentially (deterministic
+// shard-side learning, what the gated bench entries need); 0 takes the
+// coordinator default (overlapped sites).
+func startDistFleetFanout(db *tpch.DB, n int, sc service.Config, fanout int) (*dist.Coordinator, func(), error) {
 	var runs []*server.Running
 	stop := func() {
 		for _, r := range runs {
@@ -53,7 +61,7 @@ func startDistFleet(db *tpch.DB, n int, sc service.Config) (*dist.Coordinator, f
 		runs = append(runs, run)
 		urls[i] = run.URL
 	}
-	c, err := dist.New(dist.Config{Shards: urls, DB: db, Service: sc})
+	c, err := dist.New(dist.Config{Shards: urls, DB: db, Service: sc, SiteFanout: fanout})
 	if err != nil {
 		stop()
 		return nil, nil, err
@@ -71,6 +79,7 @@ type distTierStats struct {
 	wall          time.Duration
 	fragP50US     float64
 	fragP99US     float64
+	ttfcP50US     float64
 	offBestPct    float64
 	adaptiveCalls int64
 	fingerprints  bool // all queries bit-identical to single-process
@@ -104,6 +113,7 @@ func runDistTier(db *tpch.DB, n, rounds int, sc service.Config, want map[int]str
 	ts.wall = time.Since(start)
 	fleet := c.Fleet()
 	ts.fragP50US, ts.fragP99US = fleet.FragmentP50US, fleet.FragmentP99US
+	ts.ttfcP50US = fleet.TTFCP50US
 	ts.adaptiveCalls = adaptive
 	if adaptive > 0 {
 		ts.offBestPct = 100 * float64(offBest) / float64(adaptive)
@@ -143,10 +153,10 @@ func DistScaling(cfg Config) (*Report, error) {
 		singleOffBest = 100 * float64(offBest) / float64(adaptive)
 	}
 
-	rows := [][]string{{"tier", "wall ms", "frag p50 us", "frag p99 us", "off-best %", "bit-identical"}}
+	rows := [][]string{{"tier", "wall ms", "frag p50 us", "frag p99 us", "ttfc p50 us", "off-best %", "bit-identical"}}
 	rows = append(rows, []string{
 		"single", fmt.Sprintf("%.1f", float64(singleWall.Microseconds())/1e3),
-		"-", "-", fmt.Sprintf("%.2f", singleOffBest), "baseline",
+		"-", "-", "-", fmt.Sprintf("%.2f", singleOffBest), "baseline",
 	})
 	for _, n := range []int{1, 2, 4} {
 		ts, err := runDistTier(db, n, rounds, sc, want)
@@ -162,6 +172,7 @@ func DistScaling(cfg Config) (*Report, error) {
 			fmt.Sprintf("%.1f", float64(ts.wall.Microseconds())/1e3),
 			fmt.Sprintf("%.0f", ts.fragP50US),
 			fmt.Sprintf("%.0f", ts.fragP99US),
+			fmt.Sprintf("%.0f", ts.ttfcP50US),
 			fmt.Sprintf("%.2f", ts.offBestPct),
 			ident,
 		})

@@ -58,6 +58,14 @@ type Config struct {
 	// LatencyWindow is the per-shard fragment RTT window capacity
 	// (default 1024).
 	LatencyWindow int
+	// SiteFanout bounds how many independent fragment sites execute
+	// concurrently (default 4). 1 runs sites sequentially in site order —
+	// still streaming over the wire, but with a deterministic shard-side
+	// learning sequence, which the bench suite relies on.
+	SiteFanout int
+	// BufferedFragments forces the buffered /v1/plan path for every
+	// fragment instead of trying /v1/plan/stream first.
+	BufferedFragments bool
 }
 
 // shardConn is one shard's client plus its observability.
@@ -72,11 +80,16 @@ type shardConn struct {
 // HTTP surface in coordinator mode as in single-process mode, and
 // server.FleetReporter, so /metrics grows a fleet section.
 type Coordinator struct {
-	svc       *service.Service
-	shards    []*shardConn
-	timeoutMS int
+	svc        *service.Service
+	shards     []*shardConn
+	timeoutMS  int
+	siteFanout int
+	buffered   bool // force the buffered fragment path
 
 	fragments      atomic.Int64 // fragment requests sent
+	streamedFrags  atomic.Int64 // fragments answered over /v1/plan/stream
+	bufferedFrags  atomic.Int64 // fragments answered over buffered /v1/plan
+	ttfc           *stats.Window
 	gossipRounds   atomic.Int64
 	gossipImported atomic.Int64
 
@@ -104,11 +117,20 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.LatencyWindow < 1 {
 		cfg.LatencyWindow = 1024
 	}
+	if cfg.SiteFanout < 1 {
+		cfg.SiteFanout = 4
+	}
 	svc := service.New(cfg.DB.SchemaOnly(), cfg.Service)
 	if err := svc.Err(); err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	c := &Coordinator{svc: svc, timeoutMS: cfg.FragmentTimeoutMS}
+	c := &Coordinator{
+		svc:        svc,
+		timeoutMS:  cfg.FragmentTimeoutMS,
+		siteFanout: cfg.SiteFanout,
+		buffered:   cfg.BufferedFragments,
+		ttfc:       stats.NewWindow(cfg.LatencyWindow),
+	}
 	for _, url := range cfg.Shards {
 		c.shards = append(c.shards, &shardConn{
 			url:    url,
@@ -197,9 +219,10 @@ func (c *Coordinator) ExecutePlan(b *plan.Builder) (*engine.Table, service.JobSt
 	return tab, st, nil
 }
 
-// run is the distributed execution spine: derive fragment sites, fan each
-// fragment out to every shard, merge the partials, preset them into the
-// original plan, and finish locally.
+// run is the distributed execution spine: derive fragment sites, fan the
+// fragments out — sites concurrent under the bounded fan-out, each site
+// streaming per-shard chunks straight into its incremental merge — preset
+// the merged tables into the original plan, and finish locally.
 func (c *Coordinator) run(b *plan.Builder, finish func(*plan.Builder, *plan.Exec) (*engine.Table, error)) (*engine.Table, service.JobStats, error) {
 	if err := c.svc.Err(); err != nil {
 		return nil, service.JobStats{}, err
@@ -209,46 +232,43 @@ func (c *Coordinator) run(b *plan.Builder, finish func(*plan.Builder, *plan.Exec
 
 	sites := plan.FragmentSites(b)
 	merged := make([]*engine.Table, len(sites))
-	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		fanErr error
-	)
-	for si, site := range sites {
-		wire, err := plan.MarshalPlan(site.Fragment)
-		if err != nil {
-			return nil, st, fmt.Errorf("marshal fragment %s: %w", site.Table, err)
+	siteStats := make([]server.StatsJSON, len(sites))
+	if c.siteFanout <= 1 {
+		// Sequential sites in site order: the deterministic path.
+		for si, site := range sites {
+			var err error
+			merged[si], siteStats[si], err = c.runSite(site)
+			if err != nil {
+				return nil, st, err
+			}
 		}
-		parts := make([]*engine.Table, len(c.shards))
-		for shi, sh := range c.shards {
+	} else {
+		sem := make(chan struct{}, c.siteFanout)
+		errs := make([]error, len(sites))
+		var wg sync.WaitGroup
+		for si, site := range sites {
 			wg.Add(1)
-			go func(si, shi int, sh *shardConn) {
+			go func(si int, site *plan.FragmentSite) {
 				defer wg.Done()
-				part, pst, err := c.fetchPartial(sh, wire)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if fanErr == nil {
-						fanErr = fmt.Errorf("shard %s: fragment %s: %w", sh.url, sites[si].Table, err)
-					}
-					return
-				}
-				parts[shi] = part
-				st.PrimCycles += pst.PrimCycles
-				st.Instances += pst.Instances
-				st.AdaptiveCalls += pst.AdaptiveCalls
-				st.OffBestCalls += pst.OffBestCalls
-			}(si, shi, sh)
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				merged[si], siteStats[si], errs[si] = c.runSite(site)
+			}(si, site)
 		}
 		wg.Wait()
-		if fanErr != nil {
-			return nil, st, fanErr
+		for _, err := range errs {
+			if err != nil {
+				return nil, st, err
+			}
 		}
-		m, err := site.MergePartials(parts)
-		if err != nil {
-			return nil, st, err
-		}
-		merged[si] = m
+	}
+	// Fold per-site stats in site order after the fan-out, so the float
+	// sums come out identical whatever order the sites finished in.
+	for _, sst := range siteStats {
+		st.PrimCycles += sst.PrimCycles
+		st.Instances += sst.Instances
+		st.AdaptiveCalls += sst.AdaptiveCalls
+		st.OffBestCalls += sst.OffBestCalls
 	}
 
 	// Residual execution: the original plan with every fragment site's
@@ -275,17 +295,134 @@ func (c *Coordinator) run(b *plan.Builder, finish func(*plan.Builder, *plan.Exec
 	return tab, st, nil
 }
 
-// fetchPartial ships one fragment to one shard and decodes the partial.
-func (c *Coordinator) fetchPartial(sh *shardConn, wire []byte) (*engine.Table, server.StatsJSON, error) {
-	c.fragments.Add(1)
-	start := time.Now()
-	out, err := sh.client.Plan(server.PlanRequest{
+// encodeFragment marshals one site's fragment into the request body every
+// shard receives — encoded exactly once per site, however large the
+// fleet. The same bytes serve both the streaming and buffered endpoints.
+func (c *Coordinator) encodeFragment(site *plan.FragmentSite) ([]byte, error) {
+	wire, err := plan.MarshalPlan(site.Fragment)
+	if err != nil {
+		return nil, fmt.Errorf("marshal fragment %s: %w", site.Table, err)
+	}
+	body, err := server.EncodePlanRequest(server.PlanRequest{
 		Plan:          wire,
 		TimeoutMS:     c.timeoutMS,
 		IncludeResult: true,
 	})
 	if err != nil {
+		return nil, fmt.Errorf("encode fragment %s: %w", site.Table, err)
+	}
+	return body, nil
+}
+
+// runSite executes one fragment site across the fleet: every shard
+// streams its partial concurrently, chunks fold into the site's
+// incremental accumulator as they arrive, and the merged table comes back
+// with the site's shard stats folded in shard order (deterministic float
+// sums).
+func (c *Coordinator) runSite(site *plan.FragmentSite) (*engine.Table, server.StatsJSON, error) {
+	body, err := c.encodeFragment(site)
+	if err != nil {
 		return nil, server.StatsJSON{}, err
+	}
+	acc := site.NewAccumulator(len(c.shards))
+	shardStats := make([]server.StatsJSON, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for shi, sh := range c.shards {
+		wg.Add(1)
+		go func(shi int, sh *shardConn) {
+			defer wg.Done()
+			shardStats[shi], errs[shi] = c.fetchShard(acc, shi, sh, body)
+		}(shi, sh)
+	}
+	wg.Wait()
+	for shi, err := range errs {
+		if err != nil {
+			return nil, server.StatsJSON{}, fmt.Errorf("shard %s: fragment %s: %w", c.shards[shi].url, site.Table, err)
+		}
+	}
+	m, err := acc.Result()
+	if err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	var sst server.StatsJSON
+	for _, ss := range shardStats {
+		sst.PrimCycles += ss.PrimCycles
+		sst.Instances += ss.Instances
+		sst.AdaptiveCalls += ss.AdaptiveCalls
+		sst.OffBestCalls += ss.OffBestCalls
+	}
+	return m, sst, nil
+}
+
+// fetchShard delivers one shard's partial into the accumulator: streaming
+// first, falling back to the buffered endpoint if the stream fails for
+// any reason (old peer, truncation, digest mismatch). A failed stream's
+// already-delivered chunks are discarded via ResetShard before the
+// buffered retry, so no partial rows survive into the merge.
+func (c *Coordinator) fetchShard(acc *plan.PartialAccumulator, shi int, sh *shardConn, body []byte) (server.StatsJSON, error) {
+	if !c.buffered {
+		sst, serr := c.fetchStream(acc, shi, sh, body)
+		if serr == nil {
+			return sst, nil
+		}
+		if rerr := acc.ResetShard(shi); rerr != nil {
+			// Reset refuses only after FinishShard — the stream was already
+			// folded, so the failure is a post-verification bug, not a
+			// retryable transport error.
+			return sst, fmt.Errorf("stream failed after shard finished: %v (%w)", serr, rerr)
+		}
+	}
+	sst, tab, err := c.fetchBuffered(sh, body)
+	if err != nil {
+		return sst, err
+	}
+	if err := acc.AddChunk(shi, tab); err != nil {
+		return sst, err
+	}
+	return sst, acc.FinishShard(shi)
+}
+
+// fetchStream ships the fragment over /v1/plan/stream, folding each chunk
+// into the accumulator as it arrives and recording time-to-first-chunk.
+func (c *Coordinator) fetchStream(acc *plan.PartialAccumulator, shi int, sh *shardConn, body []byte) (server.StatsJSON, error) {
+	c.fragments.Add(1)
+	start := time.Now()
+	sawChunk := false
+	res, err := sh.client.PlanStreamEncoded(body, func(tj *server.TableJSON) error {
+		if !sawChunk {
+			sawChunk = true
+			c.ttfc.Add(float64(time.Since(start)))
+		}
+		tab, derr := server.DecodeTable(tj)
+		if derr != nil {
+			return derr
+		}
+		return acc.AddChunk(shi, tab)
+	})
+	if err != nil {
+		return server.StatsJSON{}, err
+	}
+	if !sawChunk {
+		// Zero-row partial: first "chunk" is the verified trailer.
+		c.ttfc.Add(float64(time.Since(start)))
+	}
+	sh.lat.Add(float64(time.Since(start)))
+	c.streamedFrags.Add(1)
+	if err := acc.FinishShard(shi); err != nil {
+		return res.Stats, err
+	}
+	return res.Stats, nil
+}
+
+// fetchBuffered ships the fragment over buffered /v1/plan and decodes the
+// whole partial — the fallback path and the BufferedFragments mode.
+func (c *Coordinator) fetchBuffered(sh *shardConn, body []byte) (server.StatsJSON, *engine.Table, error) {
+	c.fragments.Add(1)
+	start := time.Now()
+	out, err := sh.client.PlanEncoded(body)
+	if err != nil {
+		return server.StatsJSON{}, nil, err
 	}
 	sh.lat.Add(float64(time.Since(start)))
 	if !out.OK() {
@@ -293,16 +430,17 @@ func (c *Coordinator) fetchPartial(sh *shardConn, wire []byte) (*engine.Table, s
 		if out.Err != nil {
 			msg = out.Err.Error
 		}
-		return nil, server.StatsJSON{}, fmt.Errorf("status %d: %s", out.Status, msg)
+		return server.StatsJSON{}, nil, fmt.Errorf("status %d: %s", out.Status, msg)
 	}
 	if out.Response.Result == nil {
-		return nil, server.StatsJSON{}, fmt.Errorf("shard answered without result table")
+		return server.StatsJSON{}, nil, fmt.Errorf("shard answered without result table")
 	}
 	tab, err := server.DecodeTable(out.Response.Result)
 	if err != nil {
-		return nil, server.StatsJSON{}, err
+		return server.StatsJSON{}, nil, err
 	}
-	return tab, out.Response.Stats, nil
+	c.bufferedFrags.Add(1)
+	return out.Response.Stats, tab, nil
 }
 
 // Fleet implements server.FleetReporter: fleet-wide fragment latency from
@@ -314,12 +452,17 @@ func (c *Coordinator) Fleet() server.FleetMetrics {
 		all.Merge(sh.lat)
 	}
 	ps := all.Percentiles(50, 99)
+	ttfc := c.ttfc.Percentiles(50, 99)
 	return server.FleetMetrics{
-		Shards:         len(c.shards),
-		FragmentsSent:  c.fragments.Load(),
-		GossipRounds:   c.gossipRounds.Load(),
-		GossipImported: c.gossipImported.Load(),
-		FragmentP50US:  ps[0] / 1e3,
-		FragmentP99US:  ps[1] / 1e3,
+		Shards:            len(c.shards),
+		FragmentsSent:     c.fragments.Load(),
+		StreamedFragments: c.streamedFrags.Load(),
+		BufferedFragments: c.bufferedFrags.Load(),
+		GossipRounds:      c.gossipRounds.Load(),
+		GossipImported:    c.gossipImported.Load(),
+		FragmentP50US:     ps[0] / 1e3,
+		FragmentP99US:     ps[1] / 1e3,
+		TTFCP50US:         ttfc[0] / 1e3,
+		TTFCP99US:         ttfc[1] / 1e3,
 	}
 }

@@ -14,15 +14,16 @@ import (
 
 var testDB = tpch.Generate(0.002, 42)
 
-// startFleet spins up n in-process shard servers over row-range shards of
-// testDB and a coordinator fronting them, returning both the coordinator
-// and the shard URLs.
-func startFleet(t *testing.T, n int, svcCfg service.Config) (*Coordinator, []string) {
+// startShards spins up n in-process shard servers over row-range shards
+// of testDB and returns their URLs. srvCfg parameterizes the shard
+// servers beyond the executing service (e.g. StreamChunkRows).
+func startShards(t *testing.T, n int, svcCfg service.Config, srvCfg server.Config) []string {
 	t.Helper()
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
-		svc := service.New(testDB.Shard(i, n), svcCfg)
-		run, err := server.Start(server.NewServer(server.Config{Service: svc}), "")
+		cfg := srvCfg
+		cfg.Service = service.New(testDB.Shard(i, n), svcCfg)
+		run, err := server.Start(server.NewServer(cfg), "")
 		if err != nil {
 			t.Fatalf("start shard %d: %v", i, err)
 		}
@@ -33,6 +34,14 @@ func startFleet(t *testing.T, n int, svcCfg service.Config) (*Coordinator, []str
 		})
 		urls[i] = run.URL
 	}
+	return urls
+}
+
+// startFleet spins up n shard servers plus a coordinator fronting them,
+// returning both the coordinator and the shard URLs.
+func startFleet(t *testing.T, n int, svcCfg service.Config) (*Coordinator, []string) {
+	t.Helper()
+	urls := startShards(t, n, svcCfg, server.Config{})
 	c, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
 	if err != nil {
 		t.Fatal(err)
@@ -44,8 +53,10 @@ func startFleet(t *testing.T, n int, svcCfg service.Config) (*Coordinator, []str
 }
 
 // TestDistributedBitIdentity is the subsystem's acceptance test: every
-// TPC-H query, distributed over 1, 2 and 4 shards, must fingerprint
-// byte-identically to single-process execution over the same database.
+// TPC-H query, distributed over 1, 2 and 4 shards with shard-side
+// pipeline parallelism 1, 2 and 4, must fingerprint byte-identically to
+// single-process execution over the same database — on the streaming
+// coordinator path and the buffered fallback path alike.
 func TestDistributedBitIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-fleet sweep")
@@ -60,21 +71,57 @@ func TestDistributedBitIdentity(t *testing.T) {
 		want[q] = server.Fingerprint(tab)
 	}
 	for _, n := range []int{1, 2, 4} {
-		c, _ := startFleet(t, n, service.DefaultConfig())
-		for q := 1; q <= 22; q++ {
-			tab, st, err := c.Execute(q)
+		for _, p := range []int{1, 2, 4} {
+			svcCfg := service.DefaultConfig()
+			svcCfg.PipelineParallelism = p
+			// Small stream chunks so multi-chunk streams are the norm, not
+			// an sf-dependent accident.
+			urls := startShards(t, n, svcCfg, server.Config{StreamChunkRows: 64})
+			stream, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
 			if err != nil {
-				t.Fatalf("N=%d Q%02d: %v", n, q, err)
+				t.Fatal(err)
 			}
-			if got := server.Fingerprint(tab); got != want[q] {
-				t.Errorf("N=%d Q%02d: fingerprint %s, want %s (rows=%d)", n, q, got, want[q], tab.Rows())
+			buffered, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg, BufferedFragments: true})
+			if err != nil {
+				t.Fatal(err)
 			}
-			if st.Instances == 0 {
-				t.Errorf("N=%d Q%02d: no primitive instances counted", n, q)
+			if err := stream.WaitReady(10 * time.Second); err != nil {
+				t.Fatal(err)
 			}
-		}
-		if c.Fleet().FragmentsSent == 0 {
-			t.Errorf("N=%d: coordinator sent no fragments", n)
+			for q := 1; q <= 22; q++ {
+				tab, st, err := stream.Execute(q)
+				if err != nil {
+					t.Fatalf("N=%d P=%d Q%02d: %v", n, p, q, err)
+				}
+				if got := server.Fingerprint(tab); got != want[q] {
+					t.Errorf("N=%d P=%d Q%02d: fingerprint %s, want %s (rows=%d)", n, p, q, got, want[q], tab.Rows())
+				}
+				if st.Instances == 0 {
+					t.Errorf("N=%d P=%d Q%02d: no primitive instances counted", n, p, q)
+				}
+				btab, _, err := buffered.Execute(q)
+				if err != nil {
+					t.Fatalf("N=%d P=%d Q%02d buffered: %v", n, p, q, err)
+				}
+				if got := server.Fingerprint(btab); got != want[q] {
+					t.Errorf("N=%d P=%d Q%02d: buffered fingerprint %s, want %s", n, p, q, got, want[q])
+				}
+			}
+			fleet := stream.Fleet()
+			if fleet.FragmentsSent == 0 {
+				t.Errorf("N=%d P=%d: coordinator sent no fragments", n, p)
+			}
+			if fleet.StreamedFragments == 0 || fleet.BufferedFragments != 0 {
+				t.Errorf("N=%d P=%d: %d streamed / %d buffered fragments; want all streamed",
+					n, p, fleet.StreamedFragments, fleet.BufferedFragments)
+			}
+			if fleet.TTFCP50US <= 0 {
+				t.Errorf("N=%d P=%d: no time-to-first-chunk recorded", n, p)
+			}
+			bf := buffered.Fleet()
+			if bf.StreamedFragments != 0 || bf.BufferedFragments == 0 {
+				t.Errorf("N=%d P=%d: buffered coordinator streamed %d fragments", n, p, bf.StreamedFragments)
+			}
 		}
 	}
 }

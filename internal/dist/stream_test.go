@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"sync"
+	"testing"
+
+	"microadapt/internal/plan"
+	"microadapt/internal/server"
+	"microadapt/internal/service"
+	"microadapt/internal/tpch"
+)
+
+// proxyShard fronts a real shard with handler overrides, reverse-proxying
+// everything else, so tests can break exactly one endpoint of one shard.
+func proxyShard(t *testing.T, backend string, override map[string]http.HandlerFunc) string {
+	t.Helper()
+	target, err := url.Parse(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := override[r.URL.Path]; ok {
+			h(w, r)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// truncateStream forwards the streaming request to the backend, replays
+// the header plus at most one chunk frame, then cuts the connection — a
+// shard dying mid-stream, after real rows were already delivered.
+func truncateStream(t *testing.T, backend string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		resp, err := http.Post(backend+"/v1/plan/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			w.WriteHeader(resp.StatusCode)
+			io.Copy(w, resp.Body)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		br := bufio.NewReader(resp.Body)
+		for i := 0; i < 2; i++ {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				break
+			}
+			w.Write(line)
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler) // cut the connection mid-stream
+	}
+}
+
+// TestStreamingFallback: a shard whose stream breaks — endpoint missing
+// (old peer) or connection cut after delivering real chunks — falls back
+// to the buffered path with no partial rows leaking into the merge: the
+// result stays bit-identical and /metrics records the buffered fragments.
+func TestStreamingFallback(t *testing.T) {
+	svcCfg := service.DefaultConfig()
+	single := service.New(testDB, svcCfg)
+
+	cases := []struct {
+		name     string
+		override func(backend string) map[string]http.HandlerFunc
+	}{
+		{"endpoint-missing", func(string) map[string]http.HandlerFunc {
+			return map[string]http.HandlerFunc{"/v1/plan/stream": http.NotFound}
+		}},
+		{"dies-mid-stream", func(backend string) map[string]http.HandlerFunc {
+			return map[string]http.HandlerFunc{"/v1/plan/stream": truncateStream(t, backend)}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Tiny stream chunks so the mid-stream cut happens after a real
+			// chunk was folded and then discarded.
+			urls := startShards(t, 2, svcCfg, server.Config{StreamChunkRows: 16})
+			urls[1] = proxyShard(t, urls[1], tc.override(urls[1]))
+			c, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []int{1, 6, 14} {
+				want, _, err := single.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := c.Execute(q)
+				if err != nil {
+					t.Fatalf("Q%02d: %v", q, err)
+				}
+				if server.Fingerprint(got) != server.Fingerprint(want) {
+					t.Errorf("Q%02d: fingerprint differs after %s fallback", q, tc.name)
+				}
+			}
+			fleet := c.Fleet()
+			if fleet.BufferedFragments == 0 {
+				t.Error("broken shard produced no buffered fallback fragments")
+			}
+			if fleet.StreamedFragments == 0 {
+				t.Error("healthy shard streamed no fragments")
+			}
+		})
+	}
+}
+
+// recordBodies wraps a shard so every fragment request body's digest is
+// captured, per endpoint.
+func recordBodies(t *testing.T, backend string, mu *sync.Mutex, got *[]string) string {
+	t.Helper()
+	target, _ := url.Parse(backend)
+	rp := httputil.NewSingleHostReverseProxy(target)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/plan/stream" || r.URL.Path == "/v1/plan" {
+			body, err := io.ReadAll(r.Body)
+			r.Body.Close()
+			if err != nil {
+				t.Errorf("read fragment body: %v", err)
+			}
+			h := sha256.Sum256(body)
+			mu.Lock()
+			*got = append(*got, string(h[:]))
+			mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestFragmentEncodeOncePerSite is the regression guard for the
+// encode-once fix: every shard receives byte-identical fragment bodies
+// (one per site), and encoding a fragment body costs the same allocations
+// whatever the fleet size — i.e. it happens per site, not per shard.
+func TestFragmentEncodeOncePerSite(t *testing.T) {
+	svcCfg := service.DefaultConfig()
+	urls := startShards(t, 2, svcCfg, server.Config{})
+	var mu sync.Mutex
+	bodies := make([][]string, 2)
+	for i := range urls {
+		urls[i] = recordBodies(t, urls[i], &mu, &bodies[i])
+	}
+	c, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Execute(14); err != nil { // two base tables -> two sites
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies[0]) < 2 {
+		t.Fatalf("shard 0 saw %d fragment requests, want >= 2 (one per site)", len(bodies[0]))
+	}
+	sort.Strings(bodies[0])
+	sort.Strings(bodies[1])
+	if len(bodies[0]) != len(bodies[1]) {
+		t.Fatalf("shards saw %d vs %d fragment requests", len(bodies[0]), len(bodies[1]))
+	}
+	for i := range bodies[0] {
+		if bodies[0][i] != bodies[1][i] {
+			t.Fatal("shards received different fragment body bytes for the same site")
+		}
+	}
+
+	// Encoding cost is independent of fleet size: the same site body
+	// allocates (almost) identically on a 1-shard and an 8-shard
+	// coordinator. A couple of allocations of jitter are tolerated —
+	// AllocsPerRun is not exact under -race — while the failure mode this
+	// guards against (marshaling once per shard) would show up as ~8x.
+	mk := func(n int) *Coordinator {
+		shards := make([]string, n)
+		for i := range shards {
+			shards[i] = "http://unused.invalid"
+		}
+		cc, err := New(Config{Shards: shards, DB: testDB, Service: svcCfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cc
+	}
+	c1, c8 := mk(1), mk(8)
+	sites := plan.FragmentSites(tpch.Query(6).Plan(c1.DB()))
+	if len(sites) == 0 {
+		t.Fatal("Q6 derived no fragment sites")
+	}
+	encode := func(cc *Coordinator) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := cc.encodeFragment(sites[0]); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if a1, a8 := encode(c1), encode(c8); a8 > a1+2 {
+		t.Errorf("fragment encoding allocations scale with fleet size: %v at N=1 vs %v at N=8", a1, a8)
+	}
+}

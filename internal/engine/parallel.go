@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,13 +39,28 @@ type FragmentBuilder func(fs *core.Session, m Morsel) (Operator, error)
 // matter the configured parallelism.
 const minMorselRows = 512
 
-// fragment pairs one morsel with the session and operator tree processing it.
+// exchangeBufBatches bounds how many rebatched chunks one fragment may have
+// in flight ahead of the consumer. It is the exchange's backpressure knob:
+// the merge holds at most P*exchangeBufBatches vector-size chunks instead
+// of every fragment's full output, and a fragment that runs far ahead of
+// the partition-ordered consumer blocks on its channel rather than
+// buffering its whole partition.
+const exchangeBufBatches = 8
+
+// errAbandoned is the producer-side signal that the exchange was closed
+// (or failed) before this fragment's output was fully consumed.
+var errAbandoned = errors.New("engine: exchange abandoned")
+
+// fragment pairs one morsel with the session and operator tree processing
+// it, plus the bounded channel its rebatched output crosses the exchange
+// on. err is written (if at all) before ch is closed, so a consumer that
+// sees the channel closed reads err race-free.
 type fragment struct {
 	morsel Morsel
 	sess   *core.Session
 	root   Operator
 
-	out *Table
+	ch  chan *vector.Batch
 	err error
 }
 
@@ -54,7 +70,7 @@ type fragment struct {
 // so the coordinator can harvest every partition's learned knowledge
 // afterwards) and the operator tree the FragmentBuilder put above its
 // morsel. Construction is eager and single-threaded; execution — one
-// goroutine per fragment — happens when the Exchange above it opens.
+// goroutine per fragment — starts when the Exchange above it opens.
 type Parallel struct {
 	sess  *core.Session
 	frags []*fragment
@@ -84,62 +100,83 @@ func NewParallel(sess *core.Session, rows, parts int, build FragmentBuilder) (*P
 	return p, nil
 }
 
-// run executes every fragment on its own goroutine and blocks until all
-// finish. Each goroutine opens its root, streams it into one materialized
-// partition table (the postprocess boundary of the fragment — a single
-// reused scratch batch, no per-batch vector allocation) and closes it; a
-// panic inside a fragment — a primitive bug must not kill the whole
-// service — is converted into that fragment's error.
-func (p *Parallel) run() error {
-	var wg sync.WaitGroup
-	for _, f := range p.frags {
-		f := f
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					f.err = fmt.Errorf("engine: fragment %d panicked: %v", f.morsel.Part, r)
-				}
-			}()
-			f.out, f.err = Materialize(f.root)
-		}()
-	}
-	wg.Wait()
-	for _, f := range p.frags {
-		if f.err != nil {
-			return f.err
-		}
-	}
-	return nil
+// rebatcher coalesces a fragment's output batches into dense, owned chunks
+// of about the session's vector size before they cross the exchange
+// channel. Fragment roots emit scratch-backed, often sparse batches that
+// must be copied before the producer's next Next reuses the scratch, and
+// rebatching to vector-size chunks keeps the downstream batch count (and
+// so the per-batch overhead accounting) at the level of the old
+// materialize-then-slice exchange even under selective predicates.
+type rebatcher struct {
+	sch    vector.Schema
+	target int
+	acc    []colAcc
+	n      int
 }
 
-// Exchange is the merge half of the pair: an Operator that runs the
-// Parallel's fragments to completion on its Open and then streams their
-// output batches in partition order. Because morsels are contiguous row
+func newRebatcher(sch vector.Schema, target int) *rebatcher {
+	if target < 1 {
+		target = 1
+	}
+	return &rebatcher{sch: sch, target: target}
+}
+
+func (r *rebatcher) add(b *vector.Batch) {
+	if r.acc == nil {
+		r.acc = make([]colAcc, len(r.sch))
+		for i, c := range r.sch {
+			r.acc[i].t = c.Type
+		}
+	}
+	for ci := range r.sch {
+		r.acc[ci].appendLive(b.Cols[ci], b.Sel, b.N)
+	}
+	r.n += b.Live()
+}
+
+func (r *rebatcher) take() *vector.Batch {
+	cols := make([]*vector.Vector, len(r.sch))
+	for i := range r.acc {
+		cols[i] = r.acc[i].vector()
+	}
+	b := &vector.Batch{N: r.n, Cols: cols}
+	r.acc, r.n = nil, 0
+	return b
+}
+
+// Exchange is the merge half of the pair: an Operator that starts the
+// Parallel's fragments on its Open and streams their output chunks in
+// partition order as they are produced. Because morsels are contiguous row
 // ranges and fragments preserve order, the merged stream carries exactly
 // the rows, in exactly the order, of the serial pipeline — which is what
 // makes parallel plans bit-identical to serial ones (order-sensitive
 // consumers like merge joins and first-seen group numbering included).
 //
+// Unlike the original barrier exchange, Open does not run fragments to
+// completion: each fragment hands rebatched, self-owned chunks through a
+// bounded channel, so the downstream consumer overlaps with upstream
+// fragment execution while total buffering stays at P*exchangeBufBatches
+// chunks. The order contract is kept by consuming the channels strictly in
+// partition order; later fragments compute ahead until their channel
+// fills, then block (backpressure) instead of materializing their whole
+// partition.
+//
 // The exchange boundary is also where the partitions' learned flavor
 // knowledge merges: fragment sessions are registered on the coordinator
 // session (core.Session.Fragments), so knowledge harvesting walks all P
 // per-partition bandits, and the fragments' virtual cycle accounting is
-// folded into the coordinator's ExecCtx here.
-//
-// Known tradeoff: Open is a barrier — every fragment runs to completion
-// and its output is materialized before downstream consumption starts, so
-// the exchange holds the full filtered/projected partition output in
-// memory and the consumer cannot overlap with the slowest fragment. At the
-// lab scale factors this buys exact partition-order determinism cheaply; a
-// streaming partition-order merge (consume fragment 0 while later
-// fragments still run) is the upgrade path for larger-than-memory scans.
+// folded into the coordinator's ExecCtx when the stream ends (or the
+// exchange is closed early — a Limit above it abandons the producers, and
+// whatever work they did is still accounted).
 type Exchange struct {
 	par    *Parallel
 	frag   int // partition currently being streamed
-	pos    int // next row within that partition's table
 	opened bool
+
+	done   chan struct{} // closed to release blocked producers
+	wg     sync.WaitGroup
+	start  time.Time
+	folded bool
 }
 
 // NewExchange builds the merging operator over a Parallel.
@@ -148,71 +185,137 @@ func NewExchange(p *Parallel) *Exchange { return &Exchange{par: p} }
 // Schema implements Operator: fragments share one schema.
 func (e *Exchange) Schema() vector.Schema { return e.par.frags[0].root.Schema() }
 
-// Open implements Operator: it runs all fragments concurrently and merges
-// their cycle accounting into the coordinator session; Next then streams
-// the partition tables in partition order.
+// Open implements Operator: it starts one producer goroutine per fragment
+// and returns immediately; Next then streams the fragments' chunks in
+// partition order as they arrive. Fragment errors (a builder bug, a
+// primitive panic) surface from Next when the consumer reaches the failed
+// fragment's position in the merge order.
 func (e *Exchange) Open() error {
-	e.frag, e.pos = 0, 0
-	start := time.Now()
-	if err := e.par.run(); err != nil {
-		return err
-	}
-	if d := e.par.fanoutDec; d != nil {
-		// The fan-out decision's signal is real wall time, not simulated
-		// cycles: partitioning does not change the virtual cycle sum, only
-		// how long the barrier takes on actual cores. Units are nanoseconds
-		// — consistent within the decision, which is all Observe requires.
-		d.Observe(e.par.rows, float64(time.Since(start).Nanoseconds()))
-	}
-	sess := e.par.sess
+	e.frag = 0
+	e.folded = false
+	e.start = time.Now()
+	e.done = make(chan struct{})
 	for _, f := range e.par.frags {
-		// The fragments' work happened on private ExecCtxs; fold it into
-		// the coordinator so whole-query accounting (JobStats, Table 1
-		// breakdowns) sees the sum of all partitions.
-		sess.Ctx.PrimCycles += f.sess.Ctx.PrimCycles
-		sess.Ctx.OperatorCycles += f.sess.Ctx.OperatorCycles
-		chargeOp(sess, perBatchOverhead) // per-partition merge overhead
+		f.ch = make(chan *vector.Batch, exchangeBufBatches)
+		f.err = nil
+		e.wg.Add(1)
+		go e.produce(f)
 	}
 	e.opened = true
 	return nil
 }
 
-// Next implements Operator: it streams vector-size, zero-copy slices of
-// the materialized partition tables, in partition order.
+// produce drains one fragment's operator tree, rebatching its output into
+// vector-size chunks and sending them down the fragment's bounded channel.
+// A panic inside the fragment — a primitive bug must not kill the whole
+// service — is converted into the fragment's error. err is always written
+// before ch closes.
+func (e *Exchange) produce(f *fragment) {
+	defer e.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("engine: fragment %d panicked: %v", f.morsel.Part, r)
+		}
+		close(f.ch)
+	}()
+	rb := newRebatcher(f.root.Schema(), e.par.sess.VectorSize)
+	err := Drain(f.root, func(b *vector.Batch) error {
+		if rb.n > 0 && rb.n+b.Live() > rb.target {
+			if !e.send(f, rb.take()) {
+				return errAbandoned
+			}
+		}
+		rb.add(b)
+		if rb.n >= rb.target {
+			if !e.send(f, rb.take()) {
+				return errAbandoned
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, errAbandoned) {
+			f.err = err
+		}
+		return
+	}
+	if rb.n > 0 {
+		e.send(f, rb.take())
+	}
+}
+
+// send delivers one chunk unless the exchange has been closed or failed;
+// it reports whether the producer should keep going.
+func (e *Exchange) send(f *fragment, b *vector.Batch) bool {
+	select {
+	case f.ch <- b:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// Next implements Operator: it streams the fragments' chunks in partition
+// order, blocking on the current partition's channel — which is how the
+// consumer overlaps with every still-running upstream fragment.
 func (e *Exchange) Next() (*vector.Batch, error) {
 	if !e.opened {
 		return nil, fmt.Errorf("engine: Exchange.Next before Open")
 	}
 	for e.frag < len(e.par.frags) {
-		t := e.par.frags[e.frag].out
-		if e.pos >= t.Rows() {
-			e.frag++
-			e.pos = 0
-			continue
+		f := e.par.frags[e.frag]
+		b, ok := <-f.ch
+		if ok {
+			chargeOp(e.par.sess, perBatchOverhead)
+			return b, nil
 		}
-		lo := e.pos
-		hi := lo + e.par.sess.VectorSize
-		if hi > t.Rows() {
-			hi = t.Rows()
+		if f.err != nil {
+			err := f.err
+			e.shutdown()
+			return nil, err
 		}
-		e.pos = hi
-		cols := make([]*vector.Vector, len(t.Cols))
-		for i, c := range t.Cols {
-			cols[i] = c.Slice(lo, hi)
-		}
-		chargeOp(e.par.sess, perBatchOverhead)
-		return &vector.Batch{N: hi - lo, Cols: cols}, nil
+		e.frag++
 	}
+	e.shutdown()
 	return nil, nil
 }
 
-// Close implements Operator. Fragments were opened and closed by their own
-// goroutines during Open, so releasing the partition tables is all that is
-// left; opened resets so a Next after Close errors instead of hitting the
-// nil tables.
-func (e *Exchange) Close() {
+// shutdown releases any still-blocked producers, waits for all of them to
+// exit, observes the fan-out decision with the real wall time of the
+// streamed pipeline, and folds the fragments' cycle accounting into the
+// coordinator session so whole-query accounting (JobStats, Table 1
+// breakdowns) sees the sum of all partitions. It runs exactly once per
+// Open, whether the stream was fully drained, failed, or closed early.
+func (e *Exchange) shutdown() {
+	if e.folded {
+		return
+	}
+	e.folded = true
+	close(e.done)
+	e.wg.Wait()
+	if d := e.par.fanoutDec; d != nil {
+		// The fan-out decision's signal is real wall time, not simulated
+		// cycles: partitioning does not change the virtual cycle sum, only
+		// how long the overlapped pipeline takes on actual cores. Units are
+		// nanoseconds — consistent within the decision, which is all
+		// Observe requires.
+		d.Observe(e.par.rows, float64(time.Since(e.start).Nanoseconds()))
+	}
+	sess := e.par.sess
 	for _, f := range e.par.frags {
-		f.out = nil
+		sess.Ctx.PrimCycles += f.sess.Ctx.PrimCycles
+		sess.Ctx.OperatorCycles += f.sess.Ctx.OperatorCycles
+		chargeOp(sess, perBatchOverhead) // per-partition merge overhead
+	}
+}
+
+// Close implements Operator. An early Close — a Limit upstream satisfied,
+// an error elsewhere in the plan — abandons the producers via done and
+// still folds whatever cycle accounting the fragments accumulated; opened
+// resets so a Next after Close errors instead of reading stale channels.
+func (e *Exchange) Close() {
+	if e.opened {
+		e.shutdown()
 	}
 	e.opened = false
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"microadapt/internal/core"
 	"microadapt/internal/hw"
@@ -127,7 +128,9 @@ func TestParallelPipelineSmallScanStaysSerial(t *testing.T) {
 }
 
 // TestExchangeFragmentError: a builder error surfaces from construction; a
-// fragment panic during execution surfaces as an Open error, not a crash.
+// fragment panic during execution surfaces as a stream error from the
+// merge (Open starts the producers, Next delivers their failure), not a
+// crash — and the exchange shuts its other producers down cleanly.
 func TestExchangeFragmentError(t *testing.T) {
 	tab := numbersTable(4000)
 	s := parallelSession(t, 2)
@@ -144,9 +147,92 @@ func TestExchangeFragmentError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := op.Open(); err == nil {
-		t.Error("fragment panic did not surface as an Open error")
+	if _, err := Materialize(op); err == nil {
+		t.Error("fragment panic did not surface from the merged stream")
 	}
+}
+
+// TestExchangeEarlyClose: closing the exchange before the stream is
+// exhausted (the shape a Limit above it produces) must release the
+// blocked producer goroutines, not deadlock, and still fold the
+// fragments' cycle accounting into the coordinator session.
+func TestExchangeEarlyClose(t *testing.T) {
+	s := parallelSession(t, 4)
+	tab := numbersTable(40000) // large enough that producers outpace one Next
+	op, err := ParallelPipeline(s, "T", tab.Rows(), func(fs *core.Session, m Morsel) (Operator, error) {
+		return NewRangeScan(fs, tab, m.Lo, m.Hi, "id", "val"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := op.(*Exchange)
+	if !ok {
+		t.Fatalf("expected an Exchange at P=4, got %T", op)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := ex.Next(); err != nil || b == nil {
+		t.Fatalf("first Next = (%v, %v)", b, err)
+	}
+	done := make(chan struct{})
+	go func() { ex.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("early Close deadlocked against blocked producers")
+	}
+	if s.Ctx.OperatorCycles <= 0 {
+		t.Error("early Close folded no fragment cycle accounting")
+	}
+	if _, err := ex.Next(); err == nil {
+		t.Error("Next after early Close did not error")
+	}
+}
+
+// TestExchangeBackpressureOverlap: the consumer must be able to drain
+// partition 0 while later partitions are still producing, and the whole
+// merged stream must equal the serial order even when producers block on
+// their bounded channels. Run with -race this is the handoff's data-race
+// coverage.
+func TestExchangeBackpressureOverlap(t *testing.T) {
+	tab := numbersTable(30000)
+	serial := parallelSession(t, 1)
+	want, err := Materialize(mustPipeline(t, serial, tab, selProjPipeline(tab, 200000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		s := parallelSession(t, p)
+		op := mustPipeline(t, s, tab, selProjPipeline(tab, 200000))
+		if err := op.Open(); err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for {
+			b, err := op.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			rows += b.Live()
+		}
+		op.Close()
+		if rows != want.Rows() {
+			t.Errorf("P=%d: streamed %d rows, want %d", p, rows, want.Rows())
+		}
+	}
+}
+
+func mustPipeline(t *testing.T, s *core.Session, tab *Table, build FragmentBuilder) Operator {
+	t.Helper()
+	op, err := ParallelPipeline(s, "T", tab.Rows(), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
 }
 
 // panicOp panics on Next, simulating a primitive bug inside a fragment.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"microadapt/internal/engine"
 	"microadapt/internal/vector"
@@ -217,17 +218,259 @@ func buildSite(b *Builder, chainNodes []*Node, aggNode *Node) *FragmentSite {
 // MergePartials combines per-shard partial tables (in shard order) into
 // the site node's result table. Every partial must carry the fragment
 // root's schema; the output carries the site node's schema and label.
+// It is the whole-table convenience form of the incremental
+// PartialAccumulator, and the buffered fallback path of the coordinator.
 func (s *FragmentSite) MergePartials(parts []*engine.Table) (*engine.Table, error) {
-	want := s.Fragment.MainRoot().sch
+	acc := s.NewAccumulator(len(parts))
 	for i, p := range parts {
-		if err := schemaMatches(p.Sch, want); err != nil {
-			return nil, fmt.Errorf("plan: merge %s: shard %d: %w", s.Node.label, i, err)
+		if err := acc.AddChunk(i, p); err != nil {
+			return nil, err
+		}
+		if err := acc.FinishShard(i); err != nil {
+			return nil, err
 		}
 	}
-	if s.merge == MergeConcat {
-		return concatTables(s.Node.label, s.Node.sch, parts)
+	return acc.Result()
+}
+
+// PartialAccumulator folds per-shard partial chunks into one merged site
+// result incrementally, so a streaming coordinator can start merging while
+// shards are still producing. It is safe for concurrent use by one
+// goroutine per shard.
+//
+// The ordering contract that makes the merge bit-identical to a
+// single-process run is preserved by construction:
+//
+//   - MergeConcat sites append each chunk to its shard's private column
+//     slot as it arrives (chunks from one shard arrive in row order); the
+//     final Result concatenates the slots in shard order.
+//   - MergePartialAgg sites must discover groups in (shard order, row
+//     order) — the global first-seen order of a single-process HashAgg —
+//     so chunks queue per shard and fold into the persistent accumulator
+//     only when every earlier shard's stream has finished. A finished
+//     shard's chunks fold while later shards are still streaming.
+//
+// A shard whose stream fails mid-flight is discarded with ResetShard and
+// may be re-delivered (e.g. through the buffered fallback path) without
+// leaking partial rows into the merge: concat slots are private until
+// Result, and aggregate chunks are never folded before FinishShard.
+type PartialAccumulator struct {
+	site   *FragmentSite
+	want   vector.Schema // fragment root schema, checked per chunk
+	shards int
+
+	mu   sync.Mutex
+	done []bool
+
+	// MergeConcat state: one column-buffer set per shard slot.
+	slots [][]colBuf
+
+	// MergePartialAgg state: queued chunks per shard, the fold frontier,
+	// and the persistent group accumulator.
+	pending [][]*engine.Table
+	next    int
+	fold    *aggFold
+}
+
+// NewAccumulator returns an empty accumulator for a fleet of the given
+// size.
+func (s *FragmentSite) NewAccumulator(shards int) *PartialAccumulator {
+	a := &PartialAccumulator{
+		site:   s,
+		want:   s.Fragment.MainRoot().sch,
+		shards: shards,
+		done:   make([]bool, shards),
 	}
-	return s.mergePartialAggs(parts)
+	if s.merge == MergeConcat {
+		a.slots = make([][]colBuf, shards)
+		for i := range a.slots {
+			a.slots[i] = newColBufs(a.want)
+		}
+	} else {
+		a.pending = make([][]*engine.Table, shards)
+		a.fold = newAggFold(s)
+	}
+	return a
+}
+
+// AddChunk folds one partial chunk from one shard. Chunks from a single
+// shard must arrive in row order; shards may interleave freely.
+func (a *PartialAccumulator) AddChunk(shard int, chunk *engine.Table) error {
+	if err := schemaMatches(chunk.Sch, a.want); err != nil {
+		return fmt.Errorf("plan: merge %s: shard %d: %w", a.site.Node.label, shard, err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= a.shards {
+		return fmt.Errorf("plan: merge %s: shard %d out of range [0,%d)", a.site.Node.label, shard, a.shards)
+	}
+	if a.done[shard] {
+		return fmt.Errorf("plan: merge %s: chunk after FinishShard(%d)", a.site.Node.label, shard)
+	}
+	if a.site.merge == MergeConcat {
+		for ci := range a.want {
+			if err := a.slots[shard][ci].appendRows(chunk.Cols[ci], chunk.Rows()); err != nil {
+				return fmt.Errorf("plan: merge %s: shard %d: %w", a.site.Node.label, shard, err)
+			}
+		}
+		return nil
+	}
+	a.pending[shard] = append(a.pending[shard], chunk)
+	return nil
+}
+
+// FinishShard marks a shard's stream complete. For aggregate sites it
+// advances the fold frontier: every queued chunk of every consecutive
+// finished shard folds into the group accumulator, in shard order.
+func (a *PartialAccumulator) FinishShard(shard int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= a.shards {
+		return fmt.Errorf("plan: merge %s: shard %d out of range [0,%d)", a.site.Node.label, shard, a.shards)
+	}
+	if a.done[shard] {
+		return fmt.Errorf("plan: merge %s: FinishShard(%d) twice", a.site.Node.label, shard)
+	}
+	a.done[shard] = true
+	if a.site.merge != MergePartialAgg {
+		return nil
+	}
+	for a.next < a.shards && a.done[a.next] {
+		for _, chunk := range a.pending[a.next] {
+			if err := a.fold.foldTable(chunk); err != nil {
+				return err
+			}
+		}
+		a.pending[a.next] = nil
+		a.next++
+	}
+	return nil
+}
+
+// ResetShard discards everything accumulated for one unfinished shard, so
+// a failed stream can be retried (buffered or streaming) from scratch.
+func (a *PartialAccumulator) ResetShard(shard int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= a.shards {
+		return fmt.Errorf("plan: merge %s: shard %d out of range [0,%d)", a.site.Node.label, shard, a.shards)
+	}
+	if a.done[shard] {
+		return fmt.Errorf("plan: merge %s: ResetShard(%d) after FinishShard", a.site.Node.label, shard)
+	}
+	if a.site.merge == MergeConcat {
+		a.slots[shard] = newColBufs(a.want)
+		return nil
+	}
+	a.pending[shard] = nil
+	return nil
+}
+
+// Result assembles the merged table once every shard has finished.
+func (a *PartialAccumulator) Result() (*engine.Table, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, d := range a.done {
+		if !d {
+			return nil, fmt.Errorf("plan: merge %s: Result before shard %d finished", a.site.Node.label, i)
+		}
+	}
+	if a.site.merge == MergeConcat {
+		return a.concatResult()
+	}
+	return a.fold.result()
+}
+
+// concatResult stacks the shard slots in order, preserving global row
+// order because shard ranges partition the base table contiguously.
+func (a *PartialAccumulator) concatResult() (*engine.Table, error) {
+	sch := a.site.Node.sch
+	cols := make([]*vector.Vector, len(sch))
+	for ci := range sch {
+		v, err := concatColumn(a.slots, ci)
+		if err != nil {
+			return nil, fmt.Errorf("plan: concat %s: %w", a.site.Node.label, err)
+		}
+		cols[ci] = v
+	}
+	return engine.NewTable(a.site.Node.label, sch, cols), nil
+}
+
+// colBuf accumulates one column of one shard's concatenated partials in
+// its native width.
+type colBuf struct {
+	t   vector.Type
+	i16 []int16
+	i32 []int32
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+func newColBufs(sch vector.Schema) []colBuf {
+	bufs := make([]colBuf, len(sch))
+	for i, c := range sch {
+		bufs[i].t = c.Type
+	}
+	return bufs
+}
+
+// appendRows appends the first rows values of v.
+func (b *colBuf) appendRows(v *vector.Vector, rows int) error {
+	switch b.t {
+	case vector.I16:
+		b.i16 = append(b.i16, v.I16()[:rows]...)
+	case vector.I32:
+		b.i32 = append(b.i32, v.I32()[:rows]...)
+	case vector.I64:
+		b.i64 = append(b.i64, v.I64()[:rows]...)
+	case vector.F64:
+		b.f64 = append(b.f64, v.F64()[:rows]...)
+	case vector.Str:
+		b.str = append(b.str, v.Str()[:rows]...)
+	default:
+		return fmt.Errorf("unsupported column type %s", b.t)
+	}
+	return nil
+}
+
+// concatColumn splices column ci of every shard slot, in shard order, into
+// one vector.
+func concatColumn(slots [][]colBuf, ci int) (*vector.Vector, error) {
+	switch t := slots[0][ci].t; t {
+	case vector.I16:
+		var out []int16
+		for si := range slots {
+			out = append(out, slots[si][ci].i16...)
+		}
+		return vector.FromI16(out), nil
+	case vector.I32:
+		var out []int32
+		for si := range slots {
+			out = append(out, slots[si][ci].i32...)
+		}
+		return vector.FromI32(out), nil
+	case vector.I64:
+		var out []int64
+		for si := range slots {
+			out = append(out, slots[si][ci].i64...)
+		}
+		return vector.FromI64(out), nil
+	case vector.F64:
+		var out []float64
+		for si := range slots {
+			out = append(out, slots[si][ci].f64...)
+		}
+		return vector.FromF64(out), nil
+	case vector.Str:
+		var out []string
+		for si := range slots {
+			out = append(out, slots[si][ci].str...)
+		}
+		return vector.FromStr(out), nil
+	default:
+		return nil, fmt.Errorf("unsupported column type %s", t)
+	}
 }
 
 func schemaMatches(have, want vector.Schema) error {
@@ -241,53 +484,6 @@ func schemaMatches(have, want vector.Schema) error {
 		}
 	}
 	return nil
-}
-
-// concatTables stacks the partials in order, preserving global row order
-// because shard ranges partition the base table contiguously.
-func concatTables(name string, sch vector.Schema, parts []*engine.Table) (*engine.Table, error) {
-	rows := 0
-	for _, p := range parts {
-		rows += p.Rows()
-	}
-	cols := make([]*vector.Vector, len(sch))
-	for ci, c := range sch {
-		switch c.Type {
-		case vector.I16:
-			out := make([]int16, 0, rows)
-			for _, p := range parts {
-				out = append(out, p.Cols[ci].I16()[:p.Rows()]...)
-			}
-			cols[ci] = vector.FromI16(out)
-		case vector.I32:
-			out := make([]int32, 0, rows)
-			for _, p := range parts {
-				out = append(out, p.Cols[ci].I32()[:p.Rows()]...)
-			}
-			cols[ci] = vector.FromI32(out)
-		case vector.I64:
-			out := make([]int64, 0, rows)
-			for _, p := range parts {
-				out = append(out, p.Cols[ci].I64()[:p.Rows()]...)
-			}
-			cols[ci] = vector.FromI64(out)
-		case vector.F64:
-			out := make([]float64, 0, rows)
-			for _, p := range parts {
-				out = append(out, p.Cols[ci].F64()[:p.Rows()]...)
-			}
-			cols[ci] = vector.FromF64(out)
-		case vector.Str:
-			out := make([]string, 0, rows)
-			for _, p := range parts {
-				out = append(out, p.Cols[ci].Str()[:p.Rows()]...)
-			}
-			cols[ci] = vector.FromStr(out)
-		default:
-			return nil, fmt.Errorf("plan: concat: unsupported column type %s", c.Type)
-		}
-	}
-	return engine.NewTable(name, sch, cols), nil
 }
 
 // groupKey renders one row's group-by key exactly the way the engine's
@@ -312,88 +508,108 @@ func groupKey(t *engine.Table, groupCols int, row int, sb *strings.Builder) stri
 	return sb.String()
 }
 
-// mergePartialAggs folds partial aggregates group-wise. Groups are
-// discovered in (shard order, partial row order), which equals the global
-// first-seen order of a single-process HashAgg; a group's group-column and
+// aggFold is the persistent group accumulator behind MergePartialAgg
+// sites. Groups are discovered in (shard order, partial row order) — the
+// caller feeds tables in shard order — which equals the global first-seen
+// order of a single-process HashAgg; a group's group-column and
 // first-aggregate values come from the first partial that contains it.
-func (s *FragmentSite) mergePartialAggs(parts []*engine.Table) (*engine.Table, error) {
-	sch := s.Node.sch
+type aggFold struct {
+	site *FragmentSite
 	// One accumulator per OUTPUT column: group columns first, then one per
 	// original aggregate (avg folds two partial columns into one output).
-	accs := make([]partialAcc, len(sch))
-	cnts := make([][]int64, len(s.aggs)) // avg counts, folded separately
-	idx := make(map[string]int)
-	var sb strings.Builder
+	accs []partialAcc
+	cnts [][]int64 // avg counts, folded separately
+	idx  map[string]int
+	sb   strings.Builder
+}
 
-	for _, p := range parts {
-		for row := 0; row < p.Rows(); row++ {
-			key := groupKey(p, s.groupCols, row, &sb)
-			g, seen := idx[key]
-			if !seen {
-				g = len(idx)
-				idx[key] = g
-				// Capture first-seen group column values.
-				for ci := 0; ci < s.groupCols; ci++ {
-					switch sch[ci].Type {
-					case vector.I64:
-						accs[ci].i64 = append(accs[ci].i64, p.Cols[ci].I64()[row])
-					case vector.F64:
-						accs[ci].f64 = append(accs[ci].f64, p.Cols[ci].F64()[row])
-					case vector.Str:
-						accs[ci].str = append(accs[ci].str, p.Cols[ci].Str()[row])
-					}
-				}
-			}
-			for ai, m := range s.aggs {
-				oc := s.groupCols + ai
-				acc := &accs[oc]
-				switch m.fn {
-				case engine.AggAvg:
-					if !seen {
-						acc.i64 = append(acc.i64, 0)
-						cnts[ai] = append(cnts[ai], 0)
-					}
-					acc.i64[g] += p.Cols[m.col].I64()[row]
-					cnts[ai][g] += p.Cols[m.cntCol].I64()[row]
-				case engine.AggCount:
-					if !seen {
-						acc.i64 = append(acc.i64, 0)
-					}
-					acc.i64[g] += p.Cols[m.col].I64()[row]
-				case engine.AggSum:
-					if !seen {
-						acc.i64 = append(acc.i64, 0)
-					}
-					acc.i64[g] += p.Cols[m.col].I64()[row]
-				case engine.AggMin, engine.AggMax:
-					foldMinMax(acc, p.Cols[m.col], row, g, seen, m.fn == engine.AggMin)
-				case engine.AggFirst:
-					if !seen {
-						switch p.Cols[m.col].Type() {
-						case vector.I64:
-							acc.i64 = append(acc.i64, p.Cols[m.col].I64()[row])
-						case vector.F64:
-							acc.f64 = append(acc.f64, p.Cols[m.col].F64()[row])
-						case vector.Str:
-							acc.str = append(acc.str, p.Cols[m.col].Str()[row])
-						}
-					}
-				default:
-					return nil, fmt.Errorf("plan: merge %s: unmergeable aggregate %q", s.Node.label, m.fn)
+func newAggFold(s *FragmentSite) *aggFold {
+	return &aggFold{
+		site: s,
+		accs: make([]partialAcc, len(s.Node.sch)),
+		cnts: make([][]int64, len(s.aggs)),
+		idx:  make(map[string]int),
+	}
+}
+
+// foldTable folds one partial table's rows into the accumulator.
+func (f *aggFold) foldTable(p *engine.Table) error {
+	s := f.site
+	sch := s.Node.sch
+	for row := 0; row < p.Rows(); row++ {
+		key := groupKey(p, s.groupCols, row, &f.sb)
+		g, seen := f.idx[key]
+		if !seen {
+			g = len(f.idx)
+			f.idx[key] = g
+			// Capture first-seen group column values.
+			for ci := 0; ci < s.groupCols; ci++ {
+				switch sch[ci].Type {
+				case vector.I64:
+					f.accs[ci].i64 = append(f.accs[ci].i64, p.Cols[ci].I64()[row])
+				case vector.F64:
+					f.accs[ci].f64 = append(f.accs[ci].f64, p.Cols[ci].F64()[row])
+				case vector.Str:
+					f.accs[ci].str = append(f.accs[ci].str, p.Cols[ci].Str()[row])
 				}
 			}
 		}
+		for ai, m := range s.aggs {
+			oc := s.groupCols + ai
+			acc := &f.accs[oc]
+			switch m.fn {
+			case engine.AggAvg:
+				if !seen {
+					acc.i64 = append(acc.i64, 0)
+					f.cnts[ai] = append(f.cnts[ai], 0)
+				}
+				acc.i64[g] += p.Cols[m.col].I64()[row]
+				f.cnts[ai][g] += p.Cols[m.cntCol].I64()[row]
+			case engine.AggCount:
+				if !seen {
+					acc.i64 = append(acc.i64, 0)
+				}
+				acc.i64[g] += p.Cols[m.col].I64()[row]
+			case engine.AggSum:
+				if !seen {
+					acc.i64 = append(acc.i64, 0)
+				}
+				acc.i64[g] += p.Cols[m.col].I64()[row]
+			case engine.AggMin, engine.AggMax:
+				foldMinMax(acc, p.Cols[m.col], row, g, seen, m.fn == engine.AggMin)
+			case engine.AggFirst:
+				if !seen {
+					switch p.Cols[m.col].Type() {
+					case vector.I64:
+						acc.i64 = append(acc.i64, p.Cols[m.col].I64()[row])
+					case vector.F64:
+						acc.f64 = append(acc.f64, p.Cols[m.col].F64()[row])
+					case vector.Str:
+						acc.str = append(acc.str, p.Cols[m.col].Str()[row])
+					}
+				}
+			default:
+				return fmt.Errorf("plan: merge %s: unmergeable aggregate %q", s.Node.label, m.fn)
+			}
+		}
 	}
+	return nil
+}
 
-	groups := len(idx)
+// result finalizes the fold: avg divides sum by count, everything else
+// materializes its native accumulator.
+func (f *aggFold) result() (*engine.Table, error) {
+	s := f.site
+	sch := s.Node.sch
+	groups := len(f.idx)
 	cols := make([]*vector.Vector, len(sch))
 	for ci, c := range sch {
-		acc := &accs[ci]
+		acc := &f.accs[ci]
 		ai := ci - s.groupCols
 		if ai >= 0 && s.aggs[ai].fn == engine.AggAvg {
 			out := make([]float64, groups)
 			for g := 0; g < groups; g++ {
-				if n := cnts[ai][g]; n > 0 {
+				if n := f.cnts[ai][g]; n > 0 {
 					out[g] = float64(acc.i64[g]) / float64(n)
 				}
 			}

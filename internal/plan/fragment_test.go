@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"microadapt/internal/engine"
@@ -295,5 +296,241 @@ func TestPresetValidation(t *testing.T) {
 	}
 	if out.Rows() != 1 || out.Cols[0].GetI64(0) != 7 {
 		t.Errorf("run did not use preset table: %d rows", out.Rows())
+	}
+}
+
+// chunked splits a partial table into row chunks of at most sz rows.
+func chunked(p *engine.Table, sz int) []*engine.Table {
+	var out []*engine.Table
+	for lo := 0; lo < p.Rows(); lo += sz {
+		hi := lo + sz
+		if hi > p.Rows() {
+			hi = p.Rows()
+		}
+		out = append(out, p.Slice(lo, hi))
+	}
+	if len(out) == 0 {
+		out = append(out, p) // keep the zero-row partial visible
+	}
+	return out
+}
+
+// sitePartials runs a plan's single fragment site over every contiguous
+// row-range of the base table and returns the site with its per-shard
+// partials.
+func sitePartials(t *testing.T, b *Builder, shards int, base *engine.Table) (*FragmentSite, []*engine.Table) {
+	t.Helper()
+	sites := FragmentSites(b)
+	if len(sites) != 1 {
+		t.Fatalf("%d sites, want 1", len(sites))
+	}
+	site := sites[0]
+	parts := make([]*engine.Table, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := base.Rows()*i/shards, base.Rows()*(i+1)/shards
+		slice := base.Slice(lo, hi)
+		fb, err := UnmarshalPlan(mustMarshal(t, site.Fragment), func(name string) (*engine.Table, bool) {
+			return slice, name == base.Name
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i], err = fb.Bind(testSession(1)).Run(fb.MainRoot())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return site, parts
+}
+
+func mustMarshal(t *testing.T, b *Builder) []byte {
+	t.Helper()
+	wire, err := MarshalPlan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func accPlans() map[string]func(tab *engine.Table) *Builder {
+	return map[string]func(tab *engine.Table) *Builder{
+		"concat": func(tab *engine.Table) *Builder {
+			b := New("C")
+			b.Root(b.Scan(tab, "k", "v", "f", "tag").Select(CmpVal(1, ">", 0)))
+			return b
+		},
+		"partial-agg": func(tab *engine.Table) *Builder {
+			b := New("A")
+			b.Root(b.Scan(tab, "k", "v", "f", "tag").Agg([]int{3},
+				engine.Agg(engine.AggCount, -1, "n"),
+				engine.Agg(engine.AggSum, 1, "sv"),
+				engine.Agg(engine.AggAvg, 1, "av"),
+				engine.Agg(engine.AggMin, 1, "mn"),
+				engine.Agg(engine.AggMax, 1, "mx"),
+				engine.Agg(engine.AggFirst, 0, "fk")))
+			return b
+		},
+	}
+}
+
+// TestAccumulatorChunkedMatchesWhole: feeding row chunks incrementally —
+// shards interleaved, finish order reversed — produces the exact table the
+// whole-partial MergePartials path produces, for both merge kinds.
+func TestAccumulatorChunkedMatchesWhole(t *testing.T) {
+	tab := fragTable(97)
+	for name, mk := range accPlans() {
+		t.Run(name, func(t *testing.T) {
+			site, parts := sitePartials(t, mk(tab), 4, tab)
+			want, err := site.MergePartials(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := site.NewAccumulator(len(parts))
+			chunks := make([][]*engine.Table, len(parts))
+			for i, p := range parts {
+				chunks[i] = chunked(p, 5)
+			}
+			// Round-robin chunk delivery across shards, then finish shards
+			// in reverse order: the frontier must still fold in shard order.
+			for ci := 0; ; ci++ {
+				any := false
+				for si := range chunks {
+					if ci < len(chunks[si]) {
+						any = true
+						if err := acc.AddChunk(si, chunks[si][ci]); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if !any {
+					break
+				}
+			}
+			if _, err := acc.Result(); err == nil {
+				t.Fatal("Result before FinishShard did not error")
+			}
+			for si := len(parts) - 1; si >= 0; si-- {
+				if err := acc.FinishShard(si); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := acc.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, name)
+		})
+	}
+}
+
+// TestAccumulatorResetShard: a shard that fails mid-stream resets cleanly
+// — no partial rows leak — and a full re-delivery merges identically.
+// Finished shards refuse resets and further chunks.
+func TestAccumulatorResetShard(t *testing.T) {
+	tab := fragTable(61)
+	for name, mk := range accPlans() {
+		t.Run(name, func(t *testing.T) {
+			site, parts := sitePartials(t, mk(tab), 3, tab)
+			want, err := site.MergePartials(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := site.NewAccumulator(len(parts))
+			// Shard 1 delivers half its rows twice, resetting in between —
+			// as a failed stream retried over the buffered path would.
+			half := parts[1].Slice(0, parts[1].Rows()/2)
+			for round := 0; round < 2; round++ {
+				if err := acc.AddChunk(1, half); err != nil {
+					t.Fatal(err)
+				}
+				if err := acc.ResetShard(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for si, p := range parts {
+				if err := acc.AddChunk(si, p); err != nil {
+					t.Fatal(err)
+				}
+				if err := acc.FinishShard(si); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := acc.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, name)
+
+			if err := acc.ResetShard(1); err == nil {
+				t.Error("ResetShard after FinishShard did not error")
+			}
+			if err := acc.AddChunk(1, parts[1]); err == nil {
+				t.Error("AddChunk after FinishShard did not error")
+			}
+			if err := acc.FinishShard(1); err == nil {
+				t.Error("double FinishShard did not error")
+			}
+		})
+	}
+}
+
+// TestAccumulatorConcurrent: one goroutine per shard streaming chunks and
+// finishing, merged result identical to the sequential whole-table path.
+// This is the race coverage for the coordinator's concurrent-site merge.
+func TestAccumulatorConcurrent(t *testing.T) {
+	tab := fragTable(128)
+	for name, mk := range accPlans() {
+		t.Run(name, func(t *testing.T) {
+			site, parts := sitePartials(t, mk(tab), 8, tab)
+			want, err := site.MergePartials(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := site.NewAccumulator(len(parts))
+			var wg sync.WaitGroup
+			errs := make([]error, len(parts))
+			for si, p := range parts {
+				wg.Add(1)
+				go func(si int, p *engine.Table) {
+					defer wg.Done()
+					for _, c := range chunked(p, 3) {
+						if err := acc.AddChunk(si, c); err != nil {
+							errs[si] = err
+							return
+						}
+					}
+					errs[si] = acc.FinishShard(si)
+				}(si, p)
+			}
+			wg.Wait()
+			for si, err := range errs {
+				if err != nil {
+					t.Fatalf("shard %d: %v", si, err)
+				}
+			}
+			got, err := acc.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, name)
+		})
+	}
+}
+
+// TestAccumulatorRejectsBadChunks: schema mismatches and out-of-range
+// shard ids fail loudly instead of corrupting the merge.
+func TestAccumulatorRejectsBadChunks(t *testing.T) {
+	tab := fragTable(20)
+	mk := accPlans()["concat"]
+	site, parts := sitePartials(t, mk(tab), 2, tab)
+	acc := site.NewAccumulator(len(parts))
+	if err := acc.AddChunk(0, fragTable(3).Project("k", "v")); err == nil {
+		t.Error("schema-mismatched chunk accepted")
+	}
+	if err := acc.AddChunk(5, parts[0]); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := acc.FinishShard(-1); err == nil {
+		t.Error("out-of-range FinishShard accepted")
 	}
 }

@@ -128,6 +128,10 @@ func (c *Client) post(path string, body any) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.postBytes(path, data)
+}
+
+func (c *Client) postBytes(path string, data []byte) (*Outcome, error) {
 	for attempt := 0; ; attempt++ {
 		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
 		if err != nil {

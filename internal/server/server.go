@@ -47,7 +47,11 @@ type Executor interface {
 type FleetMetrics struct {
 	Shards        int   `json:"shards"`
 	FragmentsSent int64 `json:"fragments_sent"`
-	GossipRounds  int64 `json:"gossip_rounds"`
+	// StreamedFragments and BufferedFragments split FragmentsSent by
+	// transport: answered over /v1/plan/stream vs the buffered fallback.
+	StreamedFragments int64 `json:"streamed_fragments"`
+	BufferedFragments int64 `json:"buffered_fragments"`
+	GossipRounds      int64 `json:"gossip_rounds"`
 	// GossipImported counts flavor estimates accepted from shards across
 	// all gossip rounds.
 	GossipImported int64 `json:"gossip_imported"`
@@ -55,6 +59,10 @@ type FleetMetrics struct {
 	// per-shard windows folded with stats.Window.Merge.
 	FragmentP50US float64 `json:"fragment_p50_us"`
 	FragmentP99US float64 `json:"fragment_p99_us"`
+	// Time-to-first-chunk percentiles of streamed fragments: how long the
+	// coordinator waited before its merge had rows to fold.
+	TTFCP50US float64 `json:"ttfc_p50_us"`
+	TTFCP99US float64 `json:"ttfc_p99_us"`
 }
 
 // FleetReporter is an optional Executor capability: executors that fan
@@ -90,6 +98,9 @@ type Config struct {
 	// LatencyWindow is the sample capacity of the latency distribution
 	// (default 4096).
 	LatencyWindow int
+	// StreamChunkRows caps the rows per NDJSON chunk frame on
+	// /v1/plan/stream (default 4096).
+	StreamChunkRows int
 	// Clock is injectable time for session-eviction tests (default
 	// time.Now).
 	Clock func() time.Time
@@ -104,9 +115,10 @@ type Server struct {
 	sess *sessionMap
 	mux  *http.ServeMux
 
-	defaultTimeout time.Duration
-	retryAfter     time.Duration
-	maxBody        int64
+	defaultTimeout  time.Duration
+	retryAfter      time.Duration
+	maxBody         int64
+	streamChunkRows int
 
 	latency  *stats.Window // end-to-end latency of executed requests, ns
 	adaptive atomic.Int64  // adaptive primitive calls across all requests
@@ -130,15 +142,19 @@ func NewServer(cfg Config) *Server {
 	if cfg.LatencyWindow < 1 {
 		cfg.LatencyWindow = 4096
 	}
+	if cfg.StreamChunkRows < 1 {
+		cfg.StreamChunkRows = 4096
+	}
 	s := &Server{
-		svc:            cfg.Service,
-		adm:            NewAdmission(AdmissionConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}),
-		sess:           newSessionMap(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
-		mux:            http.NewServeMux(),
-		defaultTimeout: cfg.DefaultTimeout,
-		retryAfter:     cfg.RetryAfter,
-		maxBody:        cfg.MaxBodyBytes,
-		latency:        stats.NewWindow(cfg.LatencyWindow),
+		svc:             cfg.Service,
+		adm:             NewAdmission(AdmissionConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}),
+		sess:            newSessionMap(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
+		mux:             http.NewServeMux(),
+		defaultTimeout:  cfg.DefaultTimeout,
+		retryAfter:      cfg.RetryAfter,
+		maxBody:         cfg.MaxBodyBytes,
+		streamChunkRows: cfg.StreamChunkRows,
+		latency:         stats.NewWindow(cfg.LatencyWindow),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -147,6 +163,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/plan/stream", s.handlePlanStream)
 	s.mux.HandleFunc("GET /v1/flavors", s.handleFlavorsGet)
 	s.mux.HandleFunc("POST /v1/flavors", s.handleFlavorsPost)
 	return s

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"microadapt/internal/plan"
+	"microadapt/internal/tpch"
+)
+
+func marshalQueryPlan(t *testing.T, q int) []byte {
+	t.Helper()
+	data, err := plan.MarshalPlan(tpch.Query(q).Plan(testDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPlanStreamBitIdentical: the streamed chunks, concatenated in
+// arrival order, are bit-identical to the buffered endpoint's result, the
+// trailer fingerprint matches, and a small chunk cap actually splits the
+// result into multiple frames.
+func TestPlanStreamBitIdentical(t *testing.T) {
+	_, c := startTestServer(t, Config{StreamChunkRows: 7})
+	for _, q := range []int{1, 6, 13} {
+		body, err := EncodePlanRequest(PlanRequest{Plan: marshalQueryPlan(t, q), IncludeResult: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buffered, err := c.PlanEncoded(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !buffered.OK() {
+			t.Fatalf("Q%02d buffered: status %d: %+v", q, buffered.Status, buffered.Err)
+		}
+
+		var chunks []*TableJSON
+		res, err := c.PlanStreamEncoded(body, func(tj *TableJSON) error {
+			chunks = append(chunks, tj)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Q%02d stream: %v", q, err)
+		}
+		if res.Fingerprint != buffered.Response.Fingerprint {
+			t.Errorf("Q%02d: stream fingerprint differs from buffered", q)
+		}
+		if res.Rows != buffered.Response.Rows {
+			t.Errorf("Q%02d: stream rows %d, buffered %d", q, res.Rows, buffered.Response.Rows)
+		}
+		if res.Rows > 7 && res.Chunks < 2 {
+			t.Errorf("Q%02d: %d rows arrived in %d chunks; chunk cap 7 not applied", q, res.Rows, res.Chunks)
+		}
+		if res.Schema == nil || len(res.Schema.Cols) == 0 {
+			t.Errorf("Q%02d: header carried no schema", q)
+		}
+		if res.Stats.LatencyUS <= 0 {
+			t.Errorf("Q%02d: trailer carried no stats", q)
+		}
+		// Stitch the chunks back together and compare bitwise.
+		whole := buffered.Response.Result
+		stitched := &TableJSON{Name: whole.Name, Cols: make([]ColumnJSON, len(whole.Cols))}
+		for ci := range whole.Cols {
+			stitched.Cols[ci] = ColumnJSON{Name: whole.Cols[ci].Name, Type: whole.Cols[ci].Type}
+		}
+		for _, ch := range chunks {
+			stitched.Rows += ch.Rows
+			for ci := range ch.Cols {
+				stitched.Cols[ci].I64 = append(stitched.Cols[ci].I64, ch.Cols[ci].I64...)
+				stitched.Cols[ci].F64 = append(stitched.Cols[ci].F64, ch.Cols[ci].F64...)
+				stitched.Cols[ci].Str = append(stitched.Cols[ci].Str, ch.Cols[ci].Str...)
+			}
+		}
+		if !stitched.Equal(whole) {
+			t.Errorf("Q%02d: stitched stream chunks differ from buffered result", q)
+		}
+	}
+}
+
+// TestPlanStreamEmptyResult: a zero-row result is a header and a trailer
+// with no chunk frames, and still verifies.
+func TestPlanStreamEmptyResult(t *testing.T) {
+	_, c := startTestServer(t, Config{})
+	b := plan.New("empty")
+	tab := testDB.Tables()[0]
+	b.Root(b.Scan(tab, tab.Sch[0].Name).Select(plan.CmpVal(0, "<", -1e15)))
+	wire, err := plan.MarshalPlan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res, err := c.PlanStream(PlanRequest{Plan: wire}, func(*TableJSON) error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 || res.Chunks != 0 || res.Rows != 0 {
+		t.Errorf("empty result: %d callbacks, %d chunks, %d rows; want all zero", calls, res.Chunks, res.Rows)
+	}
+}
+
+// TestPlanStreamSessionAndErrors: bad plans and unknown sessions answer
+// with ordinary status codes before any frame; unknown endpoints surface
+// ErrStreamUnsupported so callers can fall back to buffered mode.
+func TestPlanStreamSessionAndErrors(t *testing.T) {
+	_, c := startTestServer(t, Config{})
+	if _, err := c.PlanStream(PlanRequest{Plan: []byte(`{"name":"X","nodes":[],"roots":[]}`)}, nil); err == nil {
+		t.Error("malformed plan streamed without error")
+	}
+	_, err := c.PlanStream(PlanRequest{Plan: marshalQueryPlan(t, 6), Session: "nope"}, nil)
+	if err == nil || errors.Is(err, ErrStreamUnsupported) {
+		t.Errorf("unknown session: err = %v, want protocol error (not unsupported)", err)
+	}
+
+	// A peer without the endpoint (old madaptd): plain 404 from its mux.
+	old := httptest.NewServer(http.NotFoundHandler())
+	defer old.Close()
+	if _, err := NewClient(old.URL).PlanStreamEncoded([]byte(`{}`), nil); !errors.Is(err, ErrStreamUnsupported) {
+		t.Errorf("missing endpoint: err = %v, want ErrStreamUnsupported", err)
+	}
+}
+
+// streamLines builds a valid frame sequence for a tiny table, optionally
+// letting the caller corrupt it before serving.
+func streamLines(t *testing.T) []string {
+	t.Helper()
+	chunk, err := json.Marshal(StreamFrame{Frame: FrameChunk, Table: &TableJSON{
+		Name: "t", Rows: 2, Cols: []ColumnJSON{{Name: "k", Type: "slng", I64: []int64{1, 2}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(chunk)
+	header, _ := json.Marshal(StreamFrame{Frame: FrameHeader, Plan: "t", Schema: &TableJSON{Name: "t"}})
+	trailer, _ := json.Marshal(StreamFrame{Frame: FrameTrailer, Rows: 2, Chunks: 1,
+		SHA256: hex.EncodeToString(h[:]), Fingerprint: "f"})
+	return []string{string(header), string(chunk), string(trailer)}
+}
+
+// serveFrames answers every request with the given raw lines.
+func serveFrames(lines []string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, ln := range lines {
+			fmt.Fprintf(w, "%s\n", ln)
+		}
+	}))
+}
+
+// TestPlanStreamFailureModes: truncation mid-stream and mid-chunk, digest
+// mismatch, and remote error frames all fail the call — and rows already
+// surfaced through the callback are reported for discard, never silently
+// kept.
+func TestPlanStreamFailureModes(t *testing.T) {
+	lines := streamLines(t)
+	cases := []struct {
+		name  string
+		lines []string
+		raw   string // overrides lines when set, written verbatim
+		want  string
+	}{
+		{name: "truncated-before-trailer", lines: lines[:2], want: "truncated"},
+		{name: "truncated-mid-chunk", raw: lines[0] + "\n" + lines[1][:len(lines[1])/2], want: "truncated"},
+		{name: "digest-mismatch", lines: []string{lines[0],
+			strings.Replace(lines[1], `"i64":[1,2]`, `"i64":[1,3]`, 1), lines[2]}, want: "digest"},
+		{name: "remote-error-frame", lines: []string{lines[0], `{"frame":"error","error":"shard exploded"}`},
+			want: "shard exploded"},
+		{name: "chunk-before-header", lines: lines[1:], want: "chunk before header"},
+		{name: "trailer-count-lie", lines: []string{lines[0],
+			strings.Replace(lines[2], `"rows":2`, `"rows":0`, 1)}, want: "digest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var srv *httptest.Server
+			if tc.raw != "" {
+				srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					fmt.Fprint(w, tc.raw)
+				}))
+			} else {
+				srv = serveFrames(tc.lines)
+			}
+			defer srv.Close()
+			delivered := 0
+			_, err := NewClient(srv.URL).PlanStreamEncoded([]byte(`{}`), func(*TableJSON) error {
+				delivered++
+				return nil
+			})
+			if err == nil {
+				t.Fatalf("corrupt stream verified cleanly (%d chunks delivered)", delivered)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanStreamShedRetry: a 429 before any frame retries with backoff
+// inside the client, exactly like the buffered path.
+func TestPlanStreamShedRetry(t *testing.T) {
+	lines := streamLines(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "shed", RetryAfterMS: 1})
+			return
+		}
+		for _, ln := range lines {
+			fmt.Fprintf(w, "%s\n", ln)
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL).WithRetry(RetryPolicy{Max: 4, Base: time.Millisecond, Cap: 5 * time.Millisecond})
+	res, err := c.PlanStreamEncoded([]byte(`{}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2 {
+		t.Errorf("rows = %d, want 2", res.Rows)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("client recorded %d retries, want 2", c.Retries())
+	}
+}
