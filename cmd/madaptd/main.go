@@ -76,6 +76,7 @@ func main() {
 	siteFanout := fs.Int("site-fanout", 0, "coordinator: concurrent fragment sites per query (0 = default, 1 = sequential)")
 	bufferedFrags := fs.Bool("buffered-fragments", false, "coordinator: disable streaming fragment fetch, buffer whole partials")
 	streamChunk := fs.Int("stream-chunk-rows", 0, "rows per /v1/plan/stream chunk frame (0 = default)")
+	wireJSON := fs.Bool("wire-json", false, "force the legacy JSON wire encoding for result tables (server: ignore binary negotiation; coordinator: do not request binary from shards)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -131,6 +132,7 @@ func main() {
 			Service:           svcCfg,
 			SiteFanout:        *siteFanout,
 			BufferedFragments: *bufferedFrags,
+			JSONWire:          *wireJSON,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -162,6 +164,7 @@ func main() {
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
 		StreamChunkRows: *streamChunk,
+		LegacyJSONWire:  *wireJSON,
 	}), *addr)
 	if err != nil {
 		log.Fatal(err)

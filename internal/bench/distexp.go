@@ -42,6 +42,13 @@ func startDistFleet(db *tpch.DB, n int, sc service.Config) (*dist.Coordinator, f
 // shard-side learning, what the gated bench entries need); 0 takes the
 // coordinator default (overlapped sites).
 func startDistFleetFanout(db *tpch.DB, n int, sc service.Config, fanout int) (*dist.Coordinator, func(), error) {
+	return startDistFleetWire(db, n, sc, fanout, false)
+}
+
+// startDistFleetWire additionally pins the wire encoding: jsonWire forces
+// the legacy JSON partial bodies, isolating the binary codec's
+// contribution in the dist-n2 vs dist-json bench entries.
+func startDistFleetWire(db *tpch.DB, n int, sc service.Config, fanout int, jsonWire bool) (*dist.Coordinator, func(), error) {
 	var runs []*server.Running
 	stop := func() {
 		for _, r := range runs {
@@ -61,7 +68,7 @@ func startDistFleetFanout(db *tpch.DB, n int, sc service.Config, fanout int) (*d
 		runs = append(runs, run)
 		urls[i] = run.URL
 	}
-	c, err := dist.New(dist.Config{Shards: urls, DB: db, Service: sc, SiteFanout: fanout})
+	c, err := dist.New(dist.Config{Shards: urls, DB: db, Service: sc, SiteFanout: fanout, JSONWire: jsonWire})
 	if err != nil {
 		stop()
 		return nil, nil, err

@@ -66,6 +66,12 @@ type Config struct {
 	// BufferedFragments forces the buffered /v1/plan path for every
 	// fragment instead of trying /v1/plan/stream first.
 	BufferedFragments bool
+	// JSONWire disables negotiation of the binary columnar partial
+	// encoding, forcing JSON bodies like a pre-binary coordinator. The
+	// default (false) requests binary from every shard; old JSON-only
+	// shards ignore the negotiation header and keep answering JSON, which
+	// the clients decode transparently — see server.Client.WithBinaryWire.
+	JSONWire bool
 }
 
 // shardConn is one shard's client plus its observability.
@@ -86,9 +92,12 @@ type Coordinator struct {
 	siteFanout int
 	buffered   bool // force the buffered fragment path
 
-	fragments      atomic.Int64 // fragment requests sent
-	streamedFrags  atomic.Int64 // fragments answered over /v1/plan/stream
-	bufferedFrags  atomic.Int64 // fragments answered over buffered /v1/plan
+	fragments      atomic.Int64 // logical fragments dispatched (one per site x shard)
+	attempts       atomic.Int64 // transport attempts (stream try + buffered retry each count)
+	streamedFrags  atomic.Int64 // fragments completed over /v1/plan/stream
+	bufferedFrags  atomic.Int64 // fragments completed over buffered /v1/plan
+	binChunks      atomic.Int64 // partial chunks that arrived binary-encoded
+	jsonChunks     atomic.Int64 // partial chunks that arrived JSON-encoded
 	ttfc           *stats.Window
 	gossipRounds   atomic.Int64
 	gossipImported atomic.Int64
@@ -134,7 +143,7 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, url := range cfg.Shards {
 		c.shards = append(c.shards, &shardConn{
 			url:    url,
-			client: server.NewClient(url).WithRetry(retry),
+			client: server.NewClient(url).WithRetry(retry).WithBinaryWire(!cfg.JSONWire),
 			lat:    stats.NewWindow(cfg.LatencyWindow),
 		})
 	}
@@ -360,7 +369,14 @@ func (c *Coordinator) runSite(site *plan.FragmentSite) (*engine.Table, server.St
 // any reason (old peer, truncation, digest mismatch). A failed stream's
 // already-delivered chunks are discarded via ResetShard before the
 // buffered retry, so no partial rows survive into the merge.
+//
+// The logical fragment is counted exactly once here, however many
+// transport attempts it takes — a stream→buffered fallback is one
+// fragment, two attempts — so on success fragments == streamed+buffered
+// always holds in /metrics. (It used to be counted per attempt, which
+// double-counted every fallback.)
 func (c *Coordinator) fetchShard(acc *plan.PartialAccumulator, shi int, sh *shardConn, body []byte) (server.StatsJSON, error) {
+	c.fragments.Add(1)
 	if !c.buffered {
 		sst, serr := c.fetchStream(acc, shi, sh, body)
 		if serr == nil {
@@ -385,14 +401,18 @@ func (c *Coordinator) fetchShard(acc *plan.PartialAccumulator, shi int, sh *shar
 
 // fetchStream ships the fragment over /v1/plan/stream, folding each chunk
 // into the accumulator as it arrives and recording time-to-first-chunk.
+// TTFC is measured during the stream but recorded only once the whole
+// stream verifies: a stream that dies after its first chunk falls back to
+// the buffered path, and its provisional TTFC sample must not survive
+// into the window (it would skew the percentiles low, since aborted
+// streams tend to have delivered their first chunk quickly).
 func (c *Coordinator) fetchStream(acc *plan.PartialAccumulator, shi int, sh *shardConn, body []byte) (server.StatsJSON, error) {
-	c.fragments.Add(1)
+	c.attempts.Add(1)
 	start := time.Now()
-	sawChunk := false
+	ttfc := -1.0
 	res, err := sh.client.PlanStreamEncoded(body, func(tj *server.TableJSON) error {
-		if !sawChunk {
-			sawChunk = true
-			c.ttfc.Add(float64(time.Since(start)))
+		if ttfc < 0 {
+			ttfc = float64(time.Since(start))
 		}
 		tab, derr := server.DecodeTable(tj)
 		if derr != nil {
@@ -403,12 +423,15 @@ func (c *Coordinator) fetchStream(acc *plan.PartialAccumulator, shi int, sh *sha
 	if err != nil {
 		return server.StatsJSON{}, err
 	}
-	if !sawChunk {
+	if ttfc < 0 {
 		// Zero-row partial: first "chunk" is the verified trailer.
-		c.ttfc.Add(float64(time.Since(start)))
+		ttfc = float64(time.Since(start))
 	}
+	c.ttfc.Add(ttfc)
 	sh.lat.Add(float64(time.Since(start)))
 	c.streamedFrags.Add(1)
+	c.binChunks.Add(int64(res.BinaryChunks))
+	c.jsonChunks.Add(int64(res.Chunks - res.BinaryChunks))
 	if err := acc.FinishShard(shi); err != nil {
 		return res.Stats, err
 	}
@@ -418,7 +441,7 @@ func (c *Coordinator) fetchStream(acc *plan.PartialAccumulator, shi int, sh *sha
 // fetchBuffered ships the fragment over buffered /v1/plan and decodes the
 // whole partial — the fallback path and the BufferedFragments mode.
 func (c *Coordinator) fetchBuffered(sh *shardConn, body []byte) (server.StatsJSON, *engine.Table, error) {
-	c.fragments.Add(1)
+	c.attempts.Add(1)
 	start := time.Now()
 	out, err := sh.client.PlanEncoded(body)
 	if err != nil {
@@ -432,14 +455,23 @@ func (c *Coordinator) fetchBuffered(sh *shardConn, body []byte) (server.StatsJSO
 		}
 		return server.StatsJSON{}, nil, fmt.Errorf("status %d: %s", out.Status, msg)
 	}
-	if out.Response.Result == nil {
+	tj, err := out.Response.ResultTable()
+	if err != nil {
+		return server.StatsJSON{}, nil, err
+	}
+	if tj == nil {
 		return server.StatsJSON{}, nil, fmt.Errorf("shard answered without result table")
 	}
-	tab, err := server.DecodeTable(out.Response.Result)
+	tab, err := server.DecodeTable(tj)
 	if err != nil {
 		return server.StatsJSON{}, nil, err
 	}
 	c.bufferedFrags.Add(1)
+	if len(out.Response.ResultBin) > 0 {
+		c.binChunks.Add(1)
+	} else {
+		c.jsonChunks.Add(1)
+	}
 	return out.Response.Stats, tab, nil
 }
 
@@ -456,8 +488,11 @@ func (c *Coordinator) Fleet() server.FleetMetrics {
 	return server.FleetMetrics{
 		Shards:            len(c.shards),
 		FragmentsSent:     c.fragments.Load(),
+		FragmentAttempts:  c.attempts.Load(),
 		StreamedFragments: c.streamedFrags.Load(),
 		BufferedFragments: c.bufferedFrags.Load(),
+		BinaryChunks:      c.binChunks.Load(),
+		JSONChunks:        c.jsonChunks.Load(),
 		GossipRounds:      c.gossipRounds.Load(),
 		GossipImported:    c.gossipImported.Load(),
 		FragmentP50US:     ps[0] / 1e3,

@@ -127,6 +127,95 @@ func TestStreamingFallback(t *testing.T) {
 	}
 }
 
+// TestStreamingFallbackCounters is the regression test for the
+// fragment-counter double-count: a stream→buffered fallback used to bump
+// the fragment counter on both attempts, so fragments_sent drifted above
+// streamed+buffered whenever a shard's stream broke, and the aborted
+// stream left a stale time-to-first-chunk sample in the window. Counted
+// correctly, fragments_sent == streamed + buffered always holds, the
+// extra transport attempts show up in fragment_attempts instead, and the
+// TTFC window holds exactly one sample per *completed* stream.
+func TestStreamingFallbackCounters(t *testing.T) {
+	svcCfg := service.DefaultConfig()
+	urls := startShards(t, 2, svcCfg, server.Config{StreamChunkRows: 16})
+	urls[1] = proxyShard(t, urls[1], map[string]http.HandlerFunc{
+		"/v1/plan/stream": truncateStream(t, urls[1]),
+	})
+	c, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{1, 6, 14} {
+		if _, _, err := c.Execute(q); err != nil {
+			t.Fatalf("Q%02d: %v", q, err)
+		}
+	}
+	fleet := c.Fleet()
+	if fleet.BufferedFragments == 0 || fleet.StreamedFragments == 0 {
+		t.Fatalf("want both transports exercised; %d streamed, %d buffered",
+			fleet.StreamedFragments, fleet.BufferedFragments)
+	}
+	if got := fleet.StreamedFragments + fleet.BufferedFragments; got != fleet.FragmentsSent {
+		t.Errorf("fragments_sent = %d, streamed+buffered = %d; fallback double-counted",
+			fleet.FragmentsSent, got)
+	}
+	// Every buffered completion here followed a failed stream attempt.
+	wantAttempts := fleet.FragmentsSent + fleet.BufferedFragments
+	if fleet.FragmentAttempts != wantAttempts {
+		t.Errorf("fragment_attempts = %d, want %d (one retry per fallback)",
+			fleet.FragmentAttempts, wantAttempts)
+	}
+	// The aborted streams delivered a first chunk before dying; their
+	// provisional TTFC samples must not survive into the window.
+	if got := c.ttfc.Count(); got != fleet.StreamedFragments {
+		t.Errorf("TTFC window holds %d samples, want %d (completed streams only)",
+			got, fleet.StreamedFragments)
+	}
+}
+
+// TestStreamingMixedFleet: a binary-negotiating coordinator over a fleet
+// with one legacy JSON-only shard — negotiation falls back per shard, the
+// merge stays bit-identical, and /metrics shows both encodings plus the
+// restored counter invariant. This is the CI mixed-fleet smoke's
+// in-process twin.
+func TestStreamingMixedFleet(t *testing.T) {
+	svcCfg := service.DefaultConfig()
+	single := service.New(testDB, svcCfg)
+	urls := startShardsMixed(t, 2, svcCfg, server.Config{StreamChunkRows: 16})
+	c, err := New(Config{Shards: urls, DB: testDB, Service: svcCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{1, 6, 14} {
+		want, _, err := single.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.Execute(q)
+		if err != nil {
+			t.Fatalf("Q%02d: %v", q, err)
+		}
+		if server.Fingerprint(got) != server.Fingerprint(want) {
+			t.Errorf("Q%02d: fingerprint differs on the mixed fleet", q)
+		}
+	}
+	fleet := c.Fleet()
+	if fleet.BinaryChunks == 0 {
+		t.Error("binary shard contributed no binary chunks")
+	}
+	if fleet.JSONChunks == 0 {
+		t.Error("legacy shard contributed no JSON chunks")
+	}
+	if fleet.StreamedFragments+fleet.BufferedFragments != fleet.FragmentsSent {
+		t.Errorf("fragments_sent = %d, streamed+buffered = %d",
+			fleet.FragmentsSent, fleet.StreamedFragments+fleet.BufferedFragments)
+	}
+	if fleet.FragmentAttempts != fleet.FragmentsSent {
+		t.Errorf("%d attempts for %d fragments; legacy encoding is not a transport failure",
+			fleet.FragmentAttempts, fleet.FragmentsSent)
+	}
+}
+
 // recordBodies wraps a shard so every fragment request body's digest is
 // captured, per endpoint.
 func recordBodies(t *testing.T, backend string, mu *sync.Mutex, got *[]string) string {

@@ -67,6 +67,7 @@ type Client struct {
 	base    string
 	http    *http.Client
 	retry   RetryPolicy
+	binWire bool
 	retries atomic.Int64
 
 	rngMu sync.Mutex
@@ -88,6 +89,18 @@ func NewClient(base string) *Client {
 // can chain it off NewClient. RetryPolicy{} turns retrying off.
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	c.retry = p
+	return c
+}
+
+// WithBinaryWire toggles negotiation of the binary columnar result
+// encoding (wirebin.go) and returns the client. When on, result-bearing
+// requests carry the WireHeader header; a peer that understands it
+// answers binary bodies, an old peer ignores it and answers JSON —
+// either way the client decodes transparently (QueryResponse.ResultTable,
+// binary "bin" chunk frames), so turning this on against a mixed fleet
+// is always safe.
+func (c *Client) WithBinaryWire(on bool) *Client {
+	c.binWire = on
 	return c
 }
 
@@ -131,9 +144,23 @@ func (c *Client) post(path string, body any) (*Outcome, error) {
 	return c.postBytes(path, data)
 }
 
+// postWire issues one POST with the content type and, when the client is
+// in binary-wire mode, the WireHeader negotiation header set.
+func (c *Client) postWire(path string, data []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.binWire {
+		req.Header.Set(WireHeader, WireBin)
+	}
+	return c.http.Do(req)
+}
+
 func (c *Client) postBytes(path string, data []byte) (*Outcome, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+		resp, err := c.postWire(path, data)
 		if err != nil {
 			return nil, err
 		}

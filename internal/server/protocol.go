@@ -1,7 +1,12 @@
 // Wire protocol of madaptd: the JSON request/response bodies, the result
-// fingerprint, and a typed-column table encoding that survives a JSON
-// round trip bit-identically (encoding/json prints float64 in shortest
-// form, which decodes back to the same bits).
+// fingerprint, and a typed-column table encoding that survives a wire
+// round trip bit-identically. Finite floats survive JSON because
+// encoding/json prints float64 in shortest form, which decodes back to
+// the same bits; non-finite floats (NaN, ±Inf) cannot be represented in
+// JSON at all, so on the JSON path they travel losslessly as raw
+// IEEE-754 bits in the F64Bits escape column (see EscapeNonFinite), and
+// on the negotiated binary path (wirebin.go) every float ships as raw
+// bits to begin with.
 package server
 
 import (
@@ -69,6 +74,25 @@ type QueryResponse struct {
 	Fingerprint string     `json:"fingerprint"`
 	Stats       StatsJSON  `json:"stats"`
 	Result      *TableJSON `json:"result,omitempty"`
+	// ResultBin is Result in the negotiated binary columnar encoding
+	// (wirebin.go), set instead of Result when the client sent the
+	// WireHeader and the server honors it. encoding/json carries it as
+	// base64.
+	ResultBin []byte `json:"result_bin,omitempty"`
+}
+
+// ResultTable returns the response's result table in wire form,
+// whichever encoding it arrived in — the JSON field as-is, or the binary
+// field decoded. (nil, nil) means the response carried no result (the
+// request did not set IncludeResult).
+func (r *QueryResponse) ResultTable() (*TableJSON, error) {
+	if r.Result != nil {
+		return r.Result, nil
+	}
+	if len(r.ResultBin) > 0 {
+		return UnmarshalTableBin(r.ResultBin)
+	}
+	return nil, nil
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -104,6 +128,27 @@ type ColumnJSON struct {
 	I64  []int64   `json:"i64,omitempty"`
 	F64  []float64 `json:"f64,omitempty"`
 	Str  []string  `json:"str,omitempty"`
+	// F64Bits replaces F64 when the column holds any non-finite value:
+	// encoding/json rejects NaN and ±Inf outright, so such columns travel
+	// as raw IEEE-754 bits (exactly representable as JSON integers).
+	// Exactly one of F64 and F64Bits is set on a dbl column.
+	F64Bits []uint64 `json:"f64b,omitempty"`
+}
+
+// f64Len is the row count of a dbl column in either representation.
+func (c *ColumnJSON) f64Len() int {
+	if len(c.F64Bits) > 0 {
+		return len(c.F64Bits)
+	}
+	return len(c.F64)
+}
+
+// f64Bit is row r's raw bits in either representation.
+func (c *ColumnJSON) f64Bit(r int) uint64 {
+	if len(c.F64Bits) > 0 {
+		return c.F64Bits[r]
+	}
+	return math.Float64bits(c.F64[r])
 }
 
 // TableJSON is a result table in wire form.
@@ -111,6 +156,38 @@ type TableJSON struct {
 	Name string       `json:"name"`
 	Rows int          `json:"rows"`
 	Cols []ColumnJSON `json:"cols"`
+}
+
+// EscapeNonFinite rewrites every dbl column containing a NaN or ±Inf
+// into its F64Bits form, so the table survives json.Marshal losslessly.
+// Columns of only finite values keep the readable F64 form. It returns
+// the table for chaining and must be called on every table bound for a
+// JSON response body — json.Marshal fails outright on non-finite floats,
+// and on the streaming path that failure would surface only as an
+// in-band error frame after the 200 was committed.
+func (t *TableJSON) EscapeNonFinite() *TableJSON {
+	if t == nil {
+		return nil
+	}
+	for ci := range t.Cols {
+		c := &t.Cols[ci]
+		finite := true
+		for _, v := range c.F64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+				break
+			}
+		}
+		if finite {
+			continue
+		}
+		c.F64Bits = make([]uint64, len(c.F64))
+		for r, v := range c.F64 {
+			c.F64Bits[r] = math.Float64bits(v)
+		}
+		c.F64 = nil
+	}
+	return t
 }
 
 // EncodeTable converts a result table to wire form.
@@ -163,7 +240,10 @@ func DecodeTable(tj *TableJSON) (*engine.Table, error) {
 		var vals int
 		switch typ {
 		case vector.F64:
-			vals = len(c.F64)
+			if len(c.F64) > 0 && len(c.F64Bits) > 0 {
+				return nil, fmt.Errorf("server: decode table %s col %s: both f64 and f64b set", tj.Name, c.Name)
+			}
+			vals = c.f64Len()
 		case vector.Str:
 			vals = len(c.Str)
 		default:
@@ -200,7 +280,13 @@ func DecodeTable(tj *TableJSON) (*engine.Table, error) {
 			cols[ci] = vector.FromI64(xs)
 		case vector.F64:
 			xs := make([]float64, vals)
-			copy(xs, c.F64)
+			if len(c.F64Bits) > 0 {
+				for r, b := range c.F64Bits {
+					xs[r] = math.Float64frombits(b)
+				}
+			} else {
+				copy(xs, c.F64)
+			}
 			cols[ci] = vector.FromF64(xs)
 		case vector.Str:
 			xs := make([]string, vals)
@@ -227,10 +313,14 @@ func typeByName(name string) (vector.Type, error) {
 	return 0, fmt.Errorf("unknown column type %q", name)
 }
 
-// Equal reports whether two wire tables hold bit-identical results. Float
-// comparison is exact (==, no epsilon): the whole point of the wire
-// encoding is that a JSON round trip preserves float64 bits, so any
-// difference is a real divergence.
+// Equal reports whether two wire tables hold bit-identical results.
+// Float comparison is over raw IEEE-754 bits (math.Float64bits), not ==:
+// the wire encoding preserves float64 bits exactly, so any bit
+// difference is a real divergence — and a NaN-bearing table must still
+// compare equal to itself, which == would deny (NaN != NaN). The bits
+// comparison also distinguishes +0 from -0, deliberately: those are
+// different bit patterns a correct round trip must preserve. A column in
+// F64Bits escape form compares equal to its plain-F64 twin.
 func (t *TableJSON) Equal(o *TableJSON) bool {
 	if t == nil || o == nil {
 		return t == o
@@ -241,7 +331,7 @@ func (t *TableJSON) Equal(o *TableJSON) bool {
 	for i := range t.Cols {
 		a, b := &t.Cols[i], &o.Cols[i]
 		if a.Name != b.Name || a.Type != b.Type ||
-			len(a.I64) != len(b.I64) || len(a.F64) != len(b.F64) || len(a.Str) != len(b.Str) {
+			len(a.I64) != len(b.I64) || a.f64Len() != b.f64Len() || len(a.Str) != len(b.Str) {
 			return false
 		}
 		for r := range a.I64 {
@@ -249,8 +339,8 @@ func (t *TableJSON) Equal(o *TableJSON) bool {
 				return false
 			}
 		}
-		for r := range a.F64 {
-			if a.F64[r] != b.F64[r] {
+		for r := 0; r < a.f64Len(); r++ {
+			if a.f64Bit(r) != b.f64Bit(r) {
 				return false
 			}
 		}

@@ -276,8 +276,11 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 				if out.Response.Fingerprint != wantFP {
 					r.mismatch = true
 				}
-				if r.sampled && !out.Response.Result.Equal(wantTable) {
-					r.mismatch = true
+				if r.sampled {
+					got, derr := out.Response.ResultTable()
+					if derr != nil || !got.Equal(wantTable) {
+						r.mismatch = true
+					}
 				}
 			case out.Shed():
 				r.shed = true

@@ -44,8 +44,13 @@ type StreamFrame struct {
 	Schema    *TableJSON `json:"schema,omitempty"`
 	ChunkRows int        `json:"chunk_rows,omitempty"`
 
-	// Chunk field: one size-capped slice of the result, in row order.
+	// Chunk fields: one size-capped slice of the result, in row order.
+	// Exactly one is set per chunk frame: Table carries the JSON wire
+	// form, Bin the negotiated binary columnar form (wirebin.go) as
+	// base64. The chunk digest hashes the frame's exact line bytes either
+	// way, so integrity verification is encoding-agnostic.
 	Table *TableJSON `json:"table,omitempty"`
+	Bin   []byte     `json:"bin,omitempty"`
 
 	// Trailer fields: totals, the hex sha256 over the exact bytes of every
 	// chunk line (newlines excluded), the whole-result fingerprint, and
@@ -102,13 +107,15 @@ func (s *Server) handlePlanStream(w http.ResponseWriter, r *http.Request) {
 	if req.Session != "" {
 		s.sess.record(req.Session, st.AdaptiveCalls, st.OffBestCalls)
 	}
-	s.streamTable(w, b.Name(), req.Session, tab, statsJSON(st))
+	s.streamTable(w, b.Name(), req.Session, tab, statsJSON(st), s.wantsBin(r))
 }
 
 // streamTable writes the frame sequence for one result table. The 200 is
 // committed before the first frame; any later failure can only be
-// reported in-band as an error frame.
-func (s *Server) streamTable(w http.ResponseWriter, name, session string, tab *engine.Table, st StatsJSON) {
+// reported in-band as an error frame. With bin set, chunk frames carry
+// the binary columnar body; the header's zero-row schema and the trailer
+// stay JSON either way (they hold no column values to speak of).
+func (s *Server) streamTable(w http.ResponseWriter, name, session string, tab *engine.Table, st StatsJSON, bin bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -139,7 +146,19 @@ func (s *Server) streamTable(w http.ResponseWriter, name, session string, tab *e
 	chunks := 0
 	for lo := 0; lo < tab.Rows(); lo += s.streamChunkRows {
 		hi := min(lo+s.streamChunkRows, tab.Rows())
-		line, err := json.Marshal(StreamFrame{Frame: FrameChunk, Table: EncodeTable(tab.Slice(lo, hi))})
+		frame := StreamFrame{Frame: FrameChunk}
+		if bin {
+			data, err := MarshalTableBin(EncodeTable(tab.Slice(lo, hi)))
+			if err != nil {
+				el, _ := json.Marshal(StreamFrame{Frame: FrameError, Error: err.Error()})
+				writeLine(el)
+				return
+			}
+			frame.Bin = data
+		} else {
+			frame.Table = EncodeTable(tab.Slice(lo, hi)).EscapeNonFinite()
+		}
+		line, err := json.Marshal(frame)
 		if err != nil {
 			el, _ := json.Marshal(StreamFrame{Frame: FrameError, Error: err.Error()})
 			writeLine(el)
@@ -176,6 +195,11 @@ type StreamResult struct {
 	Chunks      int
 	Fingerprint string
 	Stats       StatsJSON
+	// BinaryChunks counts the chunks that arrived in the binary columnar
+	// encoding; Chunks-BinaryChunks arrived as JSON. Against a peer that
+	// honored the negotiation it equals Chunks, against an old JSON-only
+	// peer it is zero.
+	BinaryChunks int
 }
 
 // shedStreamError carries a 429 out of one streaming attempt so the retry
@@ -228,7 +252,7 @@ func (c *Client) PlanStreamEncoded(body []byte, onChunk func(*TableJSON) error) 
 }
 
 func (c *Client) planStreamOnce(body []byte, onChunk func(*TableJSON) error) (*StreamResult, error) {
-	resp, err := c.http.Post(c.base+"/v1/plan/stream", "application/json", bytes.NewReader(body))
+	resp, err := c.postWire("/v1/plan/stream", body)
 	if err != nil {
 		return nil, err
 	}
@@ -285,14 +309,26 @@ func (c *Client) planStreamOnce(body []byte, onChunk func(*TableJSON) error) (*S
 			if !sawHeader {
 				return nil, errors.New("server: stream: chunk before header")
 			}
-			if f.Table == nil {
+			tab := f.Table
+			if len(f.Bin) > 0 {
+				if tab != nil {
+					return nil, errors.New("server: stream: chunk frame with both table and bin bodies")
+				}
+				if tab, err = UnmarshalTableBin(f.Bin); err != nil {
+					return nil, fmt.Errorf("server: stream: chunk %d: %w", chunks, err)
+				}
+				res.BinaryChunks++
+			}
+			if tab == nil {
 				return nil, errors.New("server: stream: chunk frame without table")
 			}
+			// Digest the exact line bytes, same as the server — integrity
+			// verification does not care which encoding the body used.
 			h.Write(line)
-			rows += f.Table.Rows
+			rows += tab.Rows
 			chunks++
 			if onChunk != nil {
-				if err := onChunk(f.Table); err != nil {
+				if err := onChunk(tab); err != nil {
 					return nil, err
 				}
 			}
